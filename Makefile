@@ -1,0 +1,29 @@
+# Convenience targets for the CGO 2004 TLS reproduction.
+
+.PHONY: install test bench report scorecard examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report -o measured_results.md
+
+scorecard:
+	python -m repro scorecard
+
+examples:
+	python examples/quickstart.py
+	python examples/free_list.py
+	python examples/scheme_comparison.py
+	python examples/textual_ir.py
+	python examples/timeline.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks

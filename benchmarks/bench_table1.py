@@ -1,0 +1,10 @@
+"""Table 1 — simulation parameters (config self-check)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_table, table1_config
+
+
+def test_table1(benchmark, show):
+    rows = run_once(benchmark, table1_config.run)
+    show(format_table(rows, table1_config.COLUMNS, "Table 1: simulation parameters"))
+    assert table1_config.verify() == []

@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Each ``bench_figXX``/``bench_tableX`` module regenerates one of the
+paper's tables or figures: it runs the experiment harness (timed by
+pytest-benchmark), prints the rows/series the paper plots, and asserts
+the reproduction's shape.  Workload bundles are compiled once per
+process and shared across benchmarks via the runner's memoization.
+"""
+
+import pytest
+
+from repro.workloads import all_workloads
+
+collect_ignore: list = []
+
+
+@pytest.fixture(scope="session")
+def all_names():
+    return [w.name for w in all_workloads()]
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a regenerated table so it survives pytest's capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed round (experiments are
+    deterministic and too slow for statistical repetition)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's Figure 4 walkthrough: the free-list example.
+
+Reproduces Section 2.3 step by step on the PARSER workload (our
+realization of the paper's ``free_element``/``use_element`` example):
+
+1. context-sensitive dependence profiling,
+2. the dependence graph and its connected-component groups (Figure 5),
+3. procedure cloning along the hot call stacks (Figure 4(b)),
+4. wait/check/select + signal insertion, shown as textual IR,
+5. simulated execution with and without the synchronization.
+
+Run:  python examples/free_list.py
+"""
+
+from repro.experiments.runner import bundle_for
+from repro.ir.printer import format_function
+from repro.tlssim.stats import normalized_region_time
+
+
+def main():
+    bundle = bundle_for("parser")
+    compiled = bundle.compiled
+    key = compiled.selected[0]
+
+    print("=== 1. dependence profile (context-sensitive, per Section 2.3)")
+    profile = compiled.profile_ref[key]
+    print(f"epochs profiled: {profile.total_epochs}")
+    for pair in profile.frequent_pairs(0.05):
+        store_ref, load_ref = pair
+        print(
+            f"  store iid={store_ref[0]} stack={store_ref[1]} -> "
+            f"load iid={load_ref[0]} stack={load_ref[1]}   "
+            f"({100 * profile.pair_frequency(pair):.0f}% of epochs)"
+        )
+
+    print("\n=== 2. dependence groups (connected components, Figure 5)")
+    for group in compiled.groups_ref[key]:
+        print(f"  group {group.index}: loads={sorted(group.loads)}")
+        print(f"           stores={sorted(group.stores)}")
+
+    print("\n=== 3. procedures cloned along the hot call stacks (Figure 4(b))")
+    clones = [
+        name for name in compiled.sync_ref.functions if "$sync" in name
+    ]
+    for name in sorted(clones):
+        source = compiled.sync_ref.function(name).cloned_from
+        print(f"  {source}  ->  {name}")
+
+    print("\n=== 4. the synchronized clone of free_element, as textual IR")
+    clone = next(n for n in sorted(clones) if n.startswith("free_element"))
+    print(format_function(compiled.sync_ref.function(clone)))
+
+    print("\n=== 5. simulated execution (region time, sequential = 100)")
+    sequential = bundle.simulate("SEQ")
+    for bar, label in (("U", "plain TLS"), ("C", "compiler-synchronized")):
+        result = bundle.simulate(bar)
+        time, segments = normalized_region_time(result, sequential)
+        region = result.regions[0]
+        print(
+            f"  {bar} ({label}): time {time:6.1f}  violations "
+            f"{len(region.violations):3d}  fail {segments['fail']:5.1f}  "
+            f"sync {segments['sync']:5.1f}"
+        )
+    print("\nThe forwarding converts nearly all failed speculation into "
+          "short synchronization stalls, as in the paper's PARSER result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a loop for TLS and watch synchronization win.
+
+Builds a small program whose parallelized loop carries a frequent
+memory-resident dependence (a shared histogram updated in most
+iterations), runs the full compilation pipeline (loop selection,
+unrolling, scalar synchronization, dependence profiling, memory
+synchronization insertion), and simulates the baseline-TLS and
+compiler-synchronized binaries on the 4-core machine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler.pipeline import compile_workload
+from repro.ir.builder import ModuleBuilder
+from repro.tlssim.sequential import simulate_sequential, simulate_tls
+from repro.tlssim.stats import normalized_region_time
+from repro.workloads.base import lcg_stream
+
+ITERS = 150
+
+
+def build(input_spec):
+    """One parallelizable loop: private work + a hot histogram update."""
+    seed = input_spec["seed"]
+    mb = ModuleBuilder("quickstart")
+    mb.global_var("samples", ITERS, init=lcg_stream(seed, ITERS, 100))
+    mb.global_var("histogram", 1, init=0)
+    mb.global_var("results", ITERS * 8)
+
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    addr = fb.add("@samples", "i")
+    sample = fb.load(addr)
+    # epoch-local computation
+    acc = fb.const(1)
+    for k in range(40):
+        acc = fb.binop(("add", "xor", "mul", "sub")[k % 4], acc, k + 1)
+    # the frequent inter-epoch dependence: ~80% of iterations
+    hot = fb.binop("lt", sample, 80)
+    fb.condbr(hot, "update", "skip")
+    fb.block("update")
+    hist = fb.load("@histogram")
+    hist2 = fb.add(hist, sample)
+    hist3 = fb.mod(hist2, 65536)
+    fb.store("@histogram", hist3)
+    fb.jump("skip")
+    fb.block("skip")
+    slot_off = fb.mul("i", 8)
+    slot = fb.add("@results", slot_off)
+    mixed = fb.binop("xor", acc, sample)
+    fb.store(slot, mixed)
+    fb.add("i", 1, dest="i")
+    more = fb.binop("lt", "i", ITERS)
+    fb.condbr(more, "loop", "done")
+    fb.block("done")
+    final = fb.load("@histogram")
+    fb.ret(final)
+    return mb.build()
+
+
+def describe(tag, result, sequential):
+    time, segments = normalized_region_time(result, sequential)
+    region = result.regions[0]
+    print(
+        f"  {tag}: region time {time:6.1f} (sequential = 100)   "
+        f"violations {len(region.violations):3d}   "
+        f"busy {segments['busy']:5.1f}  fail {segments['fail']:5.1f}  "
+        f"sync {segments['sync']:5.1f}  other {segments['other']:5.1f}"
+    )
+    return time
+
+
+def main():
+    print("Compiling (select loops, profile dependences, insert sync) ...")
+    compiled = compile_workload(
+        "quickstart", build, train_input={"seed": 11}, ref_input={"seed": 97}
+    )
+    key = compiled.selected[0]
+    profile = compiled.profile_ref[key]
+    print(f"  selected loop: {key[0]}:{key[1]}  ({profile.total_epochs} epochs)")
+    for pair in profile.frequent_pairs(0.05):
+        store_ref, load_ref = pair
+        print(
+            f"  frequent dependence: store {store_ref} -> load {load_ref} "
+            f"in {100 * profile.pair_frequency(pair):.0f}% of epochs"
+        )
+    print(f"  groups: {[sorted(g.member_iids()) for g in compiled.groups_ref[key]]}")
+    print(f"  synchronized loads: {sorted(compiled.sync_ref.sync_loads)}")
+
+    print("\nSimulating on the 4-core TLS machine ...")
+    sequential = simulate_sequential(compiled.seq)
+    baseline = simulate_tls(compiled.baseline)
+    synced = simulate_tls(compiled.sync_ref)
+    u = describe("U (plain TLS)     ", baseline, sequential)
+    c = describe("C (compiler sync) ", synced, sequential)
+
+    assert baseline.return_value == synced.return_value == sequential.return_value
+    print(f"\n  result identical in all modes: {sequential.return_value}")
+    print(f"  synchronization improved the region by {u - c:.1f} points "
+          f"({u / c:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Write a TLS program as textual IR, compile it, and simulate it.
+
+Shows the round-trippable textual form of the mini-IR: the program
+below is parsed from text, hand-annotated for parallelization, run
+through scalar synchronization + scheduling + the memory-resident
+synchronization pass, printed again (so every inserted wait/signal is
+visible), and simulated.
+
+Run:  python examples/textual_ir.py
+"""
+
+from repro.compiler.memdep.graph import group_dependences
+from repro.compiler.memdep.profiler import profile_dependences
+from repro.compiler.memdep.sync_insertion import insert_memory_sync
+from repro.compiler.scalar_sync import insert_all_scalar_sync
+from repro.compiler.scheduling import schedule_all
+from repro.ir.parser import parse_module
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+from repro.tlssim.sequential import simulate_sequential, simulate_tls
+
+PROGRAM = """
+# A ring buffer whose cursor is a memory-resident value: every epoch
+# reads and advances @cursor (a frequent inter-epoch dependence) and
+# writes one private slot of @ring.
+
+global cursor 1 init 0
+global ring 512
+global checksum 1 init 0
+
+parallel main loop
+
+func main() {
+entry:
+  i = const 0
+  jump loop
+loop:
+  cur = load @cursor
+  step = mod i, 5
+  bump = add step, 1
+  next0 = add cur, bump
+  next = mod next0, 512
+  store @cursor, next
+  # epoch-local work
+  a = mul i, 17
+  b = xor a, cur
+  c = add b, 3
+  d = mul c, 5
+  e = sub d, i
+  f = xor e, 29
+  g = add f, c
+  h = mul g, 3
+  slot = add @ring, cur
+  store slot, h
+  i = add i, 1
+  more = lt i, 120
+  condbr more, loop, done
+done:
+  final = load @cursor
+  ret final
+}
+"""
+
+
+def main():
+    module = parse_module(PROGRAM)
+    verify_module(module)
+
+    # Phase 1: scalar synchronization + forwarding-path scheduling.
+    insert_all_scalar_sync(module)
+    schedule_all(module)
+
+    # Phase 2: profile and synchronize the memory-resident cursor.
+    loop = module.parallel_loops[0]
+    profile = profile_dependences(module)[(loop.function, loop.header)]
+    groups = group_dependences(profile, threshold=0.05)
+    report = insert_memory_sync(module, loop, groups)
+    verify_module(module)
+    print(
+        f"synchronized {report.loads_synchronized} load(s), "
+        f"{report.signal_sites} signal site(s), channels {report.channels}"
+    )
+
+    print("\n--- transformed program ---------------------------------")
+    print(format_module(module))
+
+    # Phase 3: simulate.
+    sequential = simulate_sequential(module)
+    parallel = simulate_tls(module)
+    assert parallel.return_value == sequential.return_value
+    region = parallel.regions[0]
+    speedup = sequential.region_cycles() / parallel.region_cycles()
+    print("--- simulation -------------------------------------------")
+    print(f"result: {parallel.return_value} (identical sequential/TLS)")
+    print(f"epochs committed: {region.epochs_committed}, "
+          f"violations: {len(region.violations)}")
+    print(f"region speedup over sequential: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

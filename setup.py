@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` is the normal path; this shim enables
+`python setup.py develop` in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Reproduction of Zhai et al., "Compiler Optimization of Memory-Resident
+Value Communication Between Speculative Threads" (CGO 2004).
+
+Public API highlights:
+
+* :mod:`repro.ir` — the mini-IR compiler substrate.
+* :mod:`repro.compiler` — the TLS compilation pipeline (loop selection,
+  scalar synchronization, dependence profiling, procedure cloning and
+  memory-resident synchronization insertion).
+* :mod:`repro.tlssim` — the TLS chip-multiprocessor simulator.
+* :mod:`repro.workloads` — synthetic SPEC-like benchmark programs.
+* :mod:`repro.experiments` — per-figure/table experiment harnesses.
+"""
+
+__version__ = "1.0.0"

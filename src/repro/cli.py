@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    The workload suite with Table 2 metadata.
+``compile WORKLOAD``
+    Run the pipeline; print selection, profile, grouping and cloning
+    reports; ``--emit BINARY`` dumps a binary as textual IR.
+``simulate WORKLOAD``
+    Simulate one bar (U/C/T/H/P/B/E/L/O) and print the slot breakdown.
+``figure NAME`` / ``table NAME``
+    Regenerate one of the paper's figures/tables (e.g. ``figure 10``).
+``report``
+    Regenerate the full measured-results document (EXPERIMENTS.md's
+    final section).
+``summary``
+    One line per workload: U/C/H/B times and the winning scheme.
+``scorecard``
+    Evaluate every reproduced paper claim (exit code 1 on any failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import report as report_mod
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import bundle_for
+from repro.tlssim.config import SimConfig
+from repro.tlssim.stats import normalized_region_time
+from repro.workloads import all_workloads
+
+BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        {
+            "name": w.name,
+            "spec": w.spec_name,
+            "coverage": w.coverage * 100.0,
+            "seq_overhead": w.seq_overhead,
+            "signature": w.description[:60],
+        }
+        for w in all_workloads()
+    ]
+    print(format_table(
+        rows, ("name", "spec", "coverage", "seq_overhead", "signature")
+    ))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    bundle = bundle_for(args.workload, threshold=args.threshold)
+    compiled = bundle.compiled
+    print(f"selected loops : {compiled.selected}")
+    print(f"unroll factors : {compiled.unroll_factors}")
+    for scalar_report in compiled.scalar_reports:
+        print(
+            f"scalar sync    : {scalar_report.communicating} "
+            f"({scalar_report.waits_inserted} waits, "
+            f"{scalar_report.signals_inserted} signals)"
+        )
+    for sched in compiled.scheduling_reports:
+        print(f"hoisted        : {sched.hoisted}")
+    for key, profile in compiled.profile_ref.items():
+        print(f"profile {key}   : {profile.total_epochs} epochs")
+        for pair in profile.frequent_pairs(args.threshold):
+            store_ref, load_ref = pair
+            print(
+                f"  {100 * profile.pair_frequency(pair):5.1f}%  "
+                f"store {store_ref} -> load {load_ref}"
+            )
+    for mem_report in compiled.memsync_reports_ref:
+        print(
+            f"memory sync    : {mem_report.groups} group(s), "
+            f"{mem_report.loads_synchronized} load(s) guarded, "
+            f"{mem_report.signal_sites} signal site(s), "
+            f"{mem_report.clones_created} clone(s)"
+        )
+    if args.emit:
+        from repro.ir.printer import format_module
+
+        print(f"\n--- {args.emit} ---")
+        print(format_module(getattr(compiled, args.emit)))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    bundle = bundle_for(args.workload, threshold=args.threshold)
+    config = SimConfig(num_cores=args.cores)
+    from repro.experiments.runner import config_for
+
+    result = bundle.simulate(args.bar, base=config) if args.cores == 4 else None
+    if result is None:
+        resolved = config_for(args.bar, config)
+        from repro.experiments.runner import BAR_PROGRAM
+
+        result = bundle.simulate_custom(
+            BAR_PROGRAM[args.bar], resolved,
+            oracle_needed=resolved.oracle_mode != "off",
+        )
+    sequential = bundle.simulate("SEQ")
+    time, segments = normalized_region_time(result, sequential)
+    print(f"workload   : {args.workload}   bar {args.bar}   cores {args.cores}")
+    print(f"region time: {time:.1f} (sequential = 100)")
+    print(
+        f"slots      : busy {segments['busy']:.1f}  fail {segments['fail']:.1f}"
+        f"  sync {segments['sync']:.1f}  other {segments['other']:.1f}"
+    )
+    for region in result.regions:
+        print(
+            f"region {region.function}:{region.header}: "
+            f"{region.epochs_committed} committed, "
+            f"{region.epochs_squashed} squashed, "
+            f"{len(region.violations)} violations"
+        )
+    print(f"result     : {result.return_value}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    wanted = args.name.lower().lstrip("fig").lstrip("ure").strip()
+    text = report_mod.generate_report(
+        workloads=args.workloads, sections=[f"figure {wanted}"]
+    )
+    if not text:
+        print(f"no figure matches {args.name!r}", file=sys.stderr)
+        return 1
+    print(text)
+    return 0
+
+
+def _cmd_table(args) -> int:
+    text = report_mod.generate_report(
+        workloads=args.workloads, sections=[f"table {args.name.strip()}"]
+    )
+    if not text:
+        print(f"no table matches {args.name!r}", file=sys.stderr)
+        return 1
+    print(text)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    text = report_mod.generate_report(workloads=args.workloads)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    for line in report_mod.summary_lines(args.workloads):
+        print(line)
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.experiments.validate import format_scorecard, run_scorecard
+
+    results = run_scorecard(args.workloads)
+    print(format_scorecard(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _workload_list(value: str) -> List[str]:
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Compiler Optimization of Memory-Resident "
+            "Value Communication Between Speculative Threads' (CGO 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite").set_defaults(
+        func=_cmd_list
+    )
+
+    compile_parser = sub.add_parser("compile", help="run the TLS pipeline")
+    compile_parser.add_argument("workload")
+    compile_parser.add_argument("--threshold", type=float, default=0.05)
+    compile_parser.add_argument(
+        "--emit",
+        choices=("seq", "baseline", "sync_ref", "sync_train"),
+        help="dump one binary as textual IR",
+    )
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    simulate_parser = sub.add_parser("simulate", help="simulate one bar")
+    simulate_parser.add_argument("workload")
+    simulate_parser.add_argument("--bar", choices=BARS, default="C")
+    simulate_parser.add_argument("--cores", type=int, default=4)
+    simulate_parser.add_argument("--threshold", type=float, default=0.05)
+    simulate_parser.set_defaults(func=_cmd_simulate)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", help="2, 6, 7, 8, 9, 10, 11 or 12")
+    figure_parser.add_argument("--workloads", type=_workload_list, default=None)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    table_parser = sub.add_parser("table", help="regenerate a paper table")
+    table_parser.add_argument("name", help="1 or 2")
+    table_parser.add_argument("--workloads", type=_workload_list, default=None)
+    table_parser.set_defaults(func=_cmd_table)
+
+    report_parser = sub.add_parser("report", help="full measured-results doc")
+    report_parser.add_argument("-o", "--output", default=None)
+    report_parser.add_argument("--workloads", type=_workload_list, default=None)
+    report_parser.set_defaults(func=_cmd_report)
+
+    summary_parser = sub.add_parser("summary", help="one line per workload")
+    summary_parser.add_argument("--workloads", type=_workload_list, default=None)
+    summary_parser.set_defaults(func=_cmd_summary)
+
+    scorecard_parser = sub.add_parser(
+        "scorecard", help="evaluate every reproduced paper claim"
+    )
+    scorecard_parser.add_argument(
+        "--workloads", type=_workload_list, default=None
+    )
+    scorecard_parser.set_defaults(func=_cmd_scorecard)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

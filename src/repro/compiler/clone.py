@@ -1,0 +1,72 @@
+"""Instruction/function cloning utilities.
+
+Cloned instructions receive fresh ``iid``s (a clone is a distinct
+static instruction — a different PC — to the hardware and profiler)
+but inherit the original's ``origin_iid`` so that dependence-profile
+contexts collected before cloning can be located inside clones.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+
+
+def clone_instruction(instr: Instruction) -> Instruction:
+    """Deep-copy an instruction, resetting its identity fields."""
+    new = copy.copy(instr)
+    # Operand objects are immutable in practice; shallow copy suffices
+    # except for containers (call argument lists).
+    if hasattr(new, "args"):
+        new.args = list(new.args)
+    new.iid = None
+    new.origin_iid = (
+        instr.origin_iid if instr.origin_iid is not None else instr.iid
+    )
+    return new
+
+
+def clone_function(
+    module: Module,
+    source_name: str,
+    clone_name: str,
+) -> Function:
+    """Clone ``source_name`` into a new function ``clone_name``.
+
+    Block labels are preserved (they are function-local); the clone is
+    registered in the module.  Returns the new function.
+    """
+    source = module.function(source_name)
+    clone = Function(clone_name, [p.name for p in source.params])
+    clone.cloned_from = (
+        source.cloned_from if source.cloned_from is not None else source_name
+    )
+    for label, block in source.blocks.items():
+        new_block = clone.add_block(label)
+        for instr in block.instructions:
+            new_block.append(clone_instruction(instr))
+    module.add_function(clone)
+    return clone
+
+
+def find_by_origin(
+    function: Function, origin_iid: int
+) -> Optional[Instruction]:
+    """First instruction in ``function`` whose origin is ``origin_iid``."""
+    for instr in function.instructions():
+        origin = instr.origin_iid if instr.origin_iid is not None else instr.iid
+        if origin == origin_iid:
+            return instr
+    return None
+
+
+def fresh_clone_name(module: Module, base: str, tag: str = "clone") -> str:
+    """A function name derived from ``base`` not yet used in ``module``."""
+    index = 1
+    while f"{base}${tag}{index}" in module.functions:
+        index += 1
+    return f"{base}${tag}{index}"

@@ -1,0 +1,166 @@
+"""Profile-guided selection of loops to parallelize (paper Section 3.1).
+
+"The compiler starts with a set of loops chosen to maximize coverage
+while meeting heuristics for epoch size and loop trip counts: each loop
+must comprise at least 0.1% of overall execution time and have an
+average of at least 1.5 epochs per instance, as well as an average of
+at least 15 instructions per epoch."
+
+We realize execution-time coverage as dynamic-instruction coverage
+(the interpreter is untimed) and measure each candidate loop with one
+profiling run.  Selection is greedy by coverage among qualifying loops,
+skipping loops that structurally overlap an already-selected loop in
+the same function (speculative regions cannot nest within a function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Alloc, Call
+from repro.ir.interpreter import Hooks, Interpreter
+from repro.ir.loops import LoopForest
+from repro.ir.module import Module, ParallelLoop
+
+#: Selection heuristics from the paper.
+MIN_COVERAGE = 0.001
+MIN_EPOCHS_PER_INSTANCE = 1.5
+MIN_INSNS_PER_EPOCH = 15.0
+
+
+@dataclass
+class LoopStats:
+    """Profile of one candidate loop."""
+
+    function: str
+    header: str
+    total_steps: int = 0
+    region_steps: int = 0
+    instances: int = 0
+    epochs: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.region_steps / self.total_steps if self.total_steps else 0.0
+
+    @property
+    def epochs_per_instance(self) -> float:
+        return self.epochs / self.instances if self.instances else 0.0
+
+    @property
+    def insns_per_epoch(self) -> float:
+        return self.region_steps / self.epochs if self.epochs else 0.0
+
+    def qualifies(self) -> bool:
+        return (
+            self.coverage >= MIN_COVERAGE
+            and self.epochs_per_instance >= MIN_EPOCHS_PER_INSTANCE
+            and self.insns_per_epoch >= MIN_INSNS_PER_EPOCH
+        )
+
+
+class _CoverageHooks(Hooks):
+    def __init__(self):
+        self.total_steps = 0
+        self.region_steps = 0
+        self.instances = 0
+        self.epochs = 0
+
+    def on_instruction(self, instr, in_region):
+        self.total_steps += 1
+        if in_region:
+            self.region_steps += 1
+
+    def on_region_enter(self, function, header, instance):
+        self.instances += 1
+
+    def on_region_exit(self, function, header, epochs):
+        self.epochs += epochs
+
+
+def find_candidate_loops(module: Module) -> List[Tuple[str, str]]:
+    """All (function, header) natural loops eligible for speculation.
+
+    Excludes loops whose header is the function entry (regions must be
+    entered by a branch), loops containing heap allocation (speculative
+    allocation is unsupported by the substrate), and loops whose bodies
+    may reach recursive calls (uncloneable call stacks).
+    """
+    graph = CallGraph(module)
+    candidates: List[Tuple[str, str]] = []
+    for name, function in module.functions.items():
+        cfg = CFG(function)
+        forest = LoopForest(cfg)
+        for header, loop in sorted(forest.loops.items()):
+            if header == function.entry_label:
+                continue
+            ok = True
+            for label in loop.blocks:
+                for instr in function.block(label).instructions:
+                    if isinstance(instr, Alloc):
+                        ok = False
+                    elif isinstance(instr, Call):
+                        if graph.is_recursive_from(instr.callee):
+                            ok = False
+                        elif name in graph.reachable_from(instr.callee):
+                            ok = False  # loop body can re-enter this function
+                if not ok:
+                    break
+            if ok:
+                candidates.append((name, header))
+    return candidates
+
+
+def profile_loop(
+    module: Module, function: str, header: str, fuel: int = 50_000_000
+) -> LoopStats:
+    """Measure one candidate loop with a dedicated profiling run."""
+    saved = module.parallel_loops
+    module.parallel_loops = [ParallelLoop(function=function, header=header)]
+    hooks = _CoverageHooks()
+    try:
+        Interpreter(module, hooks=hooks, fuel=fuel).run()
+    finally:
+        module.parallel_loops = saved
+    return LoopStats(
+        function=function,
+        header=header,
+        total_steps=hooks.total_steps,
+        region_steps=hooks.region_steps,
+        instances=hooks.instances,
+        epochs=hooks.epochs,
+    )
+
+
+def select_loops(
+    module: Module,
+    candidates: Optional[List[Tuple[str, str]]] = None,
+    fuel: int = 50_000_000,
+) -> Tuple[List[ParallelLoop], List[LoopStats]]:
+    """Choose the loops to parallelize; returns (selection, all stats).
+
+    Does not mutate the module; the pipeline attaches the returned
+    annotations.
+    """
+    if candidates is None:
+        candidates = find_candidate_loops(module)
+    stats = [profile_loop(module, fn, header, fuel) for fn, header in candidates]
+    qualifying = sorted(
+        (s for s in stats if s.qualifies()),
+        key=lambda s: (-s.coverage, s.function, s.header),
+    )
+    selected: List[ParallelLoop] = []
+    taken_blocks = {}
+    for stat in qualifying:
+        function = module.function(stat.function)
+        forest = LoopForest(CFG(function))
+        blocks = forest.loop_of(stat.header).blocks
+        existing = taken_blocks.setdefault(stat.function, set())
+        if existing & blocks:
+            continue  # structurally overlaps an already-selected loop
+        existing.update(blocks)
+        selected.append(ParallelLoop(function=stat.function, header=stat.header))
+    return selected, stats

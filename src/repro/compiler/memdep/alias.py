@@ -1,0 +1,215 @@
+"""Flow-insensitive base-object alias analysis.
+
+The paper obtains dependence candidates from exhaustive profiling but
+notes that "pointer analysis [17, 29], especially probabilistic,
+inter-procedural and context-sensitive pointer analysis could help us
+obtain this information with less detailed profiling" (Section 1.1).
+This module provides the classic cheap half of that: every memory
+reference is mapped to the set of *base objects* its address can derive
+from — named globals, the heap, or ``unknown`` (address arithmetic
+through loaded values) — by a context-insensitive, flow-insensitive
+interprocedural fixed point over register assignments and call
+bindings.
+
+Two references **may alias** iff their base sets intersect or either is
+unknown.  The result is sound (every dynamic dependence is between
+may-aliasing references — asserted against the profiler in the test
+suite) and lets a profiler instrument only the may-aliasing load/store
+pairs; :func:`candidate_pair_fraction` quantifies the saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Call,
+    Load,
+    Move,
+    Select,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.ir.module import Module
+from repro.ir.operands import GlobalRef, Imm, Reg
+
+#: the lattice's "anything" element
+UNKNOWN = "<unknown>"
+#: all bump-allocated storage
+HEAP = "<heap>"
+
+BaseSet = FrozenSet[str]
+
+EMPTY: BaseSet = frozenset()
+TOP: BaseSet = frozenset({UNKNOWN})
+
+
+def is_unknown(bases: BaseSet) -> bool:
+    return UNKNOWN in bases
+
+
+def may_alias(a: BaseSet, b: BaseSet) -> bool:
+    """Whether two references with these base sets can touch the same
+    memory.  Empty base sets (provably non-pointer values) never alias."""
+    if not a or not b:
+        return False
+    if is_unknown(a) or is_unknown(b):
+        return True
+    return bool(a & b)
+
+
+@dataclass
+class AliasAnalysis:
+    """Module-wide base-object sets for registers and memory references."""
+
+    module: Module
+    #: (function name, register name) -> base set
+    register_bases: Dict[Tuple[str, str], BaseSet] = field(default_factory=dict)
+    #: load/store iid -> base set of its address
+    ref_bases: Dict[int, BaseSet] = field(default_factory=dict)
+    iterations: int = 0
+
+    def bases_of_register(self, function: str, reg: str) -> BaseSet:
+        return self.register_bases.get((function, reg), EMPTY)
+
+    def bases_of_ref(self, iid: int) -> BaseSet:
+        return self.ref_bases.get(iid, TOP)
+
+    def refs_may_alias(self, iid_a: int, iid_b: int) -> bool:
+        return may_alias(self.bases_of_ref(iid_a), self.bases_of_ref(iid_b))
+
+
+def _operand_bases(analysis: AliasAnalysis, function: str, operand) -> BaseSet:
+    if isinstance(operand, GlobalRef):
+        return frozenset({operand.name})
+    if isinstance(operand, Imm):
+        return EMPTY
+    if isinstance(operand, Reg):
+        return analysis.bases_of_register(function, operand.name)
+    return TOP
+
+
+def analyze_aliases(module: Module, max_iterations: int = 50) -> AliasAnalysis:
+    """Compute the module's base-object sets to a fixed point."""
+    analysis = AliasAnalysis(module=module)
+    bases = analysis.register_bases
+
+    def merge(key: Tuple[str, str], new: BaseSet) -> bool:
+        old = bases.get(key, EMPTY)
+        combined = old | new
+        if combined != old:
+            bases[key] = combined
+            return True
+        return False
+
+    for _ in range(max_iterations):
+        analysis.iterations += 1
+        changed = False
+        for name, function in module.functions.items():
+            for instr in function.instructions():
+                if isinstance(instr, Move):
+                    changed |= merge(
+                        (name, instr.dest.name),
+                        _operand_bases(analysis, name, instr.src),
+                    )
+                elif isinstance(instr, BinOp):
+                    # pointer arithmetic: the result can point wherever
+                    # either operand could
+                    combined = _operand_bases(
+                        analysis, name, instr.lhs
+                    ) | _operand_bases(analysis, name, instr.rhs)
+                    changed |= merge((name, instr.dest.name), combined)
+                elif isinstance(instr, UnOp):
+                    changed |= merge(
+                        (name, instr.dest.name),
+                        _operand_bases(analysis, name, instr.src),
+                    )
+                elif isinstance(instr, Alloc):
+                    changed |= merge((name, instr.dest.name), frozenset({HEAP}))
+                elif isinstance(instr, Load):
+                    # a loaded word used as a pointer can point anywhere
+                    changed |= merge((name, instr.dest.name), TOP)
+                elif isinstance(instr, Wait):
+                    # A scalar-channel wait forwards the destination
+                    # register's own previous-iteration value: identity
+                    # (the flow-insensitive set already unions all its
+                    # defining sites).  Memory-channel waits carry
+                    # forwarded addresses/values: anything.
+                    info = module.channels.get(instr.channel)
+                    if info is None or info.kind != "scalar":
+                        changed |= merge((name, instr.dest.name), TOP)
+                elif isinstance(instr, Select):
+                    combined = _operand_bases(
+                        analysis, name, instr.f_value
+                    ) | _operand_bases(analysis, name, instr.m_value)
+                    changed |= merge((name, instr.dest.name), combined)
+                elif isinstance(instr, Call):
+                    callee = module.functions.get(instr.callee)
+                    if callee is None:
+                        continue
+                    for param, arg in zip(callee.params, instr.args):
+                        changed |= merge(
+                            (instr.callee, param.name),
+                            _operand_bases(analysis, name, arg),
+                        )
+                    if instr.dest is not None:
+                        # return values are not tracked per-function
+                        changed |= merge((name, instr.dest.name), TOP)
+        if not changed:
+            break
+
+    for name, function in module.functions.items():
+        for instr in function.instructions():
+            if isinstance(instr, (Load, Store)):
+                analysis.ref_bases[instr.iid] = _operand_bases(
+                    analysis, name, instr.addr
+                )
+    return analysis
+
+
+@dataclass
+class CandidateStats:
+    """How much of the load x store pair space may alias."""
+
+    loads: int
+    stores: int
+    total_pairs: int
+    may_alias_pairs: int
+
+    @property
+    def fraction(self) -> float:
+        if not self.total_pairs:
+            return 0.0
+        return self.may_alias_pairs / self.total_pairs
+
+
+def candidate_pair_fraction(
+    module: Module, analysis: Optional[AliasAnalysis] = None
+) -> CandidateStats:
+    """Fraction of static (store, load) pairs the analysis cannot rule
+    out — the share of the pair space a profiler guided by this
+    analysis would still have to instrument."""
+    analysis = analysis or analyze_aliases(module)
+    loads: List[int] = []
+    stores: List[int] = []
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, Load):
+                loads.append(instr.iid)
+            elif isinstance(instr, Store):
+                stores.append(instr.iid)
+    candidates = 0
+    for store_iid in stores:
+        for load_iid in loads:
+            if analysis.refs_may_alias(store_iid, load_iid):
+                candidates += 1
+    return CandidateStats(
+        loads=len(loads),
+        stores=len(stores),
+        total_pairs=len(loads) * len(stores),
+        may_alias_pairs=candidates,
+    )

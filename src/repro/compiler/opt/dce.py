@@ -1,0 +1,61 @@
+"""Global dead-code elimination for pure register operations.
+
+An instruction is removable when it is *pure* (``const``, ``move``,
+``binop``, ``unop``) and its destination register is never read
+anywhere in the function.  Removing one instruction can kill the last
+use of another, so the pass iterates to a fixed point.
+
+Anything with memory, control, or synchronization semantics is kept:
+loads (they may fault and they shape speculative behaviour), stores,
+allocs, calls, terminators, and all TLS instructions.  ``div``/``mod``
+by a potentially-zero operand are also kept (they may trap).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Const, Move, UnOp
+from repro.ir.operands import Imm
+
+
+def _is_removable(instr) -> bool:
+    if isinstance(instr, (Const, Move)):
+        return True
+    if isinstance(instr, UnOp):
+        return True
+    if isinstance(instr, BinOp):
+        if instr.op in ("div", "mod"):
+            # dividing by zero traps; only remove provably safe cases
+            return isinstance(instr.rhs, Imm) and instr.rhs.value != 0
+        return True
+    return False
+
+
+def eliminate_dead_code(function: Function) -> int:
+    """Remove dead pure instructions.  Returns how many were removed."""
+    removed_total = 0
+    while True:
+        used: Set[str] = set()
+        for instr in function.instructions():
+            for reg in instr.uses():
+                used.add(reg.name)
+        removed = 0
+        for block in function.blocks.values():
+            kept = []
+            for instr in block.instructions:
+                defs = instr.defs()
+                if (
+                    defs
+                    and _is_removable(instr)
+                    and all(reg.name not in used for reg in defs)
+                ):
+                    removed += 1
+                    continue
+                kept.append(instr)
+            if removed:
+                block.instructions[:] = kept
+        removed_total += removed
+        if not removed:
+            return removed_total

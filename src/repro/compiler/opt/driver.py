@@ -1,0 +1,69 @@
+"""Optimization driver: fixed-point iteration over the scalar passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.compiler.opt.constant_folding import fold_constants
+from repro.compiler.opt.dce import eliminate_dead_code
+from repro.compiler.opt.simplify_cfg import pinned_labels_for, simplify_cfg
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+
+@dataclass
+class OptReport:
+    """Per-function change counts."""
+
+    folded: Dict[str, int] = field(default_factory=dict)
+    removed: Dict[str, int] = field(default_factory=dict)
+    cfg_changes: Dict[str, int] = field(default_factory=dict)
+    iterations: int = 0
+
+    def total_changes(self) -> int:
+        return (
+            sum(self.folded.values())
+            + sum(self.removed.values())
+            + sum(self.cfg_changes.values())
+        )
+
+
+def optimize_function(
+    function: Function, pinned_labels=(), max_iterations: int = 10
+) -> OptReport:
+    """Run fold/DCE/simplify on one function to a fixed point."""
+    report = OptReport()
+    name = function.name
+    for _ in range(max_iterations):
+        report.iterations += 1
+        changed = 0
+        folded = fold_constants(function)
+        removed = eliminate_dead_code(function)
+        cfg_changes = simplify_cfg(function, pinned_labels)
+        report.folded[name] = report.folded.get(name, 0) + folded
+        report.removed[name] = report.removed.get(name, 0) + removed
+        report.cfg_changes[name] = report.cfg_changes.get(name, 0) + cfg_changes
+        changed = folded + removed + cfg_changes
+        if not changed:
+            break
+    return report
+
+
+def optimize_module(module: Module, max_iterations: int = 10) -> OptReport:
+    """Optimize every function; region headers stay pinned.  Verifies
+    the module afterwards and returns the merged report."""
+    merged = OptReport()
+    for name, function in module.functions.items():
+        report = optimize_function(
+            function,
+            pinned_labels=pinned_labels_for(module, name),
+            max_iterations=max_iterations,
+        )
+        merged.folded.update(report.folded)
+        merged.removed.update(report.removed)
+        merged.cfg_changes.update(report.cfg_changes)
+        merged.iterations = max(merged.iterations, report.iterations)
+    verify_module(module)
+    return merged

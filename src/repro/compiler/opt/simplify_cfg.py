@@ -1,0 +1,121 @@
+"""CFG simplification: unreachable blocks, jump threading, block merging.
+
+Three transformations, each guarded so the TLS structure survives:
+
+* **unreachable-block removal** — blocks not reachable from the entry
+  are deleted;
+* **jump threading** — a block consisting solely of ``jump T`` is
+  bypassed: every branch to it is redirected to ``T``;
+* **straight-line merging** — a block whose terminator is ``jump B``
+  where ``B`` has no other predecessors absorbs ``B``.
+
+Blocks named by parallel-loop annotations (region headers) are *pinned*:
+they are never threaded away or merged into a predecessor, because the
+interpreter, profiler and simulator identify epoch boundaries by branch
+targets equal to the header label.  Callers may pin further labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import CondBr, Jump
+from repro.ir.module import Module
+
+
+def _retarget(function: Function, old: str, new: str) -> int:
+    changed = 0
+    for block in function.blocks.values():
+        terminator = block.terminator
+        if isinstance(terminator, Jump) and terminator.target == old:
+            terminator.target = new
+            changed += 1
+        elif isinstance(terminator, CondBr):
+            if terminator.true_target == old:
+                terminator.true_target = new
+                changed += 1
+            if terminator.false_target == old:
+                terminator.false_target = new
+                changed += 1
+    return changed
+
+
+def _remove_unreachable(function: Function) -> int:
+    cfg = CFG(function)
+    dead = [
+        label for label in list(function.blocks)
+        if label not in cfg.reachable and label != function.entry_label
+    ]
+    for label in dead:
+        function.remove_block(label)
+    return len(dead)
+
+
+def _thread_jumps(function: Function, pinned: Set[str]) -> int:
+    changed = 0
+    for label in list(function.blocks):
+        if label in pinned or label == function.entry_label:
+            continue
+        block = function.blocks.get(label)
+        if block is None or len(block.instructions) != 1:
+            continue
+        terminator = block.terminator
+        if not isinstance(terminator, Jump):
+            continue
+        target = terminator.target
+        if target == label:
+            continue  # self-loop
+        changed += _retarget(function, label, target)
+    return changed
+
+
+def _merge_straight_lines(function: Function, pinned: Set[str]) -> int:
+    merged = 0
+    while True:
+        cfg = CFG(function)
+        candidate = None
+        for label in cfg.reachable:
+            block = function.block(label)
+            terminator = block.terminator
+            if not isinstance(terminator, Jump):
+                continue
+            target = terminator.target
+            if target in pinned or target == label:
+                continue
+            if target == function.entry_label:
+                continue
+            if len(cfg.preds[target]) != 1:
+                continue
+            candidate = (label, target)
+            break
+        if candidate is None:
+            return merged
+        label, target = candidate
+        block = function.block(label)
+        absorbed = function.block(target)
+        block.instructions.pop()  # the jump
+        block.instructions.extend(absorbed.instructions)
+        function.remove_block(target)
+        merged += 1
+
+
+def simplify_cfg(
+    function: Function, pinned_labels: Iterable[str] = ()
+) -> int:
+    """Run all three simplifications once.  Returns a change count."""
+    pinned = set(pinned_labels)
+    changed = _thread_jumps(function, pinned)
+    changed += _remove_unreachable(function)
+    changed += _merge_straight_lines(function, pinned)
+    return changed
+
+
+def pinned_labels_for(module: Module, function_name: str) -> Set[str]:
+    """Labels in ``function_name`` the simplifier must not disturb."""
+    return {
+        loop.header
+        for loop in module.parallel_loops
+        if loop.function == function_name
+    }

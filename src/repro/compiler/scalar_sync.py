@@ -1,0 +1,118 @@
+"""Scalar synchronization insertion (paper Section 2.1, after [32]).
+
+Identifies *communicating scalars* — registers that are live between
+epochs (live at the loop header and defined inside the loop; our IR has
+no address-taken registers) — and inserts ``wait``/``signal`` pairs to
+forward them from each epoch to its successor:
+
+* a ``wait`` for every communicating scalar at the top of the loop
+  header, so each epoch begins by receiving its loop-carried inputs;
+* a ``signal`` immediately after the *last* definition of the scalar on
+  each path through the epoch, found with the same kind of data-flow
+  analysis the memory-resident pass uses for store placement.
+
+Paths that never define the scalar are handled by the runtime's
+epoch-end auto-flush (equivalent to a signal at the latch), so the
+consumer never waits indefinitely.
+
+The critical-forwarding-path scheduling optimization of [32] lives in
+:mod:`repro.compiler.scheduling` and runs after this pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.ir.cfg import CFG
+from repro.ir.dataflow import blocks_with_later_defs, live_in
+from repro.ir.instructions import Signal, Wait
+from repro.ir.loops import LoopForest
+from repro.ir.module import ChannelInfo, Module, ParallelLoop
+from repro.ir.operands import Reg
+
+
+@dataclass
+class ScalarSyncReport:
+    """What the pass did to one loop."""
+
+    loop: ParallelLoop
+    communicating: List[str] = field(default_factory=list)
+    waits_inserted: int = 0
+    signals_inserted: int = 0
+
+
+def channel_name(loop: ParallelLoop, reg: str) -> str:
+    return f"scalar:{loop.function}:{loop.header}:{reg}"
+
+
+def find_communicating_scalars(module: Module, loop: ParallelLoop) -> List[str]:
+    """Registers live at the header and defined inside the loop."""
+    function = module.function(loop.function)
+    cfg = CFG(function)
+    forest = LoopForest(cfg)
+    natural = forest.loop_of(loop.header)
+    if natural is None:
+        raise ValueError(f"{loop.function}:{loop.header} is not a loop header")
+    header_live = live_in(cfg)[loop.header]
+    defined: Set[Reg] = set()
+    for label in natural.blocks:
+        for instr in function.block(label).instructions:
+            defined.update(instr.defs())
+    return sorted(r.name for r in header_live & defined)
+
+
+def insert_scalar_sync(module: Module, loop: ParallelLoop) -> ScalarSyncReport:
+    """Insert wait/signal pairs for ``loop``'s communicating scalars.
+
+    Mutates the module; registers the channels and records them on the
+    loop annotation.  Idempotence is the caller's responsibility (the
+    pipeline runs this once per selected loop).
+    """
+    report = ScalarSyncReport(loop=loop)
+    function = module.function(loop.function)
+    cfg = CFG(function)
+    forest = LoopForest(cfg)
+    natural = forest.loop_of(loop.header)
+    if natural is None:
+        raise ValueError(f"{loop.function}:{loop.header} is not a loop header")
+    scalars = find_communicating_scalars(module, loop)
+    report.communicating = scalars
+    if not scalars:
+        return report
+
+    backedges = [(latch, loop.header) for latch in natural.latches]
+    header_block = function.block(loop.header)
+
+    for position, reg in enumerate(scalars):
+        channel = channel_name(loop, reg)
+        module.add_channel(ChannelInfo(name=channel, kind="scalar", scalar=reg))
+        loop.scalar_channels.append(channel)
+        header_block.insert(position, Wait(Reg(reg), channel, kind="value"))
+        report.waits_inserted += 1
+
+        # Signal after the last definition on each path within the epoch.
+        def is_def(instr, _reg=Reg(reg)):
+            return _reg in instr.defs()
+
+        later = blocks_with_later_defs(
+            cfg, is_def, natural.blocks, exclude_edges=backedges
+        )
+        for label in sorted(natural.blocks):
+            block = function.block(label)
+            last_index = None
+            for index, instr in enumerate(block.instructions):
+                if is_def(instr):
+                    last_index = index
+            if last_index is None:
+                continue
+            if label in later:
+                continue  # another definition can still execute downstream
+            block.insert(last_index + 1, Signal(channel, Reg(reg), kind="value"))
+            report.signals_inserted += 1
+    return report
+
+
+def insert_all_scalar_sync(module: Module) -> List[ScalarSyncReport]:
+    """Run scalar synchronization on every annotated parallel loop."""
+    return [insert_scalar_sync(module, loop) for loop in module.parallel_loops]

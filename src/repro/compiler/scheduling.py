@@ -1,0 +1,126 @@
+"""Critical-forwarding-path reduction (paper Section 2.1, after [32]).
+
+Scalar synchronization serializes epochs along the chain
+
+    wait(r) -> ... compute r ... -> signal(r) -> [forward] -> wait(r)
+
+so the region cannot run faster than one epoch per chain traversal.
+The scheduling optimization of [32] shrinks the chain by computing the
+forwarded value as early as possible.  We implement its most important
+instance, induction-variable hoisting: when every definition of a
+communicating scalar ``r`` in the loop has the shape ``r = r +/- c``
+(constant ``c``), executes exactly once per iteration (its block
+dominates every latch and sits in no inner loop), the pass
+
+* inserts ``r.fwd = r + C`` (``C`` = net per-iteration delta) and
+  ``signal(r.fwd)`` directly after the header waits, and
+* removes the late signals placed after the last definition,
+
+so the forwarding chain collapses to a couple of instructions at the
+top of the epoch.  The original definitions are left in place: the
+values observed inside the epoch (and at loop exits) are unchanged, and
+the forwarded value equals the end-of-iteration value on every path
+that takes the backedge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir.cfg import CFG
+from repro.ir.dominators import DominatorTree
+from repro.ir.instructions import BinOp, Signal, Wait
+from repro.ir.loops import LoopForest
+from repro.ir.module import Module, ParallelLoop
+from repro.ir.operands import Imm, Reg
+
+
+@dataclass
+class SchedulingReport:
+    loop: ParallelLoop
+    hoisted: List[str] = field(default_factory=list)
+
+
+def _net_delta(defs, reg: str) -> Optional[int]:
+    """Net constant per-iteration delta, or None if not inductive."""
+    total = 0
+    for instr in defs:
+        if not isinstance(instr, BinOp) or instr.op not in ("add", "sub"):
+            return None
+        if not (isinstance(instr.lhs, Reg) and instr.lhs.name == reg):
+            return None
+        if not isinstance(instr.rhs, Imm):
+            return None
+        total += instr.rhs.value if instr.op == "add" else -instr.rhs.value
+    return total
+
+
+def schedule_loop(module: Module, loop: ParallelLoop) -> SchedulingReport:
+    """Hoist forwardable induction updates for one parallelized loop."""
+    report = SchedulingReport(loop=loop)
+    function = module.function(loop.function)
+    cfg = CFG(function)
+    domtree = DominatorTree(cfg)
+    forest = LoopForest(cfg, domtree)
+    natural = forest.loop_of(loop.header)
+    if natural is None:
+        raise ValueError(f"{loop.function}:{loop.header} is not a loop header")
+    header = function.block(loop.header)
+
+    for channel in list(loop.scalar_channels):
+        info = module.channels[channel]
+        reg = info.scalar
+        assert reg is not None
+        target = Reg(reg)
+
+        defs = []
+        def_blocks = []
+        inductive = True
+        for label in natural.blocks:
+            for instr in function.block(label).instructions:
+                if isinstance(instr, Wait):
+                    continue  # header receive, not a real definition
+                if target in instr.defs():
+                    defs.append(instr)
+                    def_blocks.append(label)
+        if not defs:
+            continue
+        for label in def_blocks:
+            if not all(domtree.dominates(label, latch) for latch in natural.latches):
+                inductive = False
+                break
+            innermost = forest.innermost_containing(label)
+            if innermost is not natural:
+                inductive = False
+                break
+        if not inductive:
+            continue
+        delta = _net_delta(defs, reg)
+        if delta is None:
+            continue
+
+        # Remove the late signals the scalar pass placed after the defs.
+        for label in natural.blocks:
+            block = function.block(label)
+            block.instructions[:] = [
+                i
+                for i in block.instructions
+                if not (isinstance(i, Signal) and i.channel == channel)
+            ]
+        # Insert the early computation + signal after the header waits.
+        insert_at = 0
+        while insert_at < len(header.instructions) and isinstance(
+            header.instructions[insert_at], Wait
+        ):
+            insert_at += 1
+        fwd = function.fresh_reg(f"{reg}.fwd")
+        header.insert(insert_at, BinOp(fwd, "add", target, Imm(delta)))
+        header.insert(insert_at + 1, Signal(channel, fwd, kind="value"))
+        report.hoisted.append(reg)
+    return report
+
+
+def schedule_all(module: Module) -> List[SchedulingReport]:
+    """Run forwarding-path scheduling on every annotated parallel loop."""
+    return [schedule_loop(module, loop) for loop in module.parallel_loops]

@@ -1,0 +1,104 @@
+"""Loop unrolling for small epochs (paper Section 3.1).
+
+"Once loops are selected, the compiler automatically applies loop
+unrolling to small loops to help amortize the overheads of speculative
+parallelization."
+
+Unrolling by factor *U* chains *U* textual copies of the loop body:
+the copy-``k`` backedge branches to copy ``k+1``'s header and the last
+copy's backedge returns to the original header, so one epoch (one
+traversal from the original header back to itself) now executes *U*
+iterations.  Every copy keeps its own exit branches, so arbitrary trip
+counts remain correct.  Registers are not renamed — copies execute
+sequentially within the epoch, exactly like textual duplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.ir.cfg import CFG
+from repro.ir.instructions import CondBr, Jump
+from repro.ir.loops import LoopForest
+from repro.ir.module import Module, ParallelLoop
+from repro.compiler.clone import clone_instruction
+
+#: Epochs smaller than this (dynamic instructions) get unrolled.
+UNROLL_EPOCH_THRESHOLD = 48.0
+MAX_UNROLL_FACTOR = 8
+
+
+@dataclass
+class UnrollReport:
+    loop: ParallelLoop
+    factor: int
+
+
+def choose_unroll_factor(insns_per_epoch: float) -> int:
+    """Smallest power-of-two factor lifting epochs past the threshold."""
+    if insns_per_epoch <= 0:
+        return 1
+    factor = 1
+    while (
+        insns_per_epoch * factor < UNROLL_EPOCH_THRESHOLD
+        and factor < MAX_UNROLL_FACTOR
+    ):
+        factor *= 2
+    return factor
+
+
+def _copy_label(label: str, copy: int) -> str:
+    return f"{label}$u{copy}"
+
+
+def unroll_loop(module: Module, loop: ParallelLoop, factor: int) -> UnrollReport:
+    """Unroll ``loop`` in place by ``factor`` (no-op when factor <= 1)."""
+    if factor <= 1:
+        return UnrollReport(loop=loop, factor=1)
+    function = module.function(loop.function)
+    cfg = CFG(function)
+    forest = LoopForest(cfg)
+    natural = forest.loop_of(loop.header)
+    if natural is None:
+        raise ValueError(f"{loop.function}:{loop.header} is not a loop header")
+    loop_labels = sorted(natural.blocks)
+    header = loop.header
+
+    def map_target(target: str, copy: int) -> str:
+        """Branch target of an instruction living in ``copy``."""
+        if target == header:
+            # Backedge: fall into the next copy; the last copy returns
+            # to the original header (the epoch boundary).
+            if copy == factor - 1:
+                return header
+            return _copy_label(header, copy + 1)
+        if target in natural.blocks:
+            return _copy_label(target, copy) if copy else target
+        return target  # loop exit
+
+    # Create copies 1..factor-1 from the pristine originals.
+    for copy in range(1, factor):
+        for label in loop_labels:
+            block = function.add_block(_copy_label(label, copy))
+            for instr in function.block(label).instructions:
+                cloned = clone_instruction(instr)
+                if isinstance(cloned, Jump):
+                    cloned.target = map_target(cloned.target, copy)
+                elif isinstance(cloned, CondBr):
+                    cloned.true_target = map_target(cloned.true_target, copy)
+                    cloned.false_target = map_target(cloned.false_target, copy)
+                block.append(cloned)
+
+    # Redirect copy 0's backedges into copy 1.
+    for label in loop_labels:
+        terminator = function.block(label).terminator
+        if isinstance(terminator, Jump):
+            if terminator.target == header:
+                terminator.target = _copy_label(header, 1)
+        elif isinstance(terminator, CondBr):
+            if terminator.true_target == header:
+                terminator.true_target = _copy_label(header, 1)
+            if terminator.false_target == header:
+                terminator.false_target = _copy_label(header, 1)
+
+    loop.unroll_factor = factor
+    return UnrollReport(loop=loop, factor=factor)

@@ -1,0 +1,46 @@
+"""Figure 2 — performance potential of perfect memory value communication.
+
+For every benchmark, compare plain TLS execution (U) against a
+hypothetical machine that "perfectly forwards the values needed by all
+load instructions such that no failed speculation nor synchronization
+stall ever occur due to accesses to the memory" (O).  Bars are region
+execution time normalized to the sequential version (100), decomposed
+into busy/fail/sync/other graduation slots.
+
+Expected shape (paper Section 1.2): "for most benchmarks, eliminating
+failed speculation results in a substantial performance gain."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import bar_row
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+BARS = ("U", "O")
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Return one row per (workload, bar)."""
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        for bar in BARS:
+            time, segments = bundle.normalized_region(bar)
+            rows.append(bar_row(name, bar, time, segments))
+    return rows
+
+
+def potential_gain(rows: List[Dict]) -> Dict[str, float]:
+    """U-to-O improvement ratio per workload (>1 means O is faster)."""
+    by_key = {(r["workload"], r["bar"]): r["time"] for r in rows}
+    gains = {}
+    for (workload, bar), time in by_key.items():
+        if bar != "U":
+            continue
+        ideal = by_key[(workload, "O")]
+        gains[workload] = time / ideal if ideal > 0 else float("inf")
+    return gains

@@ -1,0 +1,43 @@
+"""Figure 7 — distribution of dependence distances.
+
+"The distance of a data dependence, in the context of TLS, is the
+number of epochs between the producer epoch and the consumer" (paper
+Section 2.4).  Forwarding targets consecutive epochs, so the technique
+is most effective when distances are short; this experiment reports,
+per benchmark, the fraction of profiled inter-epoch dependences at
+distance 1, 2, and greater than 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+COLUMNS = ("workload", "dist_1", "dist_2", "dist_gt2", "events")
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    """One row per workload with distance fractions (percent)."""
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        hist: Dict[int, int] = {}
+        for profile in bundle.compiled.profile_ref.values():
+            for distance, count in profile.distance_hist.items():
+                hist[distance] = hist.get(distance, 0) + count
+        total = sum(hist.values())
+        one = hist.get(1, 0)
+        two = hist.get(2, 0)
+        rows.append(
+            {
+                "workload": name,
+                "dist_1": 100.0 * one / total if total else 0.0,
+                "dist_2": 100.0 * two / total if total else 0.0,
+                "dist_gt2": 100.0 * (total - one - two) / total if total else 0.0,
+                "events": total,
+            }
+        )
+    return rows

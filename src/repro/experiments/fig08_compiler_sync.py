@@ -1,0 +1,58 @@
+"""Figure 8 — region impact of compiler-inserted memory synchronization.
+
+Per benchmark: U (no memory synchronization), T (synchronization
+guided by a *train*-input profile) and C (guided by the *ref*-input
+profile), all executed on the ref input and normalized to sequential.
+
+Expected shape (paper Section 4.1): C improves about half the
+benchmarks, cutting their failed-speculation slots by a large factor
+in exchange for some synchronization stall; results are "fairly
+insensitive to the choice of profiling input set" except GZIP_COMP,
+where control flow is input-sensitive and T diverges from C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import bar_row
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+BARS = ("U", "T", "C")
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        for bar in BARS:
+            time, segments = bundle.normalized_region(bar)
+            rows.append(bar_row(name, bar, time, segments))
+    return rows
+
+
+def improved_workloads(rows: List[Dict], margin: float = 2.0) -> List[str]:
+    """Workloads where C beats U by more than ``margin`` points."""
+    by_key = {(r["workload"], r["bar"]): r for r in rows}
+    improved = []
+    for (workload, bar), row in sorted(by_key.items()):
+        if bar != "C":
+            continue
+        if by_key[(workload, "U")]["time"] - row["time"] > margin:
+            improved.append(workload)
+    return improved
+
+
+def fail_reduction(rows: List[Dict]) -> Dict[str, float]:
+    """Per-workload fractional reduction of fail slots, U -> C."""
+    by_key = {(r["workload"], r["bar"]): r for r in rows}
+    out = {}
+    for (workload, bar), row in by_key.items():
+        if bar != "C":
+            continue
+        u_fail = by_key[(workload, "U")]["fail"]
+        if u_fail > 0:
+            out[workload] = (u_fail - row["fail"]) / u_fail
+    return out

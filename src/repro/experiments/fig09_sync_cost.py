@@ -1,0 +1,49 @@
+"""Figure 9 — how much does the cost of synchronization itself matter?
+
+Two idealized variants of the compiler-synchronized binary (paper
+Section 4.1):
+
+* **E** — "the consumer is always able to perfectly predict any
+  synchronized memory value", eliminating all memory-synchronization
+  stall (upper bound on scheduling the forwarding path);
+* **L** — "a more conservative forwarding scheme where synchronized
+  loads issued by the consumer are stalled until the previous epoch
+  completes" (lower bound, no early forwarding).
+
+Expected shape: benchmarks whose execution time is "positively
+correlated with the cost of synchronization" (M88KSIM, JPEG,
+GZIP_COMP, GZIP_DECOMP, VPR_PLACE in the paper) show E < C < L:
+forwarding the value early buys real performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import bar_row
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+BARS = ("E", "C", "L")
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        for bar in BARS:
+            time, segments = bundle.normalized_region(bar)
+            rows.append(bar_row(name, bar, time, segments))
+    return rows
+
+
+def sync_sensitive(rows: List[Dict], margin: float = 2.0) -> List[str]:
+    """Workloads where L is slower than E by more than ``margin``."""
+    by_key = {(r["workload"], r["bar"]): r["time"] for r in rows}
+    return sorted(
+        workload
+        for (workload, bar) in by_key
+        if bar == "L"
+        and by_key[(workload, "L")] - by_key[(workload, "E")] > margin
+    )

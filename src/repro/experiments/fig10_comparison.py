@@ -1,0 +1,62 @@
+"""Figure 10 — compiler- vs hardware-inserted synchronization (and hybrid).
+
+Per benchmark: U (plain TLS), P (hardware value prediction), H
+(hardware-inserted synchronization), C (compiler-inserted
+synchronization), and B (both compiler and hardware).
+
+Expected shape (paper Section 4.2): P has insignificant effect
+("forwarded memory-resident values are unpredictable"); in eleven of
+fifteen benchmarks at least one synchronization scheme improves on U;
+compiler synchronization is best for GO / GZIP_DECOMP / PERLBMK / GAP,
+hardware for M88KSIM / VPR_PLACE (and GZIP_COMP in the paper); the
+hybrid tracks the better of the two overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import bar_row
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+BARS = ("U", "P", "H", "C", "B")
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        for bar in BARS:
+            time, segments = bundle.normalized_region(bar)
+            rows.append(bar_row(name, bar, time, segments))
+    return rows
+
+
+def best_scheme(rows: List[Dict], margin: float = 2.0) -> Dict[str, str]:
+    """Winner per workload among H and C ('tie' within ``margin``)."""
+    by_key = {(r["workload"], r["bar"]): r["time"] for r in rows}
+    winners = {}
+    for (workload, bar) in by_key:
+        if bar != "U":
+            continue
+        h = by_key[(workload, "H")]
+        c = by_key[(workload, "C")]
+        if abs(h - c) <= margin:
+            winners[workload] = "tie"
+        else:
+            winners[workload] = "H" if h < c else "C"
+    return winners
+
+
+def hybrid_tracks_best(rows: List[Dict], slack: float = 6.0) -> Dict[str, bool]:
+    """Whether B is within ``slack`` of min(H, C) per workload."""
+    by_key = {(r["workload"], r["bar"]): r["time"] for r in rows}
+    out = {}
+    for (workload, bar) in by_key:
+        if bar != "B":
+            continue
+        best = min(by_key[(workload, "H")], by_key[(workload, "C")])
+        out[workload] = by_key[(workload, "B")] <= best + slack
+    return out

@@ -1,0 +1,80 @@
+"""Figure 11 — do compiler and hardware synchronize the *same* loads?
+
+The paper's marking experiment: run the compiler-transformed binary
+while independently choosing whether to *stall* for compiler-inserted
+and/or hardware-inserted synchronization, and classify every violating
+load by which scheme would have synchronized it:
+
+* mode U — stall for neither;
+* mode C — stall only for compiler-inserted synchronization;
+* mode H — stall only for hardware-inserted synchronization;
+* mode B — stall for both.
+
+Expected shape (paper Section 4.2): "a significant number of violating
+loads would only be synchronized by either the hardware or the
+compiler, but not both" — the schemes are complementary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import bundle_for
+from repro.tlssim.config import SimConfig
+from repro.workloads.base import all_workloads
+
+MODES = {
+    "U": {"compiler_mem_sync": False, "hw_sync": False},
+    "C": {"compiler_mem_sync": True, "hw_sync": False},
+    "H": {"compiler_mem_sync": False, "hw_sync": True},
+    "B": {"compiler_mem_sync": True, "hw_sync": True},
+}
+
+COLUMNS = (
+    "workload",
+    "mode",
+    "violations",
+    "compiler_only",
+    "hardware_only",
+    "both",
+    "neither",
+)
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    """One row per (workload, stall mode) with the classification."""
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        for mode, flags in MODES.items():
+            config = SimConfig().with_mode(**flags)
+            result = bundle.simulate_custom("sync_ref", config)
+            counts = {"compiler_only": 0, "hardware_only": 0, "both": 0, "neither": 0}
+            total = 0
+            for region in result.regions:
+                for violation in region.violations:
+                    if violation.load_iid is None:
+                        continue  # control squashes / SAB restarts
+                    total += 1
+                    if violation.compiler_marked and violation.hardware_marked:
+                        counts["both"] += 1
+                    elif violation.compiler_marked:
+                        counts["compiler_only"] += 1
+                    elif violation.hardware_marked:
+                        counts["hardware_only"] += 1
+                    else:
+                        counts["neither"] += 1
+            rows.append({"workload": name, "mode": mode, "violations": total, **counts})
+    return rows
+
+
+def complementary_workloads(rows: List[Dict]) -> List[str]:
+    """Workloads whose U-mode run shows loads only one scheme covers."""
+    out = []
+    for row in rows:
+        if row["mode"] != "U":
+            continue
+        if row["compiler_only"] > 0 or row["hardware_only"] > 0:
+            out.append(row["workload"])
+    return sorted(out)

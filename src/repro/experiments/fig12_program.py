@@ -1,0 +1,75 @@
+"""Figure 12 — whole-program performance.
+
+Region results weighted by each benchmark's region coverage: the
+program consists of the parallelized regions (simulated) plus the
+sequential remainder, which in the transformed binaries runs slightly
+slower than the original due to the instrumentation artifact the paper
+reports in Table 2 ("the inline assembly we use to instrument
+parallelized loops can inhibit the optimization and register allocation
+of our gcc back-end"); that constant per-benchmark factor is carried as
+workload metadata.
+
+Program time (sequential original = 100)::
+
+    time = coverage * region_time + (100 - coverage*100) / seq_overhead
+
+Expected shape: "inserting synchronization of memory values has a
+significant positive impact for six of these benchmarks, and the best
+results overall can be achieved with a hybrid of both software and
+hardware synchronization."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+BARS = ("U", "C", "H", "B")
+COLUMNS = ("workload", "bar", "program_time", "region_time", "coverage")
+
+
+def program_time(region_time: float, coverage: float, seq_overhead: float) -> float:
+    """Coverage-weighted whole-program time, sequential original = 100."""
+    sequential_part = (1.0 - coverage) * 100.0 / seq_overhead
+    return coverage * region_time + sequential_part
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        meta = bundle.workload
+        for bar in BARS:
+            region, _segments = bundle.normalized_region(bar)
+            rows.append(
+                {
+                    "workload": name,
+                    "bar": bar,
+                    "program_time": program_time(
+                        region, meta.coverage, meta.seq_overhead
+                    ),
+                    "region_time": region,
+                    "coverage": meta.coverage * 100.0,
+                }
+            )
+    return rows
+
+
+def significantly_improved(rows: List[Dict], margin: float = 2.0) -> List[str]:
+    """Workloads where the best synchronized bar beats U by > margin."""
+    by_key = {(r["workload"], r["bar"]): r["program_time"] for r in rows}
+    out = []
+    for (workload, bar) in by_key:
+        if bar != "U":
+            continue
+        best = min(
+            by_key[(workload, "C")],
+            by_key[(workload, "H")],
+            by_key[(workload, "B")],
+        )
+        if by_key[(workload, "U")] - best > margin:
+            out.append(workload)
+    return sorted(out)

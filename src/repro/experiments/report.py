@@ -1,0 +1,77 @@
+"""Full evaluation report: regenerate every table and figure at once.
+
+`generate_report()` runs all ten experiment harnesses over the full
+workload suite and renders them in EXPERIMENTS.md's "Measured results"
+format; the CLI (``python -m repro report``) writes it to a file so the
+document can be regenerated after any change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    fig02_potential,
+    fig06_threshold,
+    fig07_distance,
+    fig08_compiler_sync,
+    fig09_sync_cost,
+    fig10_comparison,
+    fig11_overlap,
+    fig12_program,
+    table1_config,
+    table2_speedups,
+)
+from repro.experiments.reporting import BAR_COLUMNS, format_table
+from repro.workloads import all_workloads
+
+#: (section title, runner taking workload names, column tuple,
+#:  needs-workloads flag)
+SECTIONS = (
+    ("Table 1 (simulation parameters)", table1_config.run, table1_config.COLUMNS, False),
+    ("Figure 2 (U vs O)", fig02_potential.run, BAR_COLUMNS, True),
+    ("Figure 6 (threshold sweep)", fig06_threshold.run, BAR_COLUMNS, True),
+    ("Figure 7 (dependence distance)", fig07_distance.run, fig07_distance.COLUMNS, True),
+    ("Figure 8 (U / T / C)", fig08_compiler_sync.run, BAR_COLUMNS, True),
+    ("Figure 9 (E / C / L)", fig09_sync_cost.run, BAR_COLUMNS, True),
+    ("Figure 10 (U / P / H / C / B)", fig10_comparison.run, BAR_COLUMNS, True),
+    ("Figure 11 (violating-load overlap)", fig11_overlap.run, fig11_overlap.COLUMNS, True),
+    ("Figure 12 (whole-program time)", fig12_program.run, fig12_program.COLUMNS, True),
+    ("Table 2 (coverage and speedups)", table2_speedups.run, table2_speedups.COLUMNS, True),
+)
+
+
+def generate_report(
+    workloads: Optional[Sequence[str]] = None,
+    sections: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the measured-results document (markdown).
+
+    ``workloads`` restricts the benchmark set; ``sections`` filters by
+    (case-insensitive substring of) section title.
+    """
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    wanted = [s.lower() for s in sections] if sections else None
+    parts: List[str] = []
+    for title, runner, columns, needs_workloads in SECTIONS:
+        if wanted and not any(w in title.lower() for w in wanted):
+            continue
+        rows = runner(names) if needs_workloads else runner()
+        parts.append(f"### {title}\n\n```\n{format_table(rows, columns)}\n```\n")
+    return "\n".join(parts)
+
+
+def summary_lines(workloads: Optional[Sequence[str]] = None) -> List[str]:
+    """One-line-per-workload digest of the Figure 10 comparison."""
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows = fig10_comparison.run(names)
+    by_key = {(r["workload"], r["bar"]): r["time"] for r in rows}
+    winners = fig10_comparison.best_scheme(rows)
+    lines = []
+    for name in names:
+        lines.append(
+            f"{name:14s} U={by_key[(name, 'U')]:6.1f}  "
+            f"C={by_key[(name, 'C')]:6.1f}  H={by_key[(name, 'H')]:6.1f}  "
+            f"B={by_key[(name, 'B')]:6.1f}  winner={winners[name]}"
+        )
+    return lines

@@ -1,0 +1,52 @@
+"""Row formatting shared by the experiment harnesses and benchmarks.
+
+Experiments return plain lists of dicts; these helpers render them as
+aligned text tables — the same rows/series the paper's figures plot —
+so the benchmark harness can print each regenerated table/figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    rows: List[Dict], columns: Sequence[str], title: str = ""
+) -> str:
+    """Align ``columns`` of ``rows`` into a printable table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        line = {c: cell(row.get(c, "")) for c in columns}
+        rendered.append(line)
+        for c in columns:
+            widths[c] = max(widths[c], len(line[c]))
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(c.ljust(widths[c]) for c in columns))
+    out.append("  ".join("-" * widths[c] for c in columns))
+    for line in rendered:
+        out.append("  ".join(line[c].rjust(widths[c]) for c in columns))
+    return "\n".join(out)
+
+
+def bar_row(workload: str, bar: str, time: float, segments: Dict[str, float]) -> Dict:
+    """One stacked bar: normalized time plus its four segments."""
+    return {
+        "workload": workload,
+        "bar": bar,
+        "time": time,
+        "busy": segments["busy"],
+        "fail": segments["fail"],
+        "sync": segments["sync"],
+        "other": segments["other"],
+    }
+
+
+BAR_COLUMNS = ("workload", "bar", "time", "busy", "fail", "sync", "other")

@@ -1,0 +1,138 @@
+"""Shared experiment machinery: compile once, simulate any bar.
+
+Every figure/table experiment works from the same per-workload bundle:
+the compiled binaries (sequential / U / C / T), their dependence
+profiles, and memoized simulation results for each bar configuration.
+Compilation and simulation are deterministic, so results are cached per
+(workload, bar) for the lifetime of the process — the benchmark harness
+regenerates several figures from the same bundle without recompiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.pipeline import CompiledWorkload, compile_workload
+from repro.ir.module import Module
+from repro.tlssim.config import SimConfig
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.oracle import ValueOracle, collect_oracle
+from repro.tlssim.stats import SimResult
+from repro.workloads.base import Workload, get_workload
+
+#: program choice per bar label: which compiled binary runs.
+BAR_PROGRAM = {
+    "U": "baseline",
+    "O": "baseline",
+    "H": "baseline",
+    "P": "baseline",
+    "C": "sync_ref",
+    "T": "sync_train",
+    "B": "sync_ref",
+    "E": "sync_ref",
+    "L": "sync_ref",
+    "SEQ": "seq",
+}
+
+
+def config_for(bar: str, base: Optional[SimConfig] = None) -> SimConfig:
+    """Machine configuration for one bar label."""
+    config = base or SimConfig()
+    if bar in ("U", "T", "C", "SEQ"):
+        return config
+    if bar == "O":
+        return config.with_mode(oracle_mode="all")
+    if bar == "E":
+        return config.with_mode(oracle_mode="sync")
+    if bar == "L":
+        return config.with_mode(l_mode_stall=True)
+    if bar == "H":
+        return config.with_mode(hw_sync=True)
+    if bar == "P":
+        return config.with_mode(prediction=True)
+    if bar == "B":
+        return config.with_mode(hw_sync=True)
+    raise ValueError(f"unknown bar {bar!r}")
+
+
+@dataclass
+class WorkloadBundle:
+    """Compiled binaries plus memoized simulations for one workload."""
+
+    workload: Workload
+    compiled: CompiledWorkload
+    _oracles: Dict[str, ValueOracle] = field(default_factory=dict)
+    _results: Dict[Tuple[str, SimConfig], SimResult] = field(default_factory=dict)
+
+    def program(self, bar: str) -> Module:
+        return getattr(self.compiled, BAR_PROGRAM[bar])
+
+    def oracle_for(self, program_attr: str) -> ValueOracle:
+        oracle = self._oracles.get(program_attr)
+        if oracle is None:
+            oracle = collect_oracle(getattr(self.compiled, program_attr))
+            self._oracles[program_attr] = oracle
+        return oracle
+
+    def simulate(self, bar: str, base: Optional[SimConfig] = None) -> SimResult:
+        """Run one bar; memoized on (bar, resolved config)."""
+        config = config_for(bar, base)
+        key = (bar, config)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        program = self.program(bar)
+        oracle = None
+        if config.oracle_mode != "off":
+            oracle = self.oracle_for(BAR_PROGRAM[bar])
+        engine = TLSEngine(
+            program, config=config, oracle=oracle, parallel=(bar != "SEQ")
+        )
+        result = engine.run()
+        self._results[key] = result
+        return result
+
+    def simulate_custom(
+        self, program_attr: str, config: SimConfig, oracle_needed: bool = False
+    ) -> SimResult:
+        """Un-memoized simulation for bespoke experiment modes."""
+        oracle = self.oracle_for(program_attr) if oracle_needed else None
+        engine = TLSEngine(
+            getattr(self.compiled, program_attr), config=config, oracle=oracle
+        )
+        return engine.run()
+
+    def normalized_region(
+        self, bar: str, base: Optional[SimConfig] = None
+    ) -> Tuple[float, Dict[str, float]]:
+        """(normalized region time, busy/fail/sync/other segments)."""
+        from repro.tlssim.stats import normalized_region_time
+
+        return normalized_region_time(self.simulate(bar, base), self.simulate("SEQ"))
+
+
+_BUNDLES: Dict[str, WorkloadBundle] = {}
+
+
+def bundle_for(name: str, threshold: float = 0.05) -> WorkloadBundle:
+    """Compile (once) and return the bundle for workload ``name``."""
+    key = f"{name}@{threshold}"
+    bundle = _BUNDLES.get(key)
+    if bundle is None:
+        workload = get_workload(name)
+        compiled = compile_workload(
+            workload.name,
+            workload.build,
+            workload.train_input,
+            workload.ref_input,
+            threshold=threshold,
+        )
+        bundle = WorkloadBundle(workload=workload, compiled=compiled)
+        _BUNDLES[key] = bundle
+    return bundle
+
+
+def clear_cache() -> None:
+    """Drop all memoized bundles (tests use this for isolation)."""
+    _BUNDLES.clear()

@@ -1,0 +1,41 @@
+"""Table 1 — simulation parameters.
+
+Renders the machine configuration the simulator actually uses and
+cross-checks it against the documented Table 1 entries, so a parameter
+drift between documentation and implementation fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tlssim.config import TABLE1, SimConfig
+
+COLUMNS = ("parameter", "value")
+
+
+def run() -> List[Dict]:
+    """One row per Table 1 parameter."""
+    return [{"parameter": key, "value": value} for key, value in TABLE1.items()]
+
+
+def verify(config: SimConfig = SimConfig()) -> List[str]:
+    """Cross-check documented entries against the live config.
+
+    Returns a list of mismatch descriptions (empty = consistent).
+    """
+    problems = []
+    checks = {
+        "Issue Width": str(config.issue_width),
+        "Reorder Buffer Size": str(config.reorder_buffer),
+        "Integer Multiply": f"{config.lat_mul} cycles",
+        "Integer Divide": f"{config.lat_div} cycles",
+        "All Other Integer": f"{config.lat_int} cycle",
+        "Cache Line Size": f"{config.words_per_line * 4}B",
+        "Minimum Miss Latency to Secondary Cache": f"{config.lat_l2} cycles",
+        "Minimum Miss Latency to Local Memory": f"{config.lat_mem} cycles",
+    }
+    for key, expected in checks.items():
+        if TABLE1.get(key) != expected:
+            problems.append(f"{key}: table says {TABLE1.get(key)!r}, config {expected!r}")
+    return problems

@@ -1,0 +1,52 @@
+"""Table 2 — region coverage and program speedup per benchmark.
+
+Columns, as in the paper: region coverage; parallel-region speedup
+(sequential region time / parallel region time) for the hybrid ("Both")
+and compiler-only binaries; sequential-region speedup (the constant
+instrumentation-artifact factor, ideally 1.0); and whole-program
+speedup for both configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.fig12_program import program_time
+from repro.experiments.runner import bundle_for
+from repro.workloads.base import all_workloads
+
+COLUMNS = (
+    "workload",
+    "spec_name",
+    "coverage",
+    "region_speedup_both",
+    "region_speedup_compiler",
+    "seq_region_speedup",
+    "program_speedup_both",
+    "program_speedup_compiler",
+)
+
+
+def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    rows: List[Dict] = []
+    for name in names:
+        bundle = bundle_for(name)
+        meta = bundle.workload
+        region_c, _ = bundle.normalized_region("C")
+        region_b, _ = bundle.normalized_region("B")
+        rows.append(
+            {
+                "workload": name,
+                "spec_name": meta.spec_name,
+                "coverage": meta.coverage * 100.0,
+                "region_speedup_both": 100.0 / region_b,
+                "region_speedup_compiler": 100.0 / region_c,
+                "seq_region_speedup": meta.seq_overhead,
+                "program_speedup_both": 100.0
+                / program_time(region_b, meta.coverage, meta.seq_overhead),
+                "program_speedup_compiler": 100.0
+                / program_time(region_c, meta.coverage, meta.seq_overhead),
+            }
+        )
+    return rows

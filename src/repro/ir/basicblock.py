@@ -1,0 +1,115 @@
+"""Basic blocks: labelled straight-line instruction sequences."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction
+
+_IID_COUNTER = 0
+
+
+def fresh_iid() -> int:
+    """Return the next process-unique instruction id.
+
+    Instruction ids name static instructions for the dependence profiler
+    (paper Section 2.3); cloned instructions receive fresh ids but keep
+    their ``origin_iid`` so profile contexts can be mapped onto clones.
+    """
+    global _IID_COUNTER
+    _IID_COUNTER += 1
+    return _IID_COUNTER
+
+
+class deterministic_iids:
+    """Context manager giving a build a deterministic id sequence.
+
+    Two structurally identical builds (e.g. the same workload with
+    *train* vs *ref* input data) performed under this context receive
+    identical instruction ids, so a dependence profile gathered on one
+    build can be applied to the other — the compiler's
+    profile-with-train / run-with-ref scenario (paper Figure 8's T
+    bars).  On exit the global counter resumes past both the previous
+    value and anything issued inside, so ids created afterwards never
+    collide with ids issued in the context.
+    """
+
+    def __enter__(self):
+        global _IID_COUNTER
+        self._saved = _IID_COUNTER
+        _IID_COUNTER = 0
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _IID_COUNTER
+        _IID_COUNTER = max(self._saved, _IID_COUNTER)
+        return False
+
+
+class BasicBlock:
+    """A labelled sequence of instructions ending in a terminator.
+
+    Blocks are owned by a :class:`repro.ir.function.Function`; the
+    function assigns instruction ids when instructions are appended.
+    """
+
+    def __init__(self, label: str, function=None):
+        self.label = label
+        self.function = function
+        self.instructions: List[Instruction] = []
+
+    # -- construction -------------------------------------------------
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append ``instr``, assigning its unique id.  Returns it."""
+        if self.terminator is not None:
+            raise ValueError(
+                f"block {self.label!r} already terminated; cannot append"
+            )
+        self._attach(instr)
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> Instruction:
+        """Insert ``instr`` at ``index`` (before the terminator)."""
+        self._attach(instr)
+        self.instructions.insert(index, instr)
+        return instr
+
+    def _attach(self, instr: Instruction) -> None:
+        if instr.iid is None:
+            instr.iid = fresh_iid()
+            if getattr(instr, "origin_iid", None) is None:
+                instr.origin_iid = instr.iid
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The terminator instruction, or None if the block is open."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successors(self) -> List[str]:
+        """Labels of successor blocks (empty for returns / open blocks)."""
+        term = self.terminator
+        if term is None or not hasattr(term, "targets"):
+            return []
+        return term.targets()
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.instructions)} instrs)>"

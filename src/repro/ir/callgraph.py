@@ -1,0 +1,145 @@
+"""Call graph and the call tree rooted at a parallelized loop.
+
+The dependence profiler names memory references by (instruction id,
+call stack) where the call stack is "the list of procedure calls
+invoked when that instruction is executed", rooted at the parallelized
+loop (paper Section 2.3).  The call tree built here enumerates those
+stacks statically; the cloning pass walks it to specialize procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+
+#: A static call stack: tuple of call-instruction iids, outermost
+#: first, rooted at the parallelized loop (unroll copies of a call site
+#: are distinct call points).  The empty tuple is code in the loop body
+#: itself.
+CallStack = Tuple[int, ...]
+
+
+class CallGraph:
+    """Static call graph over direct calls."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {name: set() for name in module.functions}
+        self.callers: Dict[str, Set[str]] = {name: set() for name in module.functions}
+        self.call_sites: Dict[str, List[Call]] = {name: [] for name in module.functions}
+        for name, function in module.functions.items():
+            for instr in function.instructions():
+                if isinstance(instr, Call):
+                    if instr.callee not in module.functions:
+                        raise ValueError(
+                            f"{name}: call to unknown function {instr.callee!r}"
+                        )
+                    self.callees[name].add(instr.callee)
+                    self.callers[instr.callee].add(name)
+                    self.call_sites[name].append(instr)
+
+    def is_recursive_from(self, root: str) -> bool:
+        """True when any cycle is reachable from ``root``."""
+        visiting: Set[str] = set()
+        done: Set[str] = set()
+
+        def visit(name: str) -> bool:
+            if name in done:
+                return False
+            if name in visiting:
+                return True
+            visiting.add(name)
+            for callee in self.callees[name]:
+                if visit(callee):
+                    return True
+            visiting.discard(name)
+            done.add(name)
+            return False
+
+        return visit(root)
+
+    def reachable_from(self, root: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees[name])
+        return seen
+
+
+@dataclass
+class CallTreeNode:
+    """One call path from the parallelized loop.
+
+    ``stack`` is the chain of call-site origin iids leading here;
+    ``function`` is the procedure executing at this node (the loop's own
+    function at the root).
+    """
+
+    function: str
+    stack: CallStack
+    call_instr: Optional[Call] = None
+    parent: Optional["CallTreeNode"] = None
+    children: List["CallTreeNode"] = field(default_factory=list)
+
+    def path(self) -> List["CallTreeNode"]:
+        """Nodes from the root down to this node."""
+        nodes: List[CallTreeNode] = []
+        node: Optional[CallTreeNode] = self
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        return nodes
+
+
+class CallTree:
+    """The tree of call paths rooted at a loop's function.
+
+    Built by walking direct calls from the root function; recursion is
+    rejected (the pipeline does not parallelize loops whose bodies may
+    recurse, mirroring the paper's restriction to cloneable call
+    stacks).
+    """
+
+    def __init__(self, module: Module, root_function: str, loop_blocks=None):
+        self.module = module
+        graph = CallGraph(module)
+        if graph.is_recursive_from(root_function):
+            raise ValueError(
+                f"call tree rooted at {root_function!r} contains recursion"
+            )
+        self.root = CallTreeNode(function=root_function, stack=())
+        self._nodes_by_stack: Dict[CallStack, CallTreeNode] = {(): self.root}
+        self._expand(self.root, loop_blocks)
+
+    def _expand(self, node: CallTreeNode, loop_blocks=None) -> None:
+        function = self.module.function(node.function)
+        blocks = function.blocks.values()
+        for block in blocks:
+            if loop_blocks is not None and block.label not in loop_blocks:
+                continue
+            for instr in block.instructions:
+                if not isinstance(instr, Call):
+                    continue
+                child = CallTreeNode(
+                    function=instr.callee,
+                    stack=node.stack + (instr.iid,),
+                    call_instr=instr,
+                    parent=node,
+                )
+                node.children.append(child)
+                self._nodes_by_stack[child.stack] = child
+                self._expand(child)
+
+    def node_for_stack(self, stack: CallStack) -> Optional[CallTreeNode]:
+        return self._nodes_by_stack.get(stack)
+
+    def all_nodes(self) -> List[CallTreeNode]:
+        return list(self._nodes_by_stack.values())

@@ -1,0 +1,80 @@
+"""Control-flow graph construction and orderings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+class CFG:
+    """Successor/predecessor maps and traversal orders for a function.
+
+    The CFG is a snapshot: rebuild after mutating the function.
+    Unreachable blocks are retained in the maps but excluded from
+    ``reachable`` and the traversal orders.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {}
+        for label, block in function.blocks.items():
+            self.succs[label] = list(block.successors())
+            self.preds.setdefault(label, [])
+        for label, succs in self.succs.items():
+            for succ in succs:
+                if succ not in self.succs:
+                    raise ValueError(
+                        f"{function.name}: branch to unknown block {succ!r}"
+                    )
+                self.preds[succ].append(label)
+        self.entry = function.entry_label
+        self.reachable: Set[str] = self._compute_reachable()
+
+    def _compute_reachable(self) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.succs[label])
+        return seen
+
+    def postorder(self) -> List[str]:
+        """Reachable blocks in depth-first postorder."""
+        seen: Set[str] = set()
+        order: List[str] = []
+
+        def visit(label: str) -> None:
+            stack = [(label, iter(self.succs[label]))]
+            seen.add(label)
+            while stack:
+                current, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return order
+
+    def reverse_postorder(self) -> List[str]:
+        """Reachable blocks in reverse postorder (good forward order)."""
+        return list(reversed(self.postorder()))
+
+    def exits(self) -> List[str]:
+        """Reachable blocks whose terminator is a return."""
+        return [
+            label
+            for label in self.reachable
+            if not self.succs[label]
+        ]

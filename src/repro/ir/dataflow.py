@@ -1,0 +1,212 @@
+"""Generic iterative data-flow framework plus the standard analyses.
+
+The synchronization passes need classic bit-vector analyses:
+
+* **liveness** — identifies communicating scalars (registers live
+  across the backedge of a parallelized loop, paper Section 2.1);
+* **reaching definitions** — drives signal scheduling (moving the
+  ``signal`` just below the last definition, Section 2.3);
+* **post-definition analysis** for stores — finds the program points
+  after which no further store of a synchronization group can execute,
+  where ``signal`` instructions must be placed.
+
+All analyses operate on sets of hashable facts over basic blocks, with
+per-instruction transfer handled by the concrete analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set
+
+from repro.ir.cfg import CFG
+from repro.ir.operands import Reg
+
+
+class DataflowProblem:
+    """A forward or backward may/must problem over sets of facts."""
+
+    direction = "forward"  # or "backward"
+    #: "union" (may) or "intersection" (must)
+    meet = "union"
+
+    def boundary(self, cfg: CFG) -> Set:
+        """Facts at the entry (forward) or exits (backward)."""
+        return set()
+
+    def initial(self, cfg: CFG) -> Set:
+        """Initial in/out value for interior blocks."""
+        return set()
+
+    def transfer(self, block, facts: Set) -> Set:
+        """Apply the block's transfer function to ``facts``."""
+        raise NotImplementedError
+
+
+def solve(problem: DataflowProblem, cfg: CFG) -> Dict[str, Dict[str, Set]]:
+    """Iterate ``problem`` to a fixed point over ``cfg``.
+
+    Returns ``{label: {"in": facts, "out": facts}}`` for reachable
+    blocks.  For backward problems "in" is still the facts at block
+    entry and "out" the facts at block exit.
+    """
+    forward = problem.direction == "forward"
+    labels = cfg.reverse_postorder() if forward else cfg.postorder()
+    state = {
+        label: {"in": problem.initial(cfg), "out": problem.initial(cfg)}
+        for label in labels
+    }
+
+    def meet_all(values: List[Set]) -> Set:
+        if not values:
+            return problem.boundary(cfg)
+        if problem.meet == "union":
+            result: Set = set()
+            for value in values:
+                result |= value
+            return result
+        result = set(values[0])
+        for value in values[1:]:
+            result &= value
+        return result
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            block = cfg.function.block(label)
+            if forward:
+                preds = [p for p in cfg.preds[label] if p in state]
+                incoming = (
+                    problem.boundary(cfg)
+                    if label == cfg.entry
+                    else meet_all([state[p]["out"] for p in preds])
+                )
+                outgoing = problem.transfer(block, incoming)
+                if incoming != state[label]["in"] or outgoing != state[label]["out"]:
+                    state[label]["in"] = incoming
+                    state[label]["out"] = outgoing
+                    changed = True
+            else:
+                succs = [s for s in cfg.succs[label] if s in state]
+                outgoing = (
+                    problem.boundary(cfg)
+                    if not succs
+                    else meet_all([state[s]["in"] for s in succs])
+                )
+                incoming = problem.transfer(block, outgoing)
+                if incoming != state[label]["in"] or outgoing != state[label]["out"]:
+                    state[label]["in"] = incoming
+                    state[label]["out"] = outgoing
+                    changed = True
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+# ---------------------------------------------------------------------------
+
+
+class Liveness(DataflowProblem):
+    """Backward may-analysis over registers."""
+
+    direction = "backward"
+    meet = "union"
+
+    def transfer(self, block, facts: Set) -> Set:
+        live = set(facts)
+        for instr in reversed(block.instructions):
+            for reg in instr.defs():
+                live.discard(reg)
+            for reg in instr.uses():
+                live.add(reg)
+        return live
+
+
+def live_in(cfg: CFG) -> Dict[str, Set[Reg]]:
+    """Registers live at entry of each reachable block."""
+    state = solve(Liveness(), cfg)
+    return {label: values["in"] for label, values in state.items()}
+
+
+def live_out(cfg: CFG) -> Dict[str, Set[Reg]]:
+    """Registers live at exit of each reachable block."""
+    state = solve(Liveness(), cfg)
+    return {label: values["out"] for label, values in state.items()}
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+
+class ReachingDefs(DataflowProblem):
+    """Forward may-analysis: (register, instruction iid) definitions."""
+
+    direction = "forward"
+    meet = "union"
+
+    def __init__(self, cfg: CFG):
+        # Parameters act as definitions at entry with pseudo-iid -1.
+        self._params = {(p, -1) for p in cfg.function.params}
+
+    def boundary(self, cfg: CFG) -> Set:
+        return set(self._params)
+
+    def transfer(self, block, facts: Set) -> Set:
+        defs = set(facts)
+        for instr in block.instructions:
+            for reg in instr.defs():
+                defs = {d for d in defs if d[0] != reg}
+                defs.add((reg, instr.iid))
+        return defs
+
+
+def reaching_definitions(cfg: CFG) -> Dict[str, Dict[str, Set]]:
+    """Solve reaching definitions; returns the raw in/out state map."""
+    return solve(ReachingDefs(cfg), cfg)
+
+
+# ---------------------------------------------------------------------------
+# "More definitions ahead" — used for last-definition/last-store placement
+# ---------------------------------------------------------------------------
+
+
+def blocks_with_later_defs(
+    cfg: CFG,
+    is_def: Callable[[object], bool],
+    region: Iterable[str],
+    exclude_edges: Iterable = (),
+) -> Set[str]:
+    """Blocks of ``region`` from whose *exit* a def is reachable.
+
+    ``is_def`` classifies instructions.  A block is in the result when
+    some path within ``region`` starting at its exit executes an
+    instruction satisfying ``is_def``.  ``exclude_edges`` removes edges
+    (src, dst) from consideration — callers pass the loop backedges so
+    "later" means *later within the same epoch*.  Used by the
+    signal-placement data-flow: a ``signal`` may be placed after the
+    last store of a group exactly at points from which no further group
+    store is reachable within the epoch (paper Section 2.3).
+    """
+    region_set = set(region)
+    excluded = set(exclude_edges)
+    has_def = {
+        label: any(is_def(i) for i in cfg.function.block(label).instructions)
+        for label in region_set
+    }
+    # Backward reachability of a def, within the region.
+    later: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for label in region_set:
+            if label in later:
+                continue
+            for succ in cfg.succs[label]:
+                if succ not in region_set or (label, succ) in excluded:
+                    continue
+                if has_def[succ] or succ in later:
+                    later.add(label)
+                    changed = True
+                    break
+    return later

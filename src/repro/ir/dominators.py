@@ -1,0 +1,94 @@
+"""Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import CFG
+
+
+class DominatorTree:
+    """Immediate dominators and dominance queries for a CFG.
+
+    Only reachable blocks participate; queries on unreachable blocks
+    raise ``KeyError``.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.idom: Dict[str, Optional[str]] = self._compute()
+        self.children: Dict[str, List[str]] = {b: [] for b in self.idom}
+        for block, parent in self.idom.items():
+            if parent is not None:
+                self.children[parent].append(block)
+
+    def _compute(self) -> Dict[str, Optional[str]]:
+        rpo = self.cfg.reverse_postorder()
+        index = {label: i for i, label in enumerate(rpo)}
+        idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+        idom[self.cfg.entry] = self.cfg.entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.cfg.entry:
+                    continue
+                preds = [
+                    p
+                    for p in self.cfg.preds[label]
+                    if p in index and idom[p] is not None
+                ]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(new_idom, pred)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[self.cfg.entry] = None
+        return idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominators_of(self, block: str) -> Set[str]:
+        """All blocks dominating ``block`` (including itself)."""
+        result: Set[str] = set()
+        node: Optional[str] = block
+        while node is not None:
+            result.add(node)
+            node = self.idom[node]
+        return result
+
+    def frontier(self) -> Dict[str, Set[str]]:
+        """Dominance frontiers of every reachable block."""
+        df: Dict[str, Set[str]] = {b: set() for b in self.idom}
+        for block in self.idom:
+            preds = [p for p in self.cfg.preds[block] if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: Optional[str] = pred
+                while runner is not None and runner != self.idom[block]:
+                    df[runner].add(block)
+                    runner = self.idom[runner]
+        return df

@@ -1,0 +1,406 @@
+"""Instruction set of the mini-IR.
+
+Every instruction carries a unique integer identifier ``iid`` (assigned
+when the instruction is attached to a function) used by the dependence
+profiler and the synchronization passes to name static instructions, as
+the paper does in Section 2.3 ("we first associate a unique identifier
+with each static load and store instruction, and each procedure call
+point").
+
+The TLS-specific instructions (``wait``/``signal``/``check``/``select``/
+``resume``) implement the forwarding protocol of Section 2.2 of the
+paper; they are inserted by the compiler passes and interpreted by the
+TLS simulation engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.operands import GlobalRef, Imm, Reg, as_operand
+
+BINARY_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "mod",
+        "and", "or", "xor", "shl", "shr",
+        "eq", "ne", "lt", "le", "gt", "ge",
+        "min", "max",
+    }
+)
+
+UNARY_OPS = frozenset({"neg", "not"})
+
+
+class Instruction:
+    """Base class for all IR instructions."""
+
+    #: True for instructions that end a basic block.
+    is_terminator = False
+
+    def __init__(self):
+        #: Unique id, assigned when attached to a basic block.
+        self.iid: Optional[int] = None
+        #: Id of the instruction this one was cloned from (defaults to
+        #: ``iid`` for originals); stable across procedure cloning.
+        self.origin_iid: Optional[int] = None
+
+    def defs(self) -> List[Reg]:
+        """Registers written by this instruction."""
+        return []
+
+    def uses(self) -> List[Reg]:
+        """Registers read by this instruction."""
+        return []
+
+    def operands(self) -> List:
+        """All value operands (registers, immediates, global refs)."""
+        return []
+
+    def _regs(self, *ops) -> List[Reg]:
+        return [op for op in ops if isinstance(op, Reg)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import format_instruction
+
+        return format_instruction(self)
+
+
+class Const(Instruction):
+    """``dest = const value`` — load an integer constant into a register."""
+
+    def __init__(self, dest, value: int):
+        super().__init__()
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("const destination must be a register")
+        self.value = int(value)
+
+    def defs(self):
+        return [self.dest]
+
+
+class Move(Instruction):
+    """``dest = move src`` — copy an operand into a register."""
+
+    def __init__(self, dest, src):
+        super().__init__()
+        self.dest = as_operand(dest)
+        self.src = as_operand(src)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("move destination must be a register")
+
+    def defs(self):
+        return [self.dest]
+
+    def uses(self):
+        return self._regs(self.src)
+
+    def operands(self):
+        return [self.src]
+
+
+class BinOp(Instruction):
+    """``dest = op lhs, rhs`` for an arithmetic/logical/relational op."""
+
+    def __init__(self, dest, op: str, lhs, rhs):
+        super().__init__()
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("binop destination must be a register")
+        self.op = op
+        self.lhs = as_operand(lhs)
+        self.rhs = as_operand(rhs)
+
+    def defs(self):
+        return [self.dest]
+
+    def uses(self):
+        return self._regs(self.lhs, self.rhs)
+
+    def operands(self):
+        return [self.lhs, self.rhs]
+
+
+class UnOp(Instruction):
+    """``dest = op src`` for ``neg`` / ``not``."""
+
+    def __init__(self, dest, op: str, src):
+        super().__init__()
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("unop destination must be a register")
+        self.op = op
+        self.src = as_operand(src)
+
+    def defs(self):
+        return [self.dest]
+
+    def uses(self):
+        return self._regs(self.src)
+
+    def operands(self):
+        return [self.src]
+
+
+class Load(Instruction):
+    """``dest = load addr + offset`` — read one word of memory."""
+
+    def __init__(self, dest, addr, offset: int = 0):
+        super().__init__()
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("load destination must be a register")
+        self.addr = as_operand(addr)
+        self.offset = int(offset)
+
+    def defs(self):
+        return [self.dest]
+
+    def uses(self):
+        return self._regs(self.addr)
+
+    def operands(self):
+        return [self.addr]
+
+
+class Store(Instruction):
+    """``store addr + offset, value`` — write one word of memory."""
+
+    def __init__(self, addr, value, offset: int = 0):
+        super().__init__()
+        self.addr = as_operand(addr)
+        self.value = as_operand(value)
+        self.offset = int(offset)
+
+    def uses(self):
+        return self._regs(self.addr, self.value)
+
+    def operands(self):
+        return [self.addr, self.value]
+
+
+class Alloc(Instruction):
+    """``dest = alloc size`` — bump-pointer heap allocation of words."""
+
+    def __init__(self, dest, size):
+        super().__init__()
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("alloc destination must be a register")
+        self.size = as_operand(size)
+
+    def defs(self):
+        return [self.dest]
+
+    def uses(self):
+        return self._regs(self.size)
+
+    def operands(self):
+        return [self.size]
+
+
+class Call(Instruction):
+    """``dest = call callee(args...)`` — direct call; dest optional."""
+
+    def __init__(self, dest, callee: str, args: Sequence = ()):
+        super().__init__()
+        self.dest = as_operand(dest) if dest is not None else None
+        if self.dest is not None and not isinstance(self.dest, Reg):
+            raise TypeError("call destination must be a register or None")
+        self.callee = callee
+        self.args = [as_operand(a) for a in args]
+
+    def defs(self):
+        return [self.dest] if self.dest is not None else []
+
+    def uses(self):
+        return self._regs(*self.args)
+
+    def operands(self):
+        return list(self.args)
+
+
+class Ret(Instruction):
+    """``ret value?`` — return from the current function."""
+
+    is_terminator = True
+
+    def __init__(self, value=None):
+        super().__init__()
+        self.value = as_operand(value) if value is not None else None
+
+    def uses(self):
+        return self._regs(self.value) if self.value is not None else []
+
+    def operands(self):
+        return [self.value] if self.value is not None else []
+
+
+class Jump(Instruction):
+    """``jump target`` — unconditional branch to a block label."""
+
+    is_terminator = True
+
+    def __init__(self, target: str):
+        super().__init__()
+        self.target = target
+
+    def targets(self):
+        return [self.target]
+
+
+class CondBr(Instruction):
+    """``condbr cond, true_target, false_target``."""
+
+    is_terminator = True
+
+    def __init__(self, cond, true_target: str, false_target: str):
+        super().__init__()
+        self.cond = as_operand(cond)
+        self.true_target = true_target
+        self.false_target = false_target
+
+    def uses(self):
+        return self._regs(self.cond)
+
+    def operands(self):
+        return [self.cond]
+
+    def targets(self):
+        return [self.true_target, self.false_target]
+
+
+# ---------------------------------------------------------------------------
+# TLS synchronization instructions (paper Section 2.2)
+# ---------------------------------------------------------------------------
+
+
+class Wait(Instruction):
+    """``dest = wait channel`` — stall until the previous epoch signals.
+
+    Returns the forwarded word.  For memory-resident groups the protocol
+    waits twice: once on the ``addr`` sub-channel and once on the
+    ``value`` sub-channel (distinguished by ``kind``).
+    """
+
+    def __init__(self, dest, channel: str, kind: str = "value"):
+        super().__init__()
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("wait destination must be a register")
+        if kind not in ("value", "addr"):
+            raise ValueError("wait kind must be 'value' or 'addr'")
+        self.channel = channel
+        self.kind = kind
+
+    def defs(self):
+        return [self.dest]
+
+
+class Signal(Instruction):
+    """``signal channel, value`` — forward a word to the next epoch.
+
+    When ``kind == 'addr'`` the operand is a forwarded address and is
+    entered into the producer's *signal address buffer* so that a later
+    store by the same epoch to that address restarts the consumer
+    (paper Section 2.2).
+    """
+
+    def __init__(self, channel: str, value, kind: str = "value"):
+        super().__init__()
+        if kind not in ("value", "addr"):
+            raise ValueError("signal kind must be 'value' or 'addr'")
+        self.channel = channel
+        self.value = as_operand(value)
+        self.kind = kind
+
+    def uses(self):
+        return self._regs(self.value)
+
+    def operands(self):
+        return [self.value]
+
+
+class Check(Instruction):
+    """``check f_addr, m_addr`` — compare a forwarded address.
+
+    Sets the per-cpu ``use_forwarded_value`` flag when the forwarded
+    address ``f_addr`` matches the consumer's load address ``m_addr``
+    (and is non-NULL).  While the flag is set, loads access only the
+    speculative cache and do not expose the line to violations.
+    """
+
+    def __init__(self, f_addr, m_addr, offset: int = 0):
+        super().__init__()
+        self.f_addr = as_operand(f_addr)
+        self.m_addr = as_operand(m_addr)
+        self.offset = int(offset)
+
+    def uses(self):
+        return self._regs(self.f_addr, self.m_addr)
+
+    def operands(self):
+        return [self.f_addr, self.m_addr]
+
+
+class Select(Instruction):
+    """``dest = select f_value, m_value`` — pick per the forwarded flag.
+
+    Yields ``f_value`` when the ``use_forwarded_value`` flag is still
+    set, otherwise the value loaded from memory.
+    """
+
+    def __init__(self, dest, f_value, m_value):
+        super().__init__()
+        self.dest = as_operand(dest)
+        if not isinstance(self.dest, Reg):
+            raise TypeError("select destination must be a register")
+        self.f_value = as_operand(f_value)
+        self.m_value = as_operand(m_value)
+
+    def defs(self):
+        return [self.dest]
+
+    def uses(self):
+        return self._regs(self.f_value, self.m_value)
+
+    def operands(self):
+        return [self.f_value, self.m_value]
+
+
+class Resume(Instruction):
+    """``resume`` — reset the ``use_forwarded_value`` flag."""
+
+
+#: Sentinel address forwarded when no value was produced on a path.
+NULL_ADDR = 0
+
+__all__ = [
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "NULL_ADDR",
+    "Instruction",
+    "Const",
+    "Move",
+    "BinOp",
+    "UnOp",
+    "Load",
+    "Store",
+    "Alloc",
+    "Call",
+    "Ret",
+    "Jump",
+    "CondBr",
+    "Wait",
+    "Signal",
+    "Check",
+    "Select",
+    "Resume",
+    "Reg",
+    "Imm",
+    "GlobalRef",
+]

@@ -1,0 +1,442 @@
+"""Sequential reference interpreter.
+
+Runs a module from ``main`` with functional (untimed) semantics.  Three
+clients build on it:
+
+* the **dependence profiler** (paper Section 2.3) — via the load/store
+  hooks and the epoch/region tracking;
+* **oracle collection** — the perfect-value-forwarding experiments
+  (Figures 2, 6, 9) replay sequentially-observed load values inside the
+  TLS simulator;
+* **correctness tests** — the TLS simulator's committed memory must
+  match the interpreter's final memory for every program and scheme.
+
+TLS synchronization instructions get *sequential* semantics that make a
+transformed program observationally identical to the original: ``wait``
+yields 0, ``signal``/``check``/``resume`` are no-ops and ``select``
+always chooses the memory value.  (Under sequential execution the
+memory value is by definition the correct one, so the forwarding
+protocol degenerates away.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Call,
+    Check,
+    CondBr,
+    Const,
+    Jump,
+    Load,
+    Move,
+    Resume,
+    Ret,
+    Select,
+    Signal,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.ir.loops import LoopForest
+from repro.ir.memimage import MemoryImage
+from repro.ir.module import Module
+from repro.ir.operands import GlobalRef, Imm, Reg
+
+
+class InterpreterError(Exception):
+    """Semantic error during interpretation (bad register, fuel, ...)."""
+
+
+MASK = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Wrap to signed 64-bit, like machine arithmetic."""
+    value &= MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def _trunc_div(lhs: int, rhs: int) -> int:
+    """C-style truncated integer division (exact for any magnitude)."""
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return quotient
+
+
+def eval_binop(op: str, lhs: int, rhs: int) -> int:
+    """Evaluate a binary operator with 64-bit wrapping semantics."""
+    if op == "add":
+        return _wrap(lhs + rhs)
+    if op == "sub":
+        return _wrap(lhs - rhs)
+    if op == "mul":
+        return _wrap(lhs * rhs)
+    if op == "div":
+        if rhs == 0:
+            raise InterpreterError("division by zero")
+        return _wrap(_trunc_div(lhs, rhs))  # C-style truncation
+    if op == "mod":
+        if rhs == 0:
+            raise InterpreterError("modulo by zero")
+        return _wrap(lhs - _trunc_div(lhs, rhs) * rhs)
+    if op == "and":
+        return _wrap(lhs & rhs)
+    if op == "or":
+        return _wrap(lhs | rhs)
+    if op == "xor":
+        return _wrap(lhs ^ rhs)
+    if op == "shl":
+        return _wrap(lhs << (rhs & 63))
+    if op == "shr":
+        return _wrap(lhs >> (rhs & 63))
+    if op == "eq":
+        return int(lhs == rhs)
+    if op == "ne":
+        return int(lhs != rhs)
+    if op == "lt":
+        return int(lhs < rhs)
+    if op == "le":
+        return int(lhs <= rhs)
+    if op == "gt":
+        return int(lhs > rhs)
+    if op == "ge":
+        return int(lhs >= rhs)
+    if op == "min":
+        return min(lhs, rhs)
+    if op == "max":
+        return max(lhs, rhs)
+    raise InterpreterError(f"unknown binary op {op!r}")
+
+
+def eval_unop(op: str, value: int) -> int:
+    if op == "neg":
+        return _wrap(-value)
+    if op == "not":
+        return int(not value)
+    raise InterpreterError(f"unknown unary op {op!r}")
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+
+    function_name: str
+    regs: Dict[str, int]
+    block: str
+    index: int = 0
+    call_instr: Optional[Call] = None
+
+
+@dataclass
+class RegionState:
+    """Tracks the active parallelized-loop instance."""
+
+    loop_function: str
+    header: str
+    loop_blocks: frozenset
+    frame_depth: int
+    epoch: int = 0
+    instance: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of a sequential run."""
+
+    return_value: Optional[int]
+    steps: int
+    memory: MemoryImage
+    epochs_per_region: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+class Hooks:
+    """Optional observation callbacks; subclass and override as needed.
+
+    ``stack`` arguments are tuples of call-site origin iids rooted at
+    the active parallelized loop (empty when no region is active or the
+    access happens in the loop body itself) — exactly the naming scheme
+    of paper Section 2.3.
+    """
+
+    def on_instruction(self, instr, in_region: bool) -> None:
+        pass
+
+    def on_load(self, instr: Load, stack, addr: int, value: int, epoch: Optional[int]) -> None:
+        pass
+
+    def on_store(self, instr: Store, stack, addr: int, value: int, epoch: Optional[int]) -> None:
+        pass
+
+    def on_region_enter(self, function: str, header: str, instance: int) -> None:
+        pass
+
+    def on_epoch_start(self, epoch: int) -> None:
+        pass
+
+    def on_region_exit(self, function: str, header: str, epochs: int) -> None:
+        pass
+
+
+class Interpreter:
+    """Executes a module sequentially; see module docstring."""
+
+    def __init__(
+        self,
+        module: Module,
+        hooks: Optional[Hooks] = None,
+        fuel: int = 50_000_000,
+    ):
+        self.module = module
+        self.hooks = hooks or Hooks()
+        self.fuel = fuel
+        self.memory = MemoryImage(module)
+        self._loop_blocks: Dict[Tuple[str, str], frozenset] = {}
+        for loop in module.parallel_loops:
+            cfg = CFG(module.function(loop.function))
+            forest = LoopForest(cfg)
+            natural = forest.loop_of(loop.header)
+            if natural is None:
+                raise InterpreterError(
+                    f"parallel annotation on non-loop header "
+                    f"{loop.function}:{loop.header}"
+                )
+            self._loop_blocks[(loop.function, loop.header)] = frozenset(natural.blocks)
+
+    # -- operand evaluation ---------------------------------------------
+
+    def _value(self, frame: Frame, operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, GlobalRef):
+            return self.memory.addr_of(operand.name)
+        if isinstance(operand, Reg):
+            try:
+                return frame.regs[operand.name]
+            except KeyError:
+                raise InterpreterError(
+                    f"{frame.function_name}: read of undefined register "
+                    f"%{operand.name}"
+                ) from None
+        raise InterpreterError(f"bad operand {operand!r}")
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, function: str = "main", args: Tuple[int, ...] = ()) -> RunResult:
+        module = self.module
+        entry = module.function(function)
+        if len(args) != len(entry.params):
+            raise InterpreterError(
+                f"{function} expects {len(entry.params)} args, got {len(args)}"
+            )
+        frames: List[Frame] = [
+            Frame(
+                function_name=function,
+                regs={p.name: v for p, v in zip(entry.params, args)},
+                block=entry.entry_label,
+            )
+        ]
+        region: Optional[RegionState] = None
+        region_instances: Dict[Tuple[str, str], int] = {}
+        epochs_per_region: Dict[Tuple[str, str], int] = {}
+        steps = 0
+        return_value: Optional[int] = None
+
+        def context_stack() -> Tuple[int, ...]:
+            if region is None:
+                return ()
+            # Stacks are keyed by the call instructions' own iids:
+            # loop-unrolled copies of a call site are distinct static
+            # call points and must profile separately.
+            return tuple(
+                f.call_instr.iid  # type: ignore[union-attr]
+                for f in frames[region.frame_depth:]
+                if f.call_instr is not None
+            )
+
+        while frames:
+            frame = frames[-1]
+            func = module.function(frame.function_name)
+            block = func.block(frame.block)
+            if frame.index >= len(block.instructions):
+                raise InterpreterError(
+                    f"{frame.function_name}:{frame.block} fell off block end"
+                )
+            instr = block.instructions[frame.index]
+            steps += 1
+            if steps > self.fuel:
+                raise InterpreterError(f"fuel exhausted after {steps} steps")
+            self.hooks.on_instruction(instr, region is not None)
+
+            def goto(target: str) -> None:
+                """Transfer control within the current frame, tracking
+                parallelized-region entry/backedge/exit events."""
+                nonlocal region
+                key = (frame.function_name, target)
+                # Within the region's own frame, a branch to the header
+                # is a backedge (new epoch) and a branch out of the loop
+                # blocks ends the region instance.
+                if region is not None and len(frames) == region.frame_depth:
+                    if target not in region.loop_blocks:
+                        epochs_key = (region.loop_function, region.header)
+                        epochs_per_region[epochs_key] = (
+                            epochs_per_region.get(epochs_key, 0) + region.epoch + 1
+                        )
+                        self.hooks.on_region_exit(
+                            region.loop_function, region.header, region.epoch + 1
+                        )
+                        region = None
+                    elif target == region.header:
+                        region.epoch += 1
+                        self.hooks.on_epoch_start(region.epoch)
+                if region is None and key in self._loop_blocks:
+                    instance = region_instances.get(key, 0)
+                    region_instances[key] = instance + 1
+                    region = RegionState(
+                        loop_function=frame.function_name,
+                        header=target,
+                        loop_blocks=self._loop_blocks[key],
+                        frame_depth=len(frames),
+                        instance=instance,
+                    )
+                    self.hooks.on_region_enter(frame.function_name, target, instance)
+                    self.hooks.on_epoch_start(0)
+                frame.block = target
+                frame.index = 0
+
+            if isinstance(instr, Const):
+                frame.regs[instr.dest.name] = instr.value
+                frame.index += 1
+            elif isinstance(instr, Move):
+                frame.regs[instr.dest.name] = self._value(frame, instr.src)
+                frame.index += 1
+            elif isinstance(instr, BinOp):
+                frame.regs[instr.dest.name] = eval_binop(
+                    instr.op,
+                    self._value(frame, instr.lhs),
+                    self._value(frame, instr.rhs),
+                )
+                frame.index += 1
+            elif isinstance(instr, UnOp):
+                frame.regs[instr.dest.name] = eval_unop(
+                    instr.op, self._value(frame, instr.src)
+                )
+                frame.index += 1
+            elif isinstance(instr, Load):
+                addr = self._value(frame, instr.addr) + instr.offset
+                value = self.memory.load(addr)
+                frame.regs[instr.dest.name] = value
+                self.hooks.on_load(
+                    instr,
+                    context_stack(),
+                    addr,
+                    value,
+                    region.epoch if region is not None else None,
+                )
+                frame.index += 1
+            elif isinstance(instr, Store):
+                addr = self._value(frame, instr.addr) + instr.offset
+                value = self._value(frame, instr.value)
+                self.memory.store(addr, value)
+                self.hooks.on_store(
+                    instr,
+                    context_stack(),
+                    addr,
+                    value,
+                    region.epoch if region is not None else None,
+                )
+                frame.index += 1
+            elif isinstance(instr, Alloc):
+                size = self._value(frame, instr.size)
+                frame.regs[instr.dest.name] = self.memory.alloc(size)
+                frame.index += 1
+            elif isinstance(instr, Call):
+                callee = module.function(instr.callee)
+                values = [self._value(frame, a) for a in instr.args]
+                frames.append(
+                    Frame(
+                        function_name=instr.callee,
+                        regs={p.name: v for p, v in zip(callee.params, values)},
+                        block=callee.entry_label,
+                        call_instr=instr,
+                    )
+                )
+            elif isinstance(instr, Ret):
+                value = (
+                    self._value(frame, instr.value)
+                    if instr.value is not None
+                    else None
+                )
+                if region is not None and len(frames) == region.frame_depth:
+                    # Returning out of the frame that owns the region.
+                    epochs_key = (region.loop_function, region.header)
+                    epochs_per_region[epochs_key] = (
+                        epochs_per_region.get(epochs_key, 0) + region.epoch + 1
+                    )
+                    self.hooks.on_region_exit(
+                        region.loop_function, region.header, region.epoch + 1
+                    )
+                    region = None
+                frames.pop()
+                if frames:
+                    caller = frames[-1]
+                    call = module.function(caller.function_name).block(
+                        caller.block
+                    ).instructions[caller.index]
+                    assert isinstance(call, Call)
+                    if call.dest is not None:
+                        if value is None:
+                            raise InterpreterError(
+                                f"void return into %{call.dest.name}"
+                            )
+                        caller.regs[call.dest.name] = value
+                    caller.index += 1
+                else:
+                    return_value = value
+            elif isinstance(instr, Jump):
+                goto(instr.target)
+            elif isinstance(instr, CondBr):
+                cond = self._value(frame, instr.cond)
+                goto(instr.true_target if cond else instr.false_target)
+            elif isinstance(instr, Wait):
+                # Sequential semantics: the destination of a scalar wait
+                # is the communicating scalar itself, which already
+                # holds the previous iteration's value — preserve it.
+                frame.regs[instr.dest.name] = frame.regs.get(instr.dest.name, 0)
+                frame.index += 1
+            elif isinstance(instr, Signal):
+                self._value(frame, instr.value)  # validate operand
+                frame.index += 1
+            elif isinstance(instr, Check):
+                self._value(frame, instr.f_addr)
+                self._value(frame, instr.m_addr)
+                frame.index += 1
+            elif isinstance(instr, Select):
+                frame.regs[instr.dest.name] = self._value(frame, instr.m_value)
+                frame.index += 1
+            elif isinstance(instr, Resume):
+                frame.index += 1
+            else:
+                raise InterpreterError(
+                    f"cannot interpret {type(instr).__name__}"
+                )
+
+        return RunResult(
+            return_value=return_value,
+            steps=steps,
+            memory=self.memory,
+            epochs_per_region=epochs_per_region,
+        )
+
+
+def run_module(module: Module, hooks: Optional[Hooks] = None, fuel: int = 50_000_000) -> RunResult:
+    """Convenience wrapper: interpret ``module`` from ``main``."""
+    return Interpreter(module, hooks=hooks, fuel=fuel).run()

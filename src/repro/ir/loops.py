@@ -1,0 +1,114 @@
+"""Natural-loop detection and the loop nesting forest.
+
+The TLS pipeline parallelizes natural loops (paper Section 3.1); the
+loop structure computed here also drives unrolling and the epoch
+boundary definition used by the profiler and the simulator: one epoch is
+one traversal from the loop header back to itself (a backedge) or out of
+the loop (an exit edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """A natural loop: header, body blocks, backedges and exits."""
+
+    header: str
+    blocks: Set[str] = field(default_factory=set)
+    #: Source blocks of backedges (targets are always the header).
+    latches: List[str] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+
+    def contains(self, label: str) -> bool:
+        return label in self.blocks
+
+    def exit_edges(self, cfg: CFG) -> List[Tuple[str, str]]:
+        """Edges (src, dst) leaving the loop."""
+        edges = []
+        for block in sorted(self.blocks):
+            for succ in cfg.succs[block]:
+                if succ not in self.blocks:
+                    edges.append((block, succ))
+        return edges
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.blocks)}>"
+
+
+class LoopForest:
+    """All natural loops of a function, organized by nesting."""
+
+    def __init__(self, cfg: CFG, domtree: Optional[DominatorTree] = None):
+        self.cfg = cfg
+        self.domtree = domtree or DominatorTree(cfg)
+        self.loops: Dict[str, Loop] = {}
+        self._find_loops()
+        self._build_nesting()
+
+    def _find_loops(self) -> None:
+        for src in self.cfg.reverse_postorder():
+            for dst in self.cfg.succs[src]:
+                if dst in self.domtree.idom and self.domtree.dominates(dst, src):
+                    self._add_backedge(src, dst)
+
+    def _add_backedge(self, latch: str, header: str) -> None:
+        loop = self.loops.get(header)
+        if loop is None:
+            loop = Loop(header=header, blocks={header})
+            self.loops[header] = loop
+        loop.latches.append(latch)
+        # Walk predecessors backwards from the latch to collect the body.
+        stack = [latch]
+        while stack:
+            block = stack.pop()
+            if block in loop.blocks:
+                continue
+            loop.blocks.add(block)
+            stack.extend(
+                p for p in self.cfg.preds[block] if p in self.cfg.reachable
+            )
+
+    def _build_nesting(self) -> None:
+        loops = sorted(self.loops.values(), key=lambda l: len(l.blocks))
+        for inner in loops:
+            best: Optional[Loop] = None
+            for outer in loops:
+                if outer is inner:
+                    continue
+                if inner.header in outer.blocks and inner.blocks <= outer.blocks:
+                    if best is None or len(outer.blocks) < len(best.blocks):
+                        best = outer
+            if best is not None:
+                inner.parent = best
+                best.children.append(inner)
+
+    def loop_of(self, header: str) -> Optional[Loop]:
+        return self.loops.get(header)
+
+    def innermost_containing(self, label: str) -> Optional[Loop]:
+        best: Optional[Loop] = None
+        for loop in self.loops.values():
+            if label in loop.blocks:
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best
+
+    def top_level(self) -> List[Loop]:
+        return [l for l in self.loops.values() if l.parent is None]

@@ -1,0 +1,144 @@
+"""Modules: globals, functions, and TLS annotations.
+
+A module is the unit of compilation and simulation.  Besides functions
+and global variables it carries the annotations produced by the TLS
+compilation pipeline:
+
+* ``parallel_loops`` — loops selected for speculative parallelization
+  (paper Section 3.1, "Deciding Where to Parallelize");
+* ``channels`` — synchronization channels created by the scalar and
+  memory synchronization passes;
+* ``sync_loads`` — instruction ids of loads guarded by compiler-inserted
+  synchronization (used by the Figure 11 overlap experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable of ``size`` words with optional init data."""
+
+    name: str
+    size: int = 1
+    init: Optional[List[int]] = None
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise ValueError(f"global {self.name!r} must have size >= 1")
+        if self.init is not None and len(self.init) > self.size:
+            raise ValueError(f"global {self.name!r} init longer than size")
+
+    def initial_words(self) -> List[int]:
+        words = [0] * self.size
+        if self.init:
+            words[: len(self.init)] = self.init
+        return words
+
+
+@dataclass
+class ParallelLoop:
+    """Annotation marking a natural loop as speculatively parallelized.
+
+    ``function`` names the containing function and ``header`` its loop
+    header block.  Each traversal of the loop body is one *epoch*.
+    ``scalar_channels`` lists the communicating-scalar channels and
+    ``mem_channels`` the memory-resident group channels attached to this
+    loop by the synchronization passes.
+    """
+
+    function: str
+    header: str
+    scalar_channels: List[str] = field(default_factory=list)
+    mem_channels: List[str] = field(default_factory=list)
+    #: Loop unroll factor applied during transformation (1 = none).
+    unroll_factor: int = 1
+
+
+@dataclass
+class ChannelInfo:
+    """Metadata for one synchronization channel.
+
+    ``kind`` is ``'scalar'`` for register-resident communication (paper
+    Section 2.1) or ``'mem'`` for a memory-resident dependence group
+    (Section 2.3).  For scalar channels ``scalar`` names the register
+    being communicated; for memory channels ``members`` records the
+    (origin) instruction ids of the grouped loads and stores.
+    """
+
+    name: str
+    kind: str
+    scalar: Optional[str] = None
+    members: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in ("scalar", "mem"):
+            raise ValueError(f"channel kind must be scalar/mem, not {self.kind!r}")
+
+
+class Module:
+    """Top-level container for globals, functions, and annotations."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVar] = {}
+        self.parallel_loops: List[ParallelLoop] = []
+        self.channels: Dict[str, ChannelInfo] = {}
+        #: iids of loads guarded by compiler-inserted synchronization.
+        self.sync_loads: set = set()
+
+    # -- construction -------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, name: str, size: int = 1, init=None) -> GlobalVar:
+        if name in self.globals:
+            raise ValueError(f"duplicate global {name!r}")
+        if isinstance(init, int):
+            init = [init]
+        var = GlobalVar(name, size, init)
+        self.globals[name] = var
+        return var
+
+    def add_channel(self, info: ChannelInfo) -> ChannelInfo:
+        if info.name in self.channels:
+            raise ValueError(f"duplicate channel {info.name!r}")
+        self.channels[info.name] = info
+        return info
+
+    # -- queries ------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    @property
+    def main(self) -> Function:
+        """The program entry point; by convention named ``main``."""
+        if "main" not in self.functions:
+            raise ValueError("module has no 'main' function")
+        return self.functions["main"]
+
+    def parallel_loop_for(self, function: str, header: str) -> Optional[ParallelLoop]:
+        for loop in self.parallel_loops:
+            if loop.function == function and loop.header == header:
+                return loop
+        return None
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,102 @@
+"""Operand kinds for the register-based mini-IR.
+
+The IR is register based (no SSA, no phi nodes): instructions read and
+write named virtual registers.  An operand is one of:
+
+* :class:`Reg` — a virtual register (function-local).
+* :class:`Imm` — an integer immediate.
+* :class:`GlobalRef` — the *address* of a module-level global variable
+  (resolved to a concrete integer address at load time by the memory
+  image, see :mod:`repro.tlssim.memory`).
+
+Addresses are plain integers measured in *words*; pointer arithmetic is
+ordinary integer arithmetic.
+"""
+
+from __future__ import annotations
+
+
+class Reg:
+    """A virtual register, identified by name within a function."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("register name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reg) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.name))
+
+
+class Imm:
+    """An integer immediate operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise TypeError(f"immediate must be int, got {type(value).__name__}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Imm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value))
+
+
+class GlobalRef:
+    """The address of a module global, resolved at memory-image layout."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("global name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GlobalRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("global", self.name))
+
+
+Operand = (Reg, Imm, GlobalRef)
+"""Tuple of valid operand classes, usable with isinstance()."""
+
+
+def as_operand(value) -> "Reg | Imm | GlobalRef":
+    """Coerce a convenience value into an operand.
+
+    Integers become :class:`Imm`; strings beginning with ``@`` become
+    :class:`GlobalRef`; other strings become :class:`Reg`; operands pass
+    through unchanged.
+    """
+    if isinstance(value, Operand):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, str):
+        if value.startswith("@"):
+            return GlobalRef(value[1:])
+        if value.startswith("%"):
+            return Reg(value[1:])
+        return Reg(value)
+    raise TypeError(f"cannot convert {value!r} to an operand")

@@ -1,0 +1,294 @@
+"""Parser for the textual mini-IR (inverse of :mod:`repro.ir.printer`).
+
+The grammar is line oriented; see the printer docstring for an example.
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPS,
+    UNARY_OPS,
+    Alloc,
+    BinOp,
+    Call,
+    Check,
+    CondBr,
+    Const,
+    Jump,
+    Load,
+    Move,
+    Resume,
+    Ret,
+    Select,
+    Signal,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.ir.instructions import Load as _Load
+from repro.ir.module import ChannelInfo, Module, ParallelLoop
+from repro.ir.operands import GlobalRef, Imm, Reg
+
+
+class ParseError(Exception):
+    """Raised with a line number when the input is malformed."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_.$]*"
+_FUNC_RE = re.compile(rf"^func\s+({_IDENT})\s*\(([^)]*)\)\s*\{{$")
+_LABEL_RE = re.compile(rf"^({_IDENT}):$")
+_ASSIGN_RE = re.compile(rf"^({_IDENT})\s*=\s*(.+)$")
+_CALL_RE = re.compile(rf"^call\s+({_IDENT})\s*\(([^)]*)\)$")
+_MEM_RE = re.compile(r"^(.+?)\s*([+-])\s*(\d+)$")
+
+
+def _parse_operand(text: str, lineno: int):
+    text = text.strip()
+    if not text:
+        raise ParseError(lineno, "empty operand")
+    if text.startswith("@"):
+        return GlobalRef(text[1:])
+    if re.fullmatch(r"-?\d+", text):
+        return Imm(int(text))
+    if re.fullmatch(_IDENT, text):
+        return Reg(text)
+    raise ParseError(lineno, f"bad operand {text!r}")
+
+
+def _parse_mem(text: str, lineno: int) -> Tuple[object, int]:
+    match = _MEM_RE.match(text.strip())
+    if match:
+        base = _parse_operand(match.group(1), lineno)
+        offset = int(match.group(3))
+        if match.group(2) == "-":
+            offset = -offset
+        return base, offset
+    return _parse_operand(text, lineno), 0
+
+
+def _split_args(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_rhs(dest: str, rhs: str, lineno: int):
+    parts = rhs.split(None, 1)
+    head = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if head == "const":
+        if not re.fullmatch(r"-?\d+", rest.strip()):
+            raise ParseError(lineno, f"bad constant {rest!r}")
+        return Const(Reg(dest), int(rest))
+    if head == "move":
+        return Move(Reg(dest), _parse_operand(rest, lineno))
+    if head in ("load", "load.sync"):
+        addr, offset = _parse_mem(rest, lineno)
+        instr = Load(Reg(dest), addr, offset)
+        if head == "load.sync":
+            instr.sync_marker = True
+        return instr
+    if head == "alloc":
+        return Alloc(Reg(dest), _parse_operand(rest, lineno))
+    if head == "select":
+        args = _split_args(rest)
+        if len(args) != 2:
+            raise ParseError(lineno, "select expects two operands")
+        return Select(
+            Reg(dest),
+            _parse_operand(args[0], lineno),
+            _parse_operand(args[1], lineno),
+        )
+    if head.startswith("wait"):
+        kind = "value"
+        if "." in head:
+            kind = head.split(".", 1)[1]
+        channel = rest.strip()
+        if not channel:
+            raise ParseError(lineno, "wait needs a channel")
+        return Wait(Reg(dest), channel, kind)
+    if head == "call":
+        match = _CALL_RE.match(rhs)
+        if not match:
+            raise ParseError(lineno, f"bad call {rhs!r}")
+        args = [_parse_operand(a, lineno) for a in _split_args(match.group(2))]
+        return Call(Reg(dest), match.group(1), args)
+    if head in BINARY_OPS:
+        args = _split_args(rest)
+        if len(args) != 2:
+            raise ParseError(lineno, f"{head} expects two operands")
+        return BinOp(
+            Reg(dest),
+            head,
+            _parse_operand(args[0], lineno),
+            _parse_operand(args[1], lineno),
+        )
+    if head in UNARY_OPS:
+        return UnOp(Reg(dest), head, _parse_operand(rest, lineno))
+    raise ParseError(lineno, f"unknown operation {head!r}")
+
+
+def _parse_statement(line: str, lineno: int):
+    assign = _ASSIGN_RE.match(line)
+    if assign:
+        return _parse_rhs(assign.group(1), assign.group(2).strip(), lineno)
+    parts = line.split(None, 1)
+    head = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if head == "store":
+        args = rest.rsplit(",", 1)
+        if len(args) != 2:
+            raise ParseError(lineno, "store expects address, value")
+        addr, offset = _parse_mem(args[0], lineno)
+        return Store(addr, _parse_operand(args[1], lineno), offset)
+    if head == "ret":
+        if rest.strip():
+            return Ret(_parse_operand(rest, lineno))
+        return Ret()
+    if head == "jump":
+        return Jump(rest.strip())
+    if head == "condbr":
+        args = _split_args(rest)
+        if len(args) != 3:
+            raise ParseError(lineno, "condbr expects cond, true, false")
+        return CondBr(_parse_operand(args[0], lineno), args[1], args[2])
+    if head == "call":
+        match = _CALL_RE.match(line)
+        if not match:
+            raise ParseError(lineno, f"bad call {line!r}")
+        args = [_parse_operand(a, lineno) for a in _split_args(match.group(2))]
+        return Call(None, match.group(1), args)
+    if head.startswith("signal"):
+        kind = "value"
+        if "." in head:
+            kind = head.split(".", 1)[1]
+        args = rest.rsplit(",", 1)
+        if len(args) != 2:
+            raise ParseError(lineno, "signal expects channel, value")
+        return Signal(args[0].strip(), _parse_operand(args[1], lineno), kind)
+    if head == "check":
+        args = _split_args(rest)
+        if len(args) != 2:
+            raise ParseError(lineno, "check expects f_addr, m_addr")
+        m_addr, offset = _parse_mem(args[1], lineno)
+        return Check(_parse_operand(args[0], lineno), m_addr, offset)
+    if head == "resume":
+        return Resume()
+    raise ParseError(lineno, f"cannot parse statement {line!r}")
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse ``text`` into a fresh :class:`Module`."""
+    module = Module(name)
+    function: Optional[Function] = None
+    block = None
+    pending_parallel: List[Tuple[str, str]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("global "):
+            parts = line.split()
+            if len(parts) < 3:
+                raise ParseError(lineno, "global needs a name and size")
+            name_, size = parts[1], int(parts[2])
+            init = None
+            if len(parts) > 3:
+                if parts[3] != "init":
+                    raise ParseError(lineno, "expected 'init'")
+                init = [int(v.rstrip(",")) for v in parts[4:]]
+            module.add_global(name_, size, init)
+            continue
+
+        if line.startswith("channel "):
+            parts = line.split()
+            if len(parts) < 3:
+                raise ParseError(lineno, "channel needs kind and name")
+            kind = parts[1]
+            if kind == "scalar":
+                if len(parts) != 4:
+                    raise ParseError(lineno, "scalar channel needs a register")
+                module.add_channel(
+                    ChannelInfo(name=parts[2], kind="scalar", scalar=parts[3])
+                )
+            elif kind == "mem":
+                module.add_channel(ChannelInfo(name=parts[2], kind="mem"))
+            else:
+                raise ParseError(lineno, f"unknown channel kind {kind!r}")
+            continue
+
+        if line.startswith("parallel "):
+            match = re.match(
+                r"^parallel\s+(\S+)\s+(\S+)"
+                r"(?:\s*\[([^\]]*)\]\s*\[([^\]]*)\])?$",
+                line,
+            )
+            if not match:
+                raise ParseError(lineno, "bad parallel annotation")
+            scalars = [
+                c.strip() for c in (match.group(3) or "").split(",") if c.strip()
+            ]
+            mems = [
+                c.strip() for c in (match.group(4) or "").split(",") if c.strip()
+            ]
+            pending_parallel.append((match.group(1), match.group(2), scalars, mems))
+            continue
+
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            if function is not None:
+                raise ParseError(lineno, "nested function definition")
+            params = _split_args(func_match.group(2))
+            function = Function(func_match.group(1), params)
+            module.add_function(function)
+            block = None
+            continue
+
+        if line == "}":
+            if function is None:
+                raise ParseError(lineno, "unmatched '}'")
+            function = None
+            block = None
+            continue
+
+        if function is None:
+            raise ParseError(lineno, f"statement outside function: {line!r}")
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            block = function.add_block(label_match.group(1))
+            continue
+
+        if block is None:
+            raise ParseError(lineno, "instruction before any block label")
+        block.append(_parse_statement(line, lineno))
+
+    if function is not None:
+        raise ParseError(len(text.splitlines()), "unterminated function")
+
+    for func_name, header, scalars, mems in pending_parallel:
+        module.parallel_loops.append(
+            ParallelLoop(
+                function=func_name,
+                header=header,
+                scalar_channels=scalars,
+                mem_channels=mems,
+            )
+        )
+    for function_obj in module.functions.values():
+        for instr in function_obj.instructions():
+            if isinstance(instr, _Load) and getattr(instr, "sync_marker", False):
+                module.sync_loads.add(instr.iid)
+    return module

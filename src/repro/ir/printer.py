@@ -1,0 +1,165 @@
+"""Textual form of the mini-IR (round-trips with :mod:`repro.ir.parser`).
+
+Format example::
+
+    global free_list 1 init 0
+
+    func main() {
+    entry:
+      i = const 0
+      jump loop
+    loop:
+      t1 = load @free_list
+      store @free_list, t1
+      c = lt i, 100
+      condbr c, loop, done
+    done:
+      ret
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Call,
+    Check,
+    CondBr,
+    Const,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    Resume,
+    Ret,
+    Select,
+    Signal,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.ir.module import Module
+from repro.ir.operands import GlobalRef, Imm, Reg
+
+
+def format_operand(op) -> str:
+    if isinstance(op, Reg):
+        return op.name
+    if isinstance(op, Imm):
+        return str(op.value)
+    if isinstance(op, GlobalRef):
+        return f"@{op.name}"
+    raise TypeError(f"not an operand: {op!r}")
+
+
+def _mem(addr, offset: int) -> str:
+    base = format_operand(addr)
+    if offset:
+        return f"{base} + {offset}" if offset > 0 else f"{base} - {-offset}"
+    return base
+
+
+def format_instruction(instr: Instruction) -> str:
+    if isinstance(instr, Const):
+        return f"{instr.dest.name} = const {instr.value}"
+    if isinstance(instr, Move):
+        return f"{instr.dest.name} = move {format_operand(instr.src)}"
+    if isinstance(instr, BinOp):
+        return (
+            f"{instr.dest.name} = {instr.op} "
+            f"{format_operand(instr.lhs)}, {format_operand(instr.rhs)}"
+        )
+    if isinstance(instr, UnOp):
+        return f"{instr.dest.name} = {instr.op} {format_operand(instr.src)}"
+    if isinstance(instr, Load):
+        op = "load.sync" if getattr(instr, "sync_marker", False) else "load"
+        return f"{instr.dest.name} = {op} {_mem(instr.addr, instr.offset)}"
+    if isinstance(instr, Store):
+        return f"store {_mem(instr.addr, instr.offset)}, {format_operand(instr.value)}"
+    if isinstance(instr, Alloc):
+        return f"{instr.dest.name} = alloc {format_operand(instr.size)}"
+    if isinstance(instr, Call):
+        args = ", ".join(format_operand(a) for a in instr.args)
+        if instr.dest is not None:
+            return f"{instr.dest.name} = call {instr.callee}({args})"
+        return f"call {instr.callee}({args})"
+    if isinstance(instr, Ret):
+        if instr.value is not None:
+            return f"ret {format_operand(instr.value)}"
+        return "ret"
+    if isinstance(instr, Jump):
+        return f"jump {instr.target}"
+    if isinstance(instr, CondBr):
+        return (
+            f"condbr {format_operand(instr.cond)}, "
+            f"{instr.true_target}, {instr.false_target}"
+        )
+    if isinstance(instr, Wait):
+        return f"{instr.dest.name} = wait.{instr.kind} {instr.channel}"
+    if isinstance(instr, Signal):
+        return f"signal.{instr.kind} {instr.channel}, {format_operand(instr.value)}"
+    if isinstance(instr, Check):
+        return (
+            f"check {format_operand(instr.f_addr)}, "
+            f"{_mem(instr.m_addr, instr.offset)}"
+        )
+    if isinstance(instr, Select):
+        return (
+            f"{instr.dest.name} = select "
+            f"{format_operand(instr.f_value)}, {format_operand(instr.m_value)}"
+        )
+    if isinstance(instr, Resume):
+        return "resume"
+    raise TypeError(f"unknown instruction {type(instr).__name__}")
+
+
+def format_function(function: Function) -> str:
+    params = ", ".join(p.name for p in function.params)
+    lines: List[str] = [f"func {function.name}({params}) {{"]
+    for label, block in function.blocks.items():
+        lines.append(f"{label}:")
+        for instr in block.instructions:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    # Mark synchronized loads so the textual form round-trips
+    # module.sync_loads (parse re-derives the set from the markers).
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, Load):
+                instr.sync_marker = instr.iid in module.sync_loads
+    lines: List[str] = []
+    for var in module.globals.values():
+        line = f"global {var.name} {var.size}"
+        if var.init:
+            line += " init " + ", ".join(str(v) for v in var.init)
+        lines.append(line)
+    if module.globals:
+        lines.append("")
+    for info in module.channels.values():
+        if info.kind == "scalar":
+            lines.append(f"channel scalar {info.name} {info.scalar}")
+        else:
+            lines.append(f"channel mem {info.name}")
+    if module.channels:
+        lines.append("")
+    for loop in module.parallel_loops:
+        line = f"parallel {loop.function} {loop.header}"
+        if loop.scalar_channels or loop.mem_channels:
+            line += " [" + ", ".join(loop.scalar_channels) + "]"
+            line += " [" + ", ".join(loop.mem_channels) + "]"
+        lines.append(line)
+    if module.parallel_loops:
+        lines.append("")
+    for index, function in enumerate(module.functions.values()):
+        if index:
+            lines.append("")
+        lines.append(format_function(function))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,81 @@
+"""Structural well-formedness checks for modules.
+
+The verifier catches malformed IR early (open blocks, dangling branch
+targets, unknown callees/globals, argument-count mismatches) so that
+pass and workload bugs surface as clear diagnostics rather than
+interpreter misbehaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+from repro.ir.operands import GlobalRef
+
+
+class VerificationError(Exception):
+    """Raised when a module fails verification; carries all problems."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        super().__init__("\n".join(problems))
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` when ``module`` is malformed."""
+    problems: List[str] = []
+
+    for name, function in module.functions.items():
+        if name != function.name:
+            problems.append(f"function registered as {name!r} is named {function.name!r}")
+        if not function.blocks:
+            problems.append(f"{name}: function has no blocks")
+            continue
+        for label, block in function.blocks.items():
+            where = f"{name}:{label}"
+            if block.terminator is None:
+                problems.append(f"{where}: block is not terminated")
+            for index, instr in enumerate(block.instructions):
+                if instr.is_terminator and index != len(block.instructions) - 1:
+                    problems.append(f"{where}: terminator not last in block")
+                if instr.iid is None:
+                    problems.append(f"{where}: instruction missing iid")
+                if hasattr(instr, "targets"):
+                    for target in instr.targets():
+                        if target not in function.blocks:
+                            problems.append(
+                                f"{where}: branch to unknown block {target!r}"
+                            )
+                if isinstance(instr, Call):
+                    callee = module.functions.get(instr.callee)
+                    if callee is None:
+                        problems.append(
+                            f"{where}: call to unknown function {instr.callee!r}"
+                        )
+                    elif len(instr.args) != len(callee.params):
+                        problems.append(
+                            f"{where}: call to {instr.callee!r} passes "
+                            f"{len(instr.args)} args, expects {len(callee.params)}"
+                        )
+                for operand in _global_operands(instr):
+                    if operand.name not in module.globals:
+                        problems.append(
+                            f"{where}: reference to unknown global @{operand.name}"
+                        )
+
+    for loop in module.parallel_loops:
+        if loop.function not in module.functions:
+            problems.append(f"parallel loop in unknown function {loop.function!r}")
+        elif loop.header not in module.functions[loop.function].blocks:
+            problems.append(
+                f"parallel loop header {loop.function}:{loop.header} does not exist"
+            )
+
+    if problems:
+        raise VerificationError(problems)
+
+
+def _global_operands(instr):
+    return [op for op in instr.operands() if isinstance(op, GlobalRef)]

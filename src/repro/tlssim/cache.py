@@ -1,0 +1,71 @@
+"""Two-level cache timing model.
+
+Latency-only: the caches decide how many cycles a memory access exposes
+(L1 hit / L2 hit / memory), they do not hold data (values come from the
+committed memory image and per-epoch write buffers).  Each core owns a
+private L1; all cores share the unified L2, as in the paper's machine.
+
+Coherence effects on timing (invalidations, ownership transfers) are
+folded into the flat per-level latencies; the *correctness* side of the
+extended coherence protocol — violation detection at cache-line
+granularity — lives in the engine's exposed-line bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.tlssim.config import SimConfig
+
+
+class LRUCache:
+    """Fully-associative LRU set of line ids with a fixed capacity."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; True on hit."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lines[line] = None
+        if len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+        return False
+
+    def contains(self, line: int) -> bool:
+        return line in self._lines
+
+    def invalidate(self, line: int) -> None:
+        self._lines.pop(line, None)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class CacheHierarchy:
+    """Private L1s over a shared L2; returns access latencies."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self.l1 = [LRUCache(config.l1_lines) for _ in range(config.num_cores)]
+        self.l2 = LRUCache(config.l2_lines)
+
+    def access(self, core: int, line: int) -> float:
+        """Latency in cycles of a load/store to ``line`` from ``core``."""
+        if self.l1[core].access(line):
+            return float(self.config.lat_l1)
+        if self.l2.access(line):
+            return float(self.config.lat_l2)
+        return float(self.config.lat_mem)
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.config.words_per_line

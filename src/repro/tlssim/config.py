@@ -1,0 +1,166 @@
+"""Machine and scheme configuration (paper Table 1 plus mode flags).
+
+The timing model is a graduation-slot model of the paper's simulated
+machine: four single-chip processing cores, each 4-way issue and
+out-of-order, with private L1 data caches, a unified second-level cache
+behind a crossbar, and TLS support in the coherence protocol.  Every
+experiment mode in the evaluation maps onto a :class:`SimConfig`:
+
+==== =======================================================================
+bar  configuration
+==== =======================================================================
+U    untransformed program (scalar sync only), no hardware sync
+O    ``oracle_mode='all'`` — perfect forwarding of every memory value
+T/C  program transformed with train/ref profile, ``compiler_mem_sync``
+E    transformed program, ``oracle_mode='sync'`` — perfect synchronized
+     values (no memory sync stall)
+L    transformed program, ``l_mode_stall`` — synchronized loads stall
+     until the previous epoch completes
+H    untransformed program, ``hw_sync`` on
+P    untransformed program, ``prediction`` on
+B    transformed program, ``hw_sync`` on (compiler+hardware hybrid)
+==== =======================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All machine parameters and scheme flags for one simulation."""
+
+    # ---- chip (Table 1) -------------------------------------------------
+    num_cores: int = 4
+    issue_width: int = 4
+    reorder_buffer: int = 128  # documented; the slot model does not queue
+
+    # ---- instruction latencies, cycles (Table 1 pipeline parameters) ---
+    lat_int: int = 1
+    lat_mul: int = 3
+    lat_div: int = 12
+    lat_branch: int = 1
+    lat_tls_op: int = 1
+
+    # ---- memory system (Table 1 memory parameters) ----------------------
+    words_per_line: int = 8          # 32B lines / 4B words
+    l1_lines: int = 1024             # 32KB per-core data cache
+    l2_lines: int = 65536            # 2MB unified secondary cache
+    lat_l1: int = 1
+    lat_l2: int = 10                 # minimum miss latency to secondary cache
+    lat_mem: int = 75                # minimum miss latency to local memory
+
+    # ---- violation detection granularity ---------------------------------
+    #: 'line' (the paper's substrate: invalidation-based coherence sees
+    #: whole cache lines, so false sharing violates) or 'word' (ideal
+    #: per-word access bits, as in Cintra & Torrellas' per-word scheme).
+    violation_granularity: str = "line"
+
+    # ---- TLS mechanism costs -------------------------------------------
+    spawn_cost: float = 5.0          # epoch fork latency down the chain
+    commit_base: float = 5.0         # homefree token + commit bookkeeping
+    commit_per_line: float = 1.0     # write-back per speculatively modified line
+    violation_penalty: float = 25.0  # squash, refetch and restart cost
+    forward_latency: float = 10.0    # signal->wait crossbar hop
+    signal_buffer_entries: int = 10  # signal address buffer capacity
+
+    # ---- compiler-inserted synchronization ------------------------------
+    #: Honor memory-resident wait/signal protocol (C/T/B/E/L bars).  When
+    #: False, memory-channel waits return NULL immediately (marking runs).
+    compiler_mem_sync: bool = True
+    #: L bars: synchronized loads stall until the previous epoch commits
+    #: instead of waiting for a point-to-point forward.
+    l_mode_stall: bool = False
+
+    # ---- hardware-inserted synchronization [25] -------------------------
+    hw_sync: bool = False
+    hw_table_size: int = 32
+    #: violations before a load is synchronized by the hardware
+    hw_sync_threshold: int = 2
+    #: committed epochs between periodic table resets
+    hw_reset_interval: int = 64
+
+    # ---- hybrid refinements (paper Section 4.2 items (iii)/(iv)) ---------
+    #: (iii) the hardware filters out compiler-inserted synchronization
+    #: whose forwarded address rarely survives the runtime check:
+    #: channels with a low check-success rate stop stalling consumers.
+    hybrid_filter: bool = False
+    filter_min_samples: int = 16
+    filter_min_success: float = 0.2
+    #: (iv) compiler-marked loads survive the periodic table reset.
+    hw_hint_persistent: bool = False
+
+    # ---- hardware value prediction [25] ---------------------------------
+    prediction: bool = False
+    #: last-value confidence needed before a prediction is used
+    prediction_confidence: int = 2
+
+    # ---- idealized oracle modes -----------------------------------------
+    #: 'off' | 'all' (O bars) | 'sync' (E bars) | 'set' (Figure 6 sweeps)
+    oracle_mode: str = "off"
+    #: load origin-iids perfectly predicted when oracle_mode == 'set'
+    oracle_set: FrozenSet[int] = field(default_factory=frozenset)
+
+    # ---- safety limits ---------------------------------------------------
+    max_epoch_steps: int = 500_000
+    max_region_steps: int = 100_000_000
+
+    def with_mode(self, **overrides) -> "SimConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def __post_init__(self):
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+        if self.oracle_mode not in ("off", "all", "sync", "set"):
+            raise ValueError(f"bad oracle_mode {self.oracle_mode!r}")
+        if self.violation_granularity not in ("line", "word"):
+            raise ValueError(
+                f"bad violation_granularity {self.violation_granularity!r}"
+            )
+
+
+#: Canonical bar-name -> config-override mapping used by experiments.
+def config_for_bar(bar: str, base: SimConfig = SimConfig()) -> SimConfig:
+    """Config for one of the paper's bar labels (see module docstring).
+
+    The *program* (untransformed vs transformed) is chosen by the
+    caller; this helper only sets the machine flags.
+    """
+    if bar in ("U", "T", "C"):
+        return base
+    if bar == "O":
+        return base.with_mode(oracle_mode="all")
+    if bar == "E":
+        return base.with_mode(oracle_mode="sync")
+    if bar == "L":
+        return base.with_mode(l_mode_stall=True)
+    if bar == "H":
+        return base.with_mode(hw_sync=True)
+    if bar == "P":
+        return base.with_mode(prediction=True)
+    if bar == "B":
+        return base.with_mode(hw_sync=True)
+    raise ValueError(f"unknown bar label {bar!r}")
+
+
+#: Human-readable Table 1 rows, for the config self-check benchmark.
+TABLE1 = {
+    "Issue Width": "4",
+    "Functional Units": "modeled via per-class latencies",
+    "Reorder Buffer Size": "128",
+    "Integer Multiply": "3 cycles",
+    "Integer Divide": "12 cycles",
+    "All Other Integer": "1 cycle",
+    "Cache Line Size": "32B",
+    "Instruction Cache": "not modeled (perfect)",
+    "Data Cache": "32KB private per core",
+    "Unified Secondary Cache": "2MB shared",
+    "Minimum Miss Latency to Secondary Cache": "10 cycles",
+    "Minimum Miss Latency to Local Memory": "75 cycles",
+    "Crossbar Interconnect": "10-cycle forwarding latency",
+}

@@ -1,0 +1,56 @@
+"""Instruction cost classification shared by the TLS and sequential engines.
+
+The timing model charges each graduated instruction ``latency /
+issue_width`` cycles: the division models the issue bandwidth of the
+4-way out-of-order core and the partial latency hiding its 128-entry
+reorder buffer provides.  Memory instructions take their cache access
+latency (decided by :class:`repro.tlssim.cache.CacheHierarchy`), so a
+miss to the secondary cache or to memory still dominates an epoch's
+critical path, as it does on the paper's machine.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Call,
+    Check,
+    CondBr,
+    Const,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    Resume,
+    Ret,
+    Select,
+    Signal,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.tlssim.config import SimConfig
+
+
+def instruction_latency(config: SimConfig, instr: Instruction) -> float:
+    """Latency in cycles for non-memory instructions.
+
+    Loads and stores are charged by the cache model instead; callers
+    must not use this helper for them.
+    """
+    if isinstance(instr, BinOp):
+        if instr.op == "mul":
+            return float(config.lat_mul)
+        if instr.op in ("div", "mod"):
+            return float(config.lat_div)
+        return float(config.lat_int)
+    if isinstance(instr, (Const, Move, UnOp, Alloc, Select)):
+        return float(config.lat_int)
+    if isinstance(instr, (Jump, CondBr, Ret, Call)):
+        return float(config.lat_branch)
+    if isinstance(instr, (Wait, Signal, Check, Resume)):
+        return float(config.lat_tls_op)
+    if isinstance(instr, (Load, Store)):
+        raise ValueError("memory instruction latency comes from the cache model")
+    raise ValueError(f"no latency for {type(instr).__name__}")

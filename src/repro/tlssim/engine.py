@@ -1,0 +1,1232 @@
+"""Discrete-event TLS chip-multiprocessor engine.
+
+Executes a module with timing: sequential segments run on core 0;
+when control enters a loop annotated as speculatively parallelized, the
+engine switches to epoch-parallel execution across all cores.
+
+Execution model
+---------------
+
+* Epoch *k* runs on core ``k % num_cores``.  A core starts its next
+  epoch once the previous occupant commits; epoch *k* additionally
+  cannot start before epoch *k-1* started plus the spawn latency.
+* Speculative stores go to a private per-run write buffer; speculative
+  loads read the run's own buffer, else committed memory.  Exposed
+  loads (those not satisfied by the run's own buffer) record their
+  cache line in the run's exposed set.
+* **Violations** are detected at cache-line granularity, mirroring the
+  invalidation-based coherence extension of the paper's substrate:
+  (a) a store by epoch *e* squashes any logically-later in-flight epoch
+  with the line exposed, and (b) at *e*'s commit its dirty lines squash
+  later epochs that exposed them meanwhile (loads that read committed
+  state while *e*'s store was still buffered).  Squashing an epoch also
+  squashes every logically-later in-flight epoch (conservative, as in
+  Figure 1(b)).  Rule granularity is what makes false sharing visible
+  (the M88KSIM effect).
+* Epochs commit strictly in logical order.  The epoch that takes a
+  loop-exit edge ends the region when it commits; later in-flight
+  epochs are control-squashed.
+* ``wait``/``signal`` implement the Section 2.2 forwarding protocol
+  with the signal address buffer and the ``use_forwarded_value`` flag;
+  at epoch end, unsignalled channels are auto-flushed (scalars forward
+  the current register value; memory channels re-forward or send NULL),
+  which both implements the paper's NULL-signal path and pipelines
+  values across non-producing epochs.
+
+Accounting follows the paper's graduation-slot breakdown: each
+graduated instruction is one *busy* slot; wait/stall cycles accumulate
+*sync* slots; all slots consumed by squashed runs become *fail*; the
+remainder of ``cycles x issue_width x cores`` is *other*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    Alloc,
+    BinOp,
+    Call,
+    Check,
+    CondBr,
+    Const,
+    Jump,
+    Load,
+    Move,
+    Resume,
+    Ret,
+    Select,
+    Signal,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.ir.interpreter import Frame, eval_binop, eval_unop
+from repro.ir.loops import LoopForest
+from repro.ir.memimage import MemoryImage
+from repro.ir.module import Module, ParallelLoop
+from repro.ir.operands import GlobalRef, Imm, Reg
+from repro.tlssim.cache import CacheHierarchy
+from repro.tlssim.config import SimConfig
+from repro.tlssim.costs import instruction_latency
+from repro.tlssim.forwarding import ChannelBank, SignalAddressBuffer
+from repro.tlssim.hwsync import ViolatingLoadTable
+from repro.tlssim.oracle import ValueOracle
+from repro.tlssim.prediction import LastValuePredictor
+from repro.tlssim.stats import RegionStats, SimResult, ViolationRecord
+
+
+class EngineError(Exception):
+    """Engine invariant broken or unsupported construct executed."""
+
+
+@dataclass
+class _LoopInfo:
+    annotation: ParallelLoop
+    blocks: frozenset
+
+
+class EpochRun:
+    """One (re-)execution attempt of one epoch."""
+
+    __slots__ = (
+        "logical", "generation", "core", "clock", "start_clock", "frames",
+        "state", "wait_channel", "wait_kind", "wait_started",
+        "write_buffer", "dirty_lines", "exposed_lines", "exposed_loads",
+        "busy_slots", "sync_scalar", "sync_mem", "sync_hw",
+        "cursors", "received", "signal_counts", "sab",
+        "fwd_flag", "fwd_addr", "last_mem_channel", "exited", "exit_target",
+        "steps", "predictions", "load_values", "oracle_occ",
+        "no_predict", "park_reason",
+    )
+
+    def __init__(
+        self,
+        logical: int,
+        generation: int,
+        core: int,
+        clock: float,
+        frame: Frame,
+        sab_capacity: int,
+    ):
+        self.logical = logical
+        self.generation = generation
+        self.core = core
+        self.clock = clock
+        self.start_clock = clock
+        self.frames: List[Frame] = [frame]
+        self.state = "ready"
+        self.wait_channel: Optional[str] = None
+        self.wait_kind: Optional[str] = None
+        self.wait_started: float = clock
+        self.write_buffer: Dict[int, int] = {}
+        self.dirty_lines: Set[int] = set()
+        self.exposed_lines: Set[int] = set()
+        self.exposed_loads: Dict[int, List[int]] = {}
+        self.busy_slots = 0.0
+        self.sync_scalar = 0.0
+        self.sync_mem = 0.0
+        self.sync_hw = 0.0
+        self.cursors: Dict[Tuple[str, str], int] = {}
+        self.received: Dict[Tuple[str, str], int] = {}
+        self.signal_counts: Dict[Tuple[str, str], int] = {}
+        self.sab = SignalAddressBuffer(sab_capacity)
+        self.fwd_flag = False
+        self.fwd_addr = 0
+        self.last_mem_channel: Optional[str] = None
+        self.exited = False
+        self.exit_target: Optional[str] = None
+        self.steps = 0
+        self.predictions: List[Tuple[int, int, int]] = []
+        self.load_values: Dict[int, int] = {}
+        self.oracle_occ: Dict[int, int] = {}
+        self.no_predict = False
+        self.park_reason: Optional[str] = None
+
+    @property
+    def sync_cycles(self) -> float:
+        return self.sync_scalar + self.sync_mem + self.sync_hw
+
+    def consumed_slots(self, until: float, issue_width: int) -> float:
+        return max(0.0, min(self.clock, until) - self.start_clock) * issue_width
+
+
+class TLSEngine:
+    """Whole-program simulator; see module docstring."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: Optional[SimConfig] = None,
+        oracle: Optional[ValueOracle] = None,
+        parallel: bool = True,
+        tracer=None,
+    ):
+        self.module = module
+        self.config = config or SimConfig()
+        self.oracle = oracle
+        #: optional repro.tlssim.tracing.Tracer receiving engine events
+        self.tracer = tracer
+        #: False = sequential baseline: same cost model on one core,
+        #: regions tracked (for normalization) but not parallelized.
+        self.parallel = parallel
+        self._seq_region: Optional[Tuple[_LoopInfo, int, float]] = None
+        if self.config.oracle_mode != "off" and oracle is None:
+            raise EngineError("oracle_mode set but no oracle supplied")
+        self.memory = MemoryImage(module)
+        self.caches = CacheHierarchy(self.config)
+        self.hw_table = ViolatingLoadTable(
+            size=self.config.hw_table_size,
+            threshold=self.config.hw_sync_threshold,
+            reset_interval=self.config.hw_reset_interval,
+            persistent=(
+                module.sync_loads if self.config.hw_hint_persistent else ()
+            ),
+        )
+        #: channel -> [checks, address matches] for the hybrid filter
+        self.channel_stats: Dict[str, List[int]] = {}
+        self.predictor = LastValuePredictor(
+            confidence_threshold=self.config.prediction_confidence
+        )
+        self.sync_loads: Set[int] = set(module.sync_loads)
+        self.clock = 0.0
+        self.regions: List[RegionStats] = []
+        self._region_counter = 0
+        self._loop_infos: Dict[Tuple[str, str], _LoopInfo] = {}
+        for annotation in module.parallel_loops:
+            cfg = CFG(module.function(annotation.function))
+            forest = LoopForest(cfg)
+            loop = forest.loop_of(annotation.header)
+            if loop is None:
+                raise EngineError(
+                    f"parallel annotation on non-loop "
+                    f"{annotation.function}:{annotation.header}"
+                )
+            if self.parallel:
+                self._check_scalar_channels(annotation, cfg, loop)
+            self._loop_infos[(annotation.function, annotation.header)] = _LoopInfo(
+                annotation=annotation, blocks=frozenset(loop.blocks)
+            )
+
+    def _check_scalar_channels(self, annotation, cfg, loop) -> None:
+        """Every loop-carried register must have a scalar channel.
+
+        Without one, each epoch would start from the region-entry
+        register values and the region could never make progress — a
+        transformation bug better reported than simulated.
+        """
+        from repro.ir.dataflow import live_in
+
+        function = self.module.function(annotation.function)
+        header_live = live_in(cfg)[annotation.header]
+        defined = set()
+        for label in loop.blocks:
+            for instr in function.block(label).instructions:
+                defined.update(instr.defs())
+        channelled = {
+            self.module.channels[name].scalar
+            for name in annotation.scalar_channels
+            if name in self.module.channels
+        }
+        missing = sorted(
+            reg.name for reg in header_live & defined
+            if reg.name not in channelled
+        )
+        if missing:
+            raise EngineError(
+                f"loop {annotation.function}:{annotation.header} has "
+                f"loop-carried scalars with no forwarding channel: "
+                f"{', '.join(missing)} (run scalar synchronization first)"
+            )
+
+    # ------------------------------------------------------------------
+    # whole-program driver
+    # ------------------------------------------------------------------
+
+    def run(self, function: str = "main", args: Tuple[int, ...] = ()) -> SimResult:
+        entry = self.module.function(function)
+        frames: List[Frame] = [
+            Frame(
+                function_name=function,
+                regs={p.name: v for p, v in zip(entry.params, args)},
+                block=entry.entry_label,
+            )
+        ]
+        return_value = self._run_sequential(frames)
+        region_cycles = sum(r.cycles for r in self.regions)
+        return SimResult(
+            return_value=return_value,
+            program_cycles=self.clock,
+            sequential_cycles=self.clock - region_cycles,
+            regions=self.regions,
+            memory_checksum=self.memory.checksum(),
+        )
+
+    # ------------------------------------------------------------------
+    # sequential execution (core 0), with region hand-off
+    # ------------------------------------------------------------------
+
+    def _charge(self, latency: float) -> None:
+        self.clock += latency / self.config.issue_width
+
+    def _value(self, frame: Frame, operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, GlobalRef):
+            return self.memory.addr_of(operand.name)
+        if isinstance(operand, Reg):
+            try:
+                return frame.regs[operand.name]
+            except KeyError:
+                raise EngineError(
+                    f"{frame.function_name}: read of undefined register "
+                    f"%{operand.name}"
+                ) from None
+        raise EngineError(f"bad operand {operand!r}")
+
+    def _close_seq_region(self) -> None:
+        """Record a sequentially-executed region (baseline runs)."""
+        info, _depth, start = self._seq_region  # type: ignore[misc]
+        stats = RegionStats(
+            function=info.annotation.function,
+            header=info.annotation.header,
+            start_time=start,
+            end_time=self.clock,
+        )
+        cycles = max(0.0, self.clock - start)
+        stats.slots.total = cycles * self.config.issue_width
+        self.regions.append(stats)
+        self._seq_region = None
+
+    def _run_sequential(self, frames: List[Frame]) -> Optional[int]:
+        module = self.module
+        config = self.config
+        return_value: Optional[int] = None
+        steps = 0
+        while frames:
+            frame = frames[-1]
+            block = module.function(frame.function_name).block(frame.block)
+            instr = block.instructions[frame.index]
+            steps += 1
+            if steps > config.max_region_steps:
+                raise EngineError("sequential fuel exhausted")
+
+            if isinstance(instr, Const):
+                frame.regs[instr.dest.name] = instr.value
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Move):
+                frame.regs[instr.dest.name] = self._value(frame, instr.src)
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, BinOp):
+                frame.regs[instr.dest.name] = eval_binop(
+                    instr.op,
+                    self._value(frame, instr.lhs),
+                    self._value(frame, instr.rhs),
+                )
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, UnOp):
+                frame.regs[instr.dest.name] = eval_unop(
+                    instr.op, self._value(frame, instr.src)
+                )
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Load):
+                addr = self._value(frame, instr.addr) + instr.offset
+                value = self.memory.load(addr)
+                frame.regs[instr.dest.name] = value
+                self._charge(self.caches.access(0, self.caches.line_of(addr)))
+                frame.index += 1
+            elif isinstance(instr, Store):
+                addr = self._value(frame, instr.addr) + instr.offset
+                self.memory.store(addr, self._value(frame, instr.value))
+                self._charge(self.caches.access(0, self.caches.line_of(addr)))
+                frame.index += 1
+            elif isinstance(instr, Alloc):
+                frame.regs[instr.dest.name] = self.memory.alloc(
+                    self._value(frame, instr.size)
+                )
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Call):
+                callee = module.function(instr.callee)
+                values = [self._value(frame, a) for a in instr.args]
+                self._charge(instruction_latency(config, instr))
+                frames.append(
+                    Frame(
+                        function_name=instr.callee,
+                        regs={p.name: v for p, v in zip(callee.params, values)},
+                        block=callee.entry_label,
+                        call_instr=instr,
+                    )
+                )
+            elif isinstance(instr, Ret):
+                value = (
+                    self._value(frame, instr.value)
+                    if instr.value is not None
+                    else None
+                )
+                self._charge(instruction_latency(config, instr))
+                if (
+                    self._seq_region is not None
+                    and len(frames) == self._seq_region[1]
+                ):
+                    self._close_seq_region()
+                frames.pop()
+                if frames:
+                    caller = frames[-1]
+                    call = module.function(caller.function_name).block(
+                        caller.block
+                    ).instructions[caller.index]
+                    if call.dest is not None:
+                        if value is None:
+                            raise EngineError(
+                                f"void return into %{call.dest.name}"
+                            )
+                        caller.regs[call.dest.name] = value
+                    caller.index += 1
+                else:
+                    return_value = value
+            elif isinstance(instr, (Jump, CondBr)):
+                if isinstance(instr, Jump):
+                    target = instr.target
+                else:
+                    cond = self._value(frame, instr.cond)
+                    target = instr.true_target if cond else instr.false_target
+                self._charge(instruction_latency(config, instr))
+                # Sequential-baseline region tracking: close the open
+                # region when control leaves its loop blocks.
+                if (
+                    self._seq_region is not None
+                    and len(frames) == self._seq_region[1]
+                    and target not in self._seq_region[0].blocks
+                ):
+                    self._close_seq_region()
+                info = self._loop_infos.get((frame.function_name, target))
+                if info is not None and self._seq_region is None:
+                    if self.parallel:
+                        _RegionExecution(self, frame, info).execute()
+                        continue
+                    self._seq_region = (info, len(frames), self.clock)
+                frame.block = target
+                frame.index = 0
+            elif isinstance(instr, Wait):
+                # Sequential semantics: a scalar wait's destination is
+                # the communicating scalar itself, which already holds
+                # the previous iteration's value — preserve it.
+                frame.regs[instr.dest.name] = frame.regs.get(instr.dest.name, 0)
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Signal):
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Check):
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Select):
+                frame.regs[instr.dest.name] = self._value(frame, instr.m_value)
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            elif isinstance(instr, Resume):
+                self._charge(instruction_latency(config, instr))
+                frame.index += 1
+            else:
+                raise EngineError(f"cannot execute {type(instr).__name__}")
+        return return_value
+
+
+class _RegionExecution:
+    """Epoch-parallel execution of one parallelized-region instance."""
+
+    def __init__(self, engine: TLSEngine, frame: Frame, info: _LoopInfo):
+        self.engine = engine
+        self.module = engine.module
+        self.config = engine.config
+        self.frame = frame
+        self.info = info
+        self.function = self.module.function(frame.function_name)
+        self.start_time = engine.clock
+        self.channels = ChannelBank(self.config.forward_latency)
+        self.region_index = engine._region_counter
+        engine._region_counter += 1
+        self.stats = RegionStats(
+            function=frame.function_name,
+            header=info.annotation.header,
+            start_time=self.start_time,
+        )
+        self.active: Dict[int, EpochRun] = {}
+        self.committed_upto = -1
+        self.last_commit_end = self.start_time
+        self.core_free = [self.start_time] * self.config.num_cores
+        self.first_start: Dict[int, float] = {}
+        self.next_logical = 0
+        self.finished = False
+        self.exit_run: Optional[EpochRun] = None
+        self.total_steps = 0
+        self.fail_slots = 0.0
+        if engine.tracer is not None:
+            engine.tracer.region_start(
+                frame.function_name, info.annotation.header, self.start_time
+            )
+        self._seed_channels()
+
+    # -- setup -------------------------------------------------------------
+
+    def _seed_channels(self) -> None:
+        annotation = self.info.annotation
+        for channel in annotation.scalar_channels:
+            chan_info = self.module.channels[channel]
+            value = self.frame.regs.get(chan_info.scalar or "", 0)
+            self.channels.seed(channel, 0, "value", value)
+        for channel in annotation.mem_channels:
+            self.channels.seed(channel, 0, "addr", 0)
+            self.channels.seed(channel, 0, "value", 0)
+
+    # -- spawning -----------------------------------------------------------
+
+    def _try_spawn(self) -> None:
+        while True:
+            k = self.next_logical
+            core = k % self.config.num_cores
+            if k > 0 and (k - 1) not in self.first_start:
+                return
+            oldest = self.active.get(self.committed_upto + 1)
+            if oldest is not None and oldest.exited:
+                return  # definite loop exit: stop speculating further
+            if k > 0:
+                # the core must be free: its previous occupant committed
+                previous = k - self.config.num_cores
+                if previous >= 0 and previous > self.committed_upto:
+                    return
+            start = max(self.core_free[core], self.start_time)
+            if k > 0:
+                start = max(start, self.first_start[k - 1] + self.config.spawn_cost)
+            run = EpochRun(
+                logical=k,
+                generation=0,
+                core=core,
+                clock=start,
+                frame=Frame(
+                    function_name=self.frame.function_name,
+                    regs=dict(self.frame.regs),
+                    block=self.info.annotation.header,
+                ),
+                sab_capacity=self.config.signal_buffer_entries,
+            )
+            self.active[k] = run
+            self.first_start[k] = start
+            self.next_logical += 1
+            if self.engine.tracer is not None:
+                self.engine.tracer.epoch_start(k, 0, core, start)
+
+    # -- main loop -----------------------------------------------------------
+
+    def execute(self) -> None:
+        self._try_spawn()
+        while not self.finished:
+            run, eff, action = self._pick()
+            if run is None:
+                raise EngineError(
+                    f"region deadlock at t={self.last_commit_end}: "
+                    + ", ".join(
+                        f"e{r.logical}g{r.generation}:{r.state}"
+                        f"@{r.wait_channel or ''}"
+                        for r in self.active.values()
+                    )
+                )
+            self._perform(run, eff, action)
+            self._try_spawn()
+        # region complete: hand control back to the sequential engine
+        assert self.exit_run is not None
+        self.frame.regs = self.exit_run.frames[0].regs
+        self.frame.block = self.exit_run.exit_target
+        self.frame.index = 0
+        end = self.stats.end_time
+        self.engine.clock = end
+        cycles = max(0.0, end - self.start_time)
+        slots = self.stats.slots
+        slots.total = cycles * self.config.issue_width * self.config.num_cores
+        slots.fail = self.fail_slots
+        self.engine.regions.append(self.stats)
+
+    def _pick(self):
+        best = None
+        best_eff = 0.0
+        best_action = None
+        oldest = self.committed_upto + 1
+        for run in self.active.values():
+            if run.state == "ready":
+                eff, action = run.clock, "step"
+            elif run.state == "wait_msg":
+                message = self.channels.peek(
+                    run.wait_channel,
+                    run.logical,
+                    run.wait_kind,
+                    run.cursors.get((run.wait_channel, run.wait_kind), 0),
+                )
+                if message is None:
+                    continue
+                eff = max(run.clock, self.channels.arrival_time(message))
+                action = "unblock_msg"
+            elif run.state == "wait_oldest":
+                if run.logical != oldest:
+                    continue
+                eff, action = max(run.clock, self.last_commit_end), "unblock_oldest"
+            elif run.state == "done":
+                if run.logical != oldest:
+                    continue
+                eff, action = max(run.clock, self.last_commit_end), "commit"
+            elif run.state == "parked":
+                if run.logical != oldest:
+                    continue
+                eff, action = max(run.clock, self.last_commit_end), "restart_parked"
+            else:
+                continue
+            if best is None or (eff, run.logical) < (best_eff, best.logical):
+                best, best_eff, best_action = run, eff, action
+        return best, best_eff, best_action
+
+    def _perform(self, run: EpochRun, eff: float, action: str) -> None:
+        if action == "step":
+            self._step(run)
+        elif action == "unblock_msg":
+            stall = eff - run.wait_started
+            self._account_wait_stall(run, stall)
+            run.clock = eff
+            run.state = "ready"  # re-executes the wait; message now local
+        elif action == "unblock_oldest":
+            run.sync_hw += max(0.0, eff - run.wait_started)
+            run.clock = eff
+            run.state = "ready"
+        elif action == "commit":
+            self._commit(run, eff)
+        elif action == "restart_parked":
+            # A parked speculative fault may be a side effect of stale
+            # data: restart conservatively now that the epoch is oldest.
+            self._violate_from(
+                run.logical, eff, reason="parked", load_iid=None
+            )
+        else:  # pragma: no cover - defensive
+            raise EngineError(f"unknown action {action!r}")
+
+    def _account_wait_stall(self, run: EpochRun, stall: float) -> None:
+        if stall <= 0:
+            return
+        kind = self.module.channels.get(run.wait_channel)
+        if kind is not None and kind.kind == "mem":
+            run.sync_mem += stall
+        else:
+            run.sync_scalar += stall
+
+    # -- violations -----------------------------------------------------------
+
+    def _violate_from(
+        self,
+        victim: int,
+        time: float,
+        reason: str,
+        load_iid: Optional[int],
+        collateral_only: bool = False,
+    ) -> None:
+        """Squash epoch ``victim`` and all logically-later in-flight runs."""
+        if not collateral_only:
+            marked_hw = self.engine.hw_table.should_synchronize(load_iid)
+            marked_c = load_iid in self.engine.sync_loads or reason == "sab"
+            self.stats.violations.append(
+                ViolationRecord(
+                    epoch=victim,
+                    time=time,
+                    reason=reason,
+                    load_iid=load_iid,
+                    compiler_marked=marked_c,
+                    hardware_marked=marked_hw,
+                )
+            )
+            if self.engine.tracer is not None:
+                self.engine.tracer.violation(victim, time, reason)
+            if load_iid is not None:
+                self.engine.hw_table.record_violation(load_iid)
+        for logical in sorted(k for k in self.active if k >= victim):
+            run = self.active[logical]
+            self._squash(run, time, restart=True)
+
+    def _squash(self, run: EpochRun, time: float, restart: bool) -> None:
+        width = self.config.issue_width
+        if self.engine.tracer is not None:
+            self.engine.tracer.squash(
+                run.logical, run.generation, run.core, time,
+                "restart" if restart else "control",
+            )
+        self.fail_slots += run.consumed_slots(time, width)
+        self.stats.epochs_squashed += 1
+        self.stats.max_signal_buffer = max(
+            self.stats.max_signal_buffer, run.sab.high_water
+        )
+        self.channels.withdraw_generation(run.logical, run.generation)
+        if restart:
+            replacement = EpochRun(
+                logical=run.logical,
+                generation=run.generation + 1,
+                core=run.core,
+                clock=time + self.config.violation_penalty,
+                frame=Frame(
+                    function_name=self.frame.function_name,
+                    regs=dict(self.frame.regs),
+                    block=self.info.annotation.header,
+                ),
+                sab_capacity=self.config.signal_buffer_entries,
+            )
+            replacement.no_predict = run.no_predict
+            self.active[run.logical] = replacement
+            if self.engine.tracer is not None:
+                self.engine.tracer.epoch_start(
+                    replacement.logical,
+                    replacement.generation,
+                    replacement.core,
+                    replacement.clock,
+                )
+        else:
+            del self.active[run.logical]
+
+    # -- commit -----------------------------------------------------------------
+
+    def _commit(self, run: EpochRun, eff: float) -> None:
+        config = self.config
+        commit_end = (
+            eff + config.commit_base + config.commit_per_line * len(run.dirty_lines)
+        )
+        # Verify value predictions against committed state first.
+        for load_iid, addr, predicted in run.predictions:
+            actual = self.engine.memory.load(addr) if addr else 0
+            correct = actual == predicted
+            self.engine.predictor.record_outcome(correct)
+            self.engine.predictor.train(load_iid, actual)
+            if not correct:
+                self._violate_from(
+                    run.logical, commit_end, reason="prediction", load_iid=load_iid
+                )
+                self.active[run.logical].no_predict = True
+                return
+        # Flush the write buffer (intra-epoch ordering already merged).
+        for addr, value in run.write_buffer.items():
+            self.engine.memory.store(addr, value)
+        # Rule (b): dirty lines squash later epochs that exposed the line
+        # before this commit made the stored value visible.
+        victims: List[Tuple[int, Optional[int]]] = []
+        for line in run.dirty_lines:
+            for other in self.active.values():
+                if other.logical > run.logical and line in other.exposed_lines:
+                    loads = other.exposed_loads.get(line) or [None]
+                    victims.append((other.logical, loads[0]))
+        self._finalize_commit(run, commit_end)
+        if victims and not self.finished:
+            victims.sort(key=lambda v: v[0])
+            first_victim, load_iid = victims[0]
+            self._violate_from(
+                first_victim, commit_end, reason="commit", load_iid=load_iid
+            )
+
+    def _finalize_commit(self, run: EpochRun, commit_end: float) -> None:
+        config = self.config
+        width = config.issue_width
+        if config.prediction:
+            for load_iid, value in run.load_values.items():
+                self.engine.predictor.train(load_iid, value)
+        self.stats.slots.busy += run.busy_slots
+        self.stats.slots.sync += run.sync_cycles * width
+        self.stats.sync_scalar += run.sync_scalar * width
+        self.stats.sync_memory += run.sync_mem * width
+        self.stats.sync_hw += run.sync_hw * width
+        self.stats.epochs_committed += 1
+        self.stats.max_signal_buffer = max(
+            self.stats.max_signal_buffer, run.sab.high_water
+        )
+        self.engine.hw_table.on_commit()
+        if self.engine.tracer is not None:
+            self.engine.tracer.commit(
+                run.logical, run.generation, run.core, commit_end
+            )
+        del self.active[run.logical]
+        self.committed_upto = run.logical
+        self.last_commit_end = commit_end
+        self.core_free[run.core] = commit_end
+        if run.exited:
+            self.exit_run = run
+            self.stats.end_time = commit_end
+            self.finished = True
+            for logical in sorted(self.active):
+                self._squash(self.active[logical], commit_end, restart=False)
+            self.active.clear()
+            if self.engine.tracer is not None:
+                self.engine.tracer.region_end(commit_end)
+
+    # -- epoch end -----------------------------------------------------------
+
+    def _finish_epoch(self, run: EpochRun, exited: bool, target: str) -> None:
+        self._auto_flush(run)
+        run.exited = exited
+        run.exit_target = target if exited else None
+        run.state = "done"
+
+    def _auto_flush(self, run: EpochRun) -> None:
+        annotation = self.info.annotation
+        consumer = run.logical + 1
+        clock = run.clock
+        for channel in annotation.scalar_channels:
+            if run.signal_counts.get((channel, "value")):
+                continue
+            chan_info = self.module.channels[channel]
+            reg = chan_info.scalar or ""
+            if reg in run.frames[0].regs:
+                payload = run.frames[0].regs[reg]
+            elif (channel, "value") in run.received:
+                payload = run.received[(channel, "value")]
+            else:
+                continue
+            self.channels.send(
+                channel, consumer, "value", payload, clock,
+                run.logical, run.generation,
+            )
+        if not self.config.compiler_mem_sync:
+            return
+        for channel in annotation.mem_channels:
+            if run.signal_counts.get((channel, "addr")):
+                continue
+            addr = run.received.get((channel, "addr"), 0)
+            if addr and addr in run.write_buffer:
+                value = run.write_buffer[addr]
+            else:
+                value = run.received.get((channel, "value"), 0)
+            self.channels.send(
+                channel, consumer, "addr", addr, clock,
+                run.logical, run.generation,
+            )
+            self.channels.send(
+                channel, consumer, "value", value, clock,
+                run.logical, run.generation,
+            )
+
+    # -- one instruction ---------------------------------------------------------
+
+    def _is_oldest(self, run: EpochRun) -> bool:
+        return run.logical == self.committed_upto + 1
+
+    def _charge(self, run: EpochRun, latency: float) -> None:
+        run.clock += latency / self.config.issue_width
+        run.busy_slots += 1.0
+
+    def _park(self, run: EpochRun, reason: str) -> None:
+        run.state = "parked"
+        run.park_reason = reason
+
+    def _step(self, run: EpochRun) -> None:
+        engine = self.engine
+        config = self.config
+        run.steps += 1
+        self.total_steps += 1
+        if run.steps > config.max_epoch_steps:
+            if self._is_oldest(run):
+                raise EngineError(
+                    f"oldest epoch {run.logical} exceeded step limit "
+                    f"(non-terminating loop body?)"
+                )
+            self._park(run, "fuel")
+            return
+        if self.total_steps > config.max_region_steps:
+            raise EngineError("region step limit exceeded")
+
+        frame = run.frames[-1]
+        block = self.module.function(frame.function_name).block(frame.block)
+        instr = block.instructions[frame.index]
+
+        def value(op) -> int:
+            if isinstance(op, Imm):
+                return op.value
+            if isinstance(op, GlobalRef):
+                return engine.memory.addr_of(op.name)
+            try:
+                return frame.regs[op.name]
+            except KeyError:
+                raise EngineError(
+                    f"epoch {run.logical}: read of undefined register %{op.name} "
+                    f"in {frame.function_name}"
+                ) from None
+
+        if isinstance(instr, Const):
+            frame.regs[instr.dest.name] = instr.value
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        elif isinstance(instr, Move):
+            frame.regs[instr.dest.name] = value(instr.src)
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        elif isinstance(instr, BinOp):
+            lhs, rhs = value(instr.lhs), value(instr.rhs)
+            if instr.op in ("div", "mod") and rhs == 0 and not self._is_oldest(run):
+                self._park(run, "div0")
+                return
+            frame.regs[instr.dest.name] = eval_binop(instr.op, lhs, rhs)
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        elif isinstance(instr, UnOp):
+            frame.regs[instr.dest.name] = eval_unop(instr.op, value(instr.src))
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        elif isinstance(instr, Load):
+            self._exec_load(run, frame, instr, value)
+        elif isinstance(instr, Store):
+            self._exec_store(run, frame, instr, value)
+        elif isinstance(instr, Alloc):
+            raise EngineError(
+                "alloc inside a speculative epoch is not supported; "
+                "pre-allocate memory before the parallelized loop"
+            )
+        elif isinstance(instr, Call):
+            callee = self.module.function(instr.callee)
+            values = [value(a) for a in instr.args]
+            self._charge(run, instruction_latency(config, instr))
+            run.frames.append(
+                Frame(
+                    function_name=instr.callee,
+                    regs={p.name: v for p, v in zip(callee.params, values)},
+                    block=callee.entry_label,
+                    call_instr=instr,
+                )
+            )
+        elif isinstance(instr, Ret):
+            if len(run.frames) == 1:
+                raise EngineError("return from inside a parallelized loop")
+            retval = value(instr.value) if instr.value is not None else None
+            self._charge(run, instruction_latency(config, instr))
+            run.frames.pop()
+            caller = run.frames[-1]
+            call = self.module.function(caller.function_name).block(
+                caller.block
+            ).instructions[caller.index]
+            if call.dest is not None:
+                if retval is None:
+                    raise EngineError(f"void return into %{call.dest.name}")
+                caller.regs[call.dest.name] = retval
+            caller.index += 1
+        elif isinstance(instr, (Jump, CondBr)):
+            if isinstance(instr, Jump):
+                target = instr.target
+            else:
+                target = (
+                    instr.true_target if value(instr.cond) else instr.false_target
+                )
+            self._charge(run, instruction_latency(config, instr))
+            if len(run.frames) == 1:
+                if target == self.info.annotation.header:
+                    self._finish_epoch(run, exited=False, target=target)
+                    return
+                if target not in self.info.blocks:
+                    self._finish_epoch(run, exited=True, target=target)
+                    return
+            frame.block = target
+            frame.index = 0
+        elif isinstance(instr, Wait):
+            self._exec_wait(run, frame, instr)
+        elif isinstance(instr, Signal):
+            self._exec_signal(run, frame, instr, value)
+        elif isinstance(instr, Check):
+            f_addr = value(instr.f_addr)
+            m_addr = value(instr.m_addr) + instr.offset
+            run.fwd_flag = bool(f_addr != 0 and f_addr == m_addr)
+            run.fwd_addr = f_addr
+            if run.last_mem_channel is not None:
+                stats = engine.channel_stats.setdefault(
+                    run.last_mem_channel, [0, 0]
+                )
+                stats[0] += 1
+                if run.fwd_flag:
+                    stats[1] += 1
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        elif isinstance(instr, Select):
+            chosen = instr.f_value if run.fwd_flag else instr.m_value
+            frame.regs[instr.dest.name] = value(chosen)
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        elif isinstance(instr, Resume):
+            run.fwd_flag = False
+            run.fwd_addr = 0
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+        else:
+            raise EngineError(f"cannot execute {type(instr).__name__} in epoch")
+
+    # -- memory instructions -------------------------------------------------
+
+    def _exec_load(self, run: EpochRun, frame: Frame, instr: Load, value) -> None:
+        engine = self.engine
+        config = self.config
+        addr = value(instr.addr) + instr.offset
+        # Static load identity: the instruction id acts as the PC, so a
+        # cloned procedure's loads are distinct (as they are in hardware).
+        load_id = instr.iid
+
+        if addr == 0:
+            if self._is_oldest(run):
+                raise EngineError(
+                    f"NULL pointer dereference in epoch {run.logical} "
+                    f"({frame.function_name})"
+                )
+            self._park(run, "null")
+            return
+
+        line = engine.caches.line_of(addr)
+        # Violation-detection unit: whole line (coherence-based, false
+        # sharing visible) or single word (ideal per-word access bits).
+        unit = line if config.violation_granularity == "line" else addr
+
+        # Track dynamic occurrences so oracle lookups stay aligned with
+        # the sequential trace (which records *every* dynamic load).
+        occurrence: Optional[int] = None
+        if config.oracle_mode != "off":
+            occurrence = run.oracle_occ.get(load_id, 0)
+            run.oracle_occ[load_id] = occurrence + 1
+
+        # Own speculative buffer: not exposed.
+        if addr in run.write_buffer:
+            if run.fwd_flag and addr == run.fwd_addr:
+                run.fwd_flag = False  # value locally overwritten
+            frame.regs[instr.dest.name] = run.write_buffer[addr]
+            self._charge(run, float(config.lat_l1))
+            frame.index += 1
+            return
+
+        # Oracle modes: perfect forwarding for the configured load set.
+        oracled = False
+        if config.oracle_mode == "all":
+            oracled = True
+        elif config.oracle_mode == "sync" and load_id in engine.sync_loads:
+            oracled = True
+        elif config.oracle_mode == "set" and load_id in config.oracle_set:
+            oracled = True
+        if oracled:
+            oracle_value = engine.oracle.lookup(
+                self.region_index, run.logical, load_id, occurrence
+            )
+            if oracle_value is not None:
+                frame.regs[instr.dest.name] = oracle_value
+                self._charge(run, float(config.lat_l1))
+                frame.index += 1
+                return
+
+        # Forwarded-value protocol: a load under the use_forwarded_value
+        # flag accesses only the speculative cache and is not exposed.
+        if run.fwd_flag and addr == run.fwd_addr:
+            frame.regs[instr.dest.name] = engine.memory.load(addr)
+            self._charge(run, float(config.lat_l1))
+            frame.index += 1
+            return
+
+        # Hardware-inserted synchronization: stall tracked loads until
+        # this epoch is the oldest in flight.
+        if (
+            config.hw_sync
+            and not self._is_oldest(run)
+            and engine.hw_table.should_synchronize(load_id)
+        ):
+            run.state = "wait_oldest"
+            run.wait_started = run.clock
+            return
+
+        # Hardware value prediction for violating loads.
+        if (
+            config.prediction
+            and not run.no_predict
+            and not self._is_oldest(run)
+            and engine.hw_table.is_tracked(load_id)
+        ):
+            predicted = engine.predictor.predict(load_id)
+            if predicted is not None:
+                run.predictions.append((load_id, addr, predicted))
+                frame.regs[instr.dest.name] = predicted
+                self._charge(run, float(config.lat_l1))
+                frame.index += 1
+                return
+
+        # Ordinary exposed speculative load: read committed memory.
+        loaded = engine.memory.load(addr)
+        frame.regs[instr.dest.name] = loaded
+        run.load_values[load_id] = loaded
+        if unit not in run.exposed_lines:
+            run.exposed_lines.add(unit)
+            run.exposed_loads[unit] = [load_id]
+        else:
+            loads = run.exposed_loads[unit]
+            if load_id not in loads:
+                loads.append(load_id)
+        self._charge(run, engine.caches.access(run.core, line))
+        frame.index += 1
+
+    def _exec_store(self, run: EpochRun, frame: Frame, instr: Store, value) -> None:
+        engine = self.engine
+        config = self.config
+        addr = value(instr.addr) + instr.offset
+        if addr == 0:
+            if self._is_oldest(run):
+                raise EngineError(
+                    f"NULL pointer store in epoch {run.logical} "
+                    f"({frame.function_name})"
+                )
+            self._park(run, "null")
+            return
+        stored = value(instr.value)
+        line = engine.caches.line_of(addr)
+        unit = line if config.violation_granularity == "line" else addr
+        latency = engine.caches.access(run.core, line)
+
+        # Signal address buffer: correcting a forwarded value.
+        channel = run.sab.channel_for(addr)
+        if channel is not None and config.compiler_mem_sync:
+            replaced = self.channels.replace_last(
+                channel, run.logical + 1, "value", stored, run.clock
+            )
+            consumer = self.active.get(run.logical + 1)
+            stale_consumed = (
+                replaced is not None
+                and consumer is not None
+                and replaced.consumed_gen == consumer.generation
+            )
+            run.write_buffer[addr] = stored
+            run.dirty_lines.add(unit)
+            self._charge(run, latency)
+            frame.index += 1
+            if stale_consumed or (replaced is None and consumer is not None):
+                self._violate_from(
+                    run.logical + 1, run.clock, reason="sab", load_iid=None
+                )
+            return
+
+        run.write_buffer[addr] = stored
+        run.dirty_lines.add(unit)
+        self._charge(run, latency)
+        frame.index += 1
+
+        # Rule (a): eager cross-epoch violation detection at store time.
+        victims = [
+            other.logical
+            for other in self.active.values()
+            if other.logical > run.logical and unit in other.exposed_lines
+        ]
+        if victims:
+            first = min(victims)
+            loads = self.active[first].exposed_loads.get(unit) or [None]
+            self._violate_from(first, run.clock, reason="store", load_iid=loads[0])
+
+    # -- synchronization instructions ------------------------------------------
+
+    def _exec_wait(self, run: EpochRun, frame: Frame, instr: Wait) -> None:
+        config = self.config
+        channel = instr.channel
+        kind = instr.kind
+        info = self.module.channels.get(channel)
+        is_mem = info is not None and info.kind == "mem"
+
+        if is_mem and kind == "addr":
+            run.last_mem_channel = channel
+        if is_mem and not config.compiler_mem_sync:
+            frame.regs[instr.dest.name] = 0
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+            return
+        if is_mem and config.hybrid_filter and self._channel_filtered(channel):
+            # Refinement (iii): the hardware has learned this channel's
+            # forwards rarely check out; stop stalling for it.
+            frame.regs[instr.dest.name] = 0
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+            return
+        if is_mem and config.oracle_mode == "sync":
+            # E bars: synchronized values arrive for free via the oracle.
+            frame.regs[instr.dest.name] = 0
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+            return
+        if (
+            is_mem
+            and config.l_mode_stall
+            and kind == "addr"
+            and not self._is_oldest(run)
+        ):
+            run.state = "wait_oldest"
+            run.wait_started = run.clock
+            return
+
+        cursor_key = (channel, kind)
+        cursor = run.cursors.get(cursor_key, 0)
+        message = self.channels.peek(channel, run.logical, kind, cursor)
+        if message is not None:
+            arrival = self.channels.arrival_time(message)
+            if arrival <= run.clock:
+                message.consumed_gen = run.generation
+                run.cursors[cursor_key] = cursor + 1
+                run.received[cursor_key] = message.payload
+                frame.regs[instr.dest.name] = message.payload
+                self._charge(run, instruction_latency(config, instr))
+                frame.index += 1
+                return
+            # Message in flight: stall until it arrives.
+            run.state = "wait_msg"
+            run.wait_channel = channel
+            run.wait_kind = kind
+            run.wait_started = run.clock
+            return
+        if cursor_key in run.received:
+            # Re-executed wait within the same epoch: reuse the value.
+            frame.regs[instr.dest.name] = run.received[cursor_key]
+            self._charge(run, instruction_latency(config, instr))
+            frame.index += 1
+            return
+        run.state = "wait_msg"
+        run.wait_channel = channel
+        run.wait_kind = kind
+        run.wait_started = run.clock
+
+    def _channel_filtered(self, channel: str) -> bool:
+        stats = self.engine.channel_stats.get(channel)
+        if stats is None or stats[0] < self.config.filter_min_samples:
+            return False
+        return stats[1] / stats[0] < self.config.filter_min_success
+
+    def _exec_signal(self, run: EpochRun, frame: Frame, instr: Signal, value) -> None:
+        config = self.config
+        channel = instr.channel
+        kind = instr.kind
+        info = self.module.channels.get(channel)
+        is_mem = info is not None and info.kind == "mem"
+        payload = value(instr.value)
+        self._charge(run, instruction_latency(config, instr))
+        frame.index += 1
+        if is_mem and not config.compiler_mem_sync:
+            return  # marking mode: synchronization not enforced
+        key = (channel, kind)
+        count = run.signal_counts.get(key, 0)
+        consumer = run.logical + 1
+        if count:
+            # Re-signal on the same channel: correct the earlier message
+            # and restart the consumer if it already used the stale one.
+            replaced = self.channels.replace_last(
+                channel, consumer, kind, payload, run.clock
+            )
+            consumer_run = self.active.get(consumer)
+            if (
+                replaced is not None
+                and consumer_run is not None
+                and replaced.consumed_gen == consumer_run.generation
+            ):
+                self._violate_from(consumer, run.clock, reason="sab", load_iid=None)
+            return
+        run.signal_counts[key] = count + 1
+        self.channels.send(
+            channel, consumer, kind, payload, run.clock, run.logical, run.generation
+        )
+        if kind == "addr":
+            run.sab.record(payload, channel)

@@ -1,0 +1,178 @@
+"""Point-to-point forwarding channels and the signal address buffer.
+
+Implements the runtime half of the paper's Section 2.2 protocol:
+
+* ``signal`` sends a word from epoch *k* to epoch *k+1* over a named
+  channel; memory-resident groups send an address message followed by a
+  value message.
+* ``wait`` blocks the consumer until the matching message arrives.
+* The **signal address buffer** records each forwarded address in the
+  producer; when a later store of the same epoch writes a recorded
+  address, the corrected value replaces the in-flight message and, if
+  the consumer already consumed the stale one, the consumer is
+  restarted ("the producer ... will notice that it is storing to an
+  address that is already in the signal address buffer, and send a
+  signal which restarts the consumer epoch").
+
+Messages are tagged with the producer's run generation so that a
+squashed producer's messages can be withdrawn wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Message:
+    """One forwarded word."""
+
+    kind: str           # 'value' or 'addr'
+    payload: int
+    send_time: float
+    producer_epoch: int
+    producer_generation: int
+    #: generation of the consumer run that consumed this message, if any
+    consumed_gen: int = -1
+
+
+class ChannelBank:
+    """All channel state for one region execution."""
+
+    def __init__(self, forward_latency: float):
+        self.forward_latency = forward_latency
+        # (channel, consumer_epoch) -> messages in arrival order
+        self._queues: Dict[Tuple[str, int], List[Message]] = {}
+
+    # -- producer side ----------------------------------------------------
+
+    def send(
+        self,
+        channel: str,
+        consumer_epoch: int,
+        kind: str,
+        payload: int,
+        time: float,
+        producer_epoch: int,
+        generation: int,
+    ) -> Message:
+        message = Message(
+            kind=kind,
+            payload=payload,
+            send_time=time,
+            producer_epoch=producer_epoch,
+            producer_generation=generation,
+        )
+        queue = self._queues.setdefault((channel, consumer_epoch), [])
+        queue.append(message)
+        return message
+
+    def seed(self, channel: str, consumer_epoch: int, kind: str, payload: int) -> None:
+        """Pre-load a channel for epoch 0 (values live at region start)."""
+        self.send(
+            channel,
+            consumer_epoch,
+            kind,
+            payload,
+            time=float("-inf"),
+            producer_epoch=-1,
+            generation=0,
+        )
+
+    def replace_last(
+        self,
+        channel: str,
+        consumer_epoch: int,
+        kind: str,
+        payload: int,
+        time: float,
+    ) -> Optional[Message]:
+        """Overwrite the newest ``kind`` message (signal-buffer hit).
+
+        Returns the replaced message (so the caller can check whether
+        the stale value had already been consumed), or None when no
+        message of that kind is pending.
+        """
+        queue = self._queues.get((channel, consumer_epoch), [])
+        for message in reversed(queue):
+            if message.kind == kind:
+                replaced = Message(
+                    kind=message.kind,
+                    payload=message.payload,
+                    send_time=message.send_time,
+                    producer_epoch=message.producer_epoch,
+                    producer_generation=message.producer_generation,
+                    consumed_gen=message.consumed_gen,
+                )
+                message.payload = payload
+                message.send_time = max(message.send_time, time)
+                message.consumed_gen = -1
+                return replaced
+        return None
+
+    def withdraw_generation(self, producer_epoch: int, generation: int) -> None:
+        """Drop every message a squashed producer run sent."""
+        for queue in self._queues.values():
+            queue[:] = [
+                m
+                for m in queue
+                if not (
+                    m.producer_epoch == producer_epoch
+                    and m.producer_generation == generation
+                )
+            ]
+
+    # -- consumer side ------------------------------------------------------
+
+    def peek(
+        self, channel: str, consumer_epoch: int, kind: str, cursor: int
+    ) -> Optional[Message]:
+        """The ``cursor``-th message of ``kind``, if it exists."""
+        queue = self._queues.get((channel, consumer_epoch), [])
+        seen = 0
+        for message in queue:
+            if message.kind != kind:
+                continue
+            if seen == cursor:
+                return message
+            seen += 1
+        return None
+
+    def arrival_time(self, message: Message) -> float:
+        if message.send_time == float("-inf"):
+            return float("-inf")
+        return message.send_time + self.forward_latency
+
+
+class SignalAddressBuffer:
+    """Per-epoch record of forwarded addresses (paper: <= 10 entries).
+
+    Maps forwarded address -> channel so a conflicting later store can
+    locate the message to correct.  Overflow falls back to restarting
+    the consumer unconditionally (never observed with paper-sized
+    programs; the experiments confirm <= 10 live entries).
+    """
+
+    def __init__(self, capacity: int = 10):
+        self.capacity = capacity
+        self._entries: Dict[int, str] = {}
+        self.high_water = 0
+        self.overflowed = False
+
+    def record(self, addr: int, channel: str) -> None:
+        if addr == 0:
+            return  # NULL forwards need no write-conflict tracking
+        if addr not in self._entries and len(self._entries) >= self.capacity:
+            self.overflowed = True
+        self._entries[addr] = channel
+        self.high_water = max(self.high_water, len(self._entries))
+
+    def channel_for(self, addr: int) -> Optional[str]:
+        return self._entries.get(addr)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

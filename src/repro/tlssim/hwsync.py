@@ -1,0 +1,81 @@
+"""Hardware-inserted synchronization (the paper's H bars, after [25]).
+
+The hardware tracks loads that have caused speculation to fail in a
+small table (32 entries in [25]).  When a speculative epoch issues a
+load whose (static) identity is in the table with enough recorded
+violations, the load is stalled "until the previous epoch completes" —
+i.e. until the epoch becomes the oldest in flight — instead of being
+issued speculatively.  To avoid over-synchronizing loads whose
+dependences die out, the table is periodically reset (paper Section
+4.2: "we periodically reset the table that tracks the loads that have
+caused speculation to fail").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class ViolatingLoadTable:
+    """LRU table of load ids that caused violations, with periodic reset."""
+
+    def __init__(
+        self,
+        size: int = 32,
+        threshold: int = 2,
+        reset_interval: int = 64,
+        persistent=(),
+    ):
+        if size < 1:
+            raise ValueError("table size must be >= 1")
+        self.size = size
+        self.threshold = threshold
+        self.reset_interval = reset_interval
+        #: Load ids the compiler hints as frequently violating (paper
+        #: Section 4.2 refinement (iv)): the periodic reset keeps their
+        #: entries, so the hardware never "forgets" a known-hot load.
+        self.persistent = frozenset(persistent)
+        self._counts: "OrderedDict[int, int]" = OrderedDict()
+        self._commits_since_reset = 0
+        self.resets = 0
+        self.insertions = 0
+
+    def record_violation(self, load_iid: Optional[int]) -> None:
+        """Note that ``load_iid`` caused a speculation failure."""
+        if load_iid is None:
+            return
+        if load_iid in self._counts:
+            self._counts[load_iid] += 1
+            self._counts.move_to_end(load_iid)
+            return
+        self._counts[load_iid] = 1
+        self.insertions += 1
+        if len(self._counts) > self.size:
+            self._counts.popitem(last=False)
+
+    def should_synchronize(self, load_iid: Optional[int]) -> bool:
+        """True when the hardware would stall this load."""
+        if load_iid is None:
+            return False
+        count = self._counts.get(load_iid)
+        return count is not None and count >= self.threshold
+
+    def is_tracked(self, load_iid: Optional[int]) -> bool:
+        return load_iid is not None and load_iid in self._counts
+
+    def on_commit(self) -> None:
+        """Advance the periodic-reset clock by one committed epoch."""
+        self._commits_since_reset += 1
+        if self.reset_interval and self._commits_since_reset >= self.reset_interval:
+            kept = OrderedDict(
+                (iid, count)
+                for iid, count in self._counts.items()
+                if iid in self.persistent
+            )
+            self._counts = kept
+            self._commits_since_reset = 0
+            self.resets += 1
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,83 @@
+"""Value oracles for the idealized forwarding experiments.
+
+The paper's limit studies (Figure 2's O bars, Figure 6's frequency
+sweep, Figure 9's E bars) model *perfect* value communication: chosen
+loads always receive the value they would see in a sequential
+execution, with no stall and no violation.  We realize this by running
+the program sequentially first and recording, for every parallelized
+region instance and epoch, the value of each dynamic load — keyed by
+(load origin id, occurrence number within the epoch).  The TLS engine
+replays those values for the oracled load set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.interpreter import Hooks, Interpreter
+from repro.ir.module import Module
+
+#: (load iid, occurrence-within-epoch) -> value
+EpochValues = Dict[Tuple[int, int], int]
+
+
+class OracleCollector(Hooks):
+    """Interpreter hooks recording per-epoch load values."""
+
+    def __init__(self):
+        #: one entry per region instance, in dynamic encounter order
+        self.regions: List[Dict[int, EpochValues]] = []
+        self._current: Optional[Dict[int, EpochValues]] = None
+        self._epoch: int = -1
+        self._occurrence: Dict[int, int] = {}
+
+    def on_region_enter(self, function, header, instance):
+        self._current = {}
+        self.regions.append(self._current)
+
+    def on_epoch_start(self, epoch):
+        self._epoch = epoch
+        self._occurrence = {}
+        if self._current is not None:
+            self._current[epoch] = {}
+
+    def on_region_exit(self, function, header, epochs):
+        self._current = None
+
+    def on_load(self, instr, stack, addr, value, epoch):
+        if self._current is None or epoch is None:
+            return
+        load_id = instr.iid
+        occurrence = self._occurrence.get(load_id, 0)
+        self._occurrence[load_id] = occurrence + 1
+        self._current[epoch][(load_id, occurrence)] = value
+
+
+class ValueOracle:
+    """Query interface over collected per-epoch load values."""
+
+    def __init__(self, regions: List[Dict[int, EpochValues]]):
+        self._regions = regions
+
+    def lookup(
+        self, region_index: int, epoch: int, load_iid: int, occurrence: int
+    ) -> Optional[int]:
+        """Sequentially-observed value, or None when outside the trace
+        (e.g. control-speculated epochs beyond the loop exit)."""
+        if region_index >= len(self._regions):
+            return None
+        epoch_values = self._regions[region_index].get(epoch)
+        if epoch_values is None:
+            return None
+        return epoch_values.get((load_iid, occurrence))
+
+    @property
+    def region_count(self) -> int:
+        return len(self._regions)
+
+
+def collect_oracle(module: Module, fuel: int = 50_000_000) -> ValueOracle:
+    """Run ``module`` sequentially and build its value oracle."""
+    collector = OracleCollector()
+    Interpreter(module, hooks=collector, fuel=fuel).run()
+    return ValueOracle(collector.regions)

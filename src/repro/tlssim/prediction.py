@@ -1,0 +1,69 @@
+"""Hardware last-value prediction for violating loads (the P bars).
+
+Per [25], value prediction targets loads that have caused violations:
+instead of stalling, the consumer uses the last committed value of the
+load and verifies it at commit time; a mispredict is a violation.  A
+confidence counter gates predictions so cold or unstable loads are not
+predicted.  The paper finds this technique has "insignificant effect on
+performance, indicating that forwarded memory-resident values are
+unpredictable" — our reproduction keeps the mechanism faithful so that
+result emerges rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PredictionEntry:
+    value: int
+    confidence: int = 0
+
+
+class LastValuePredictor:
+    """LRU last-value table keyed by static load id."""
+
+    def __init__(self, size: int = 32, confidence_threshold: int = 2):
+        self.size = size
+        self.confidence_threshold = confidence_threshold
+        self._entries: "OrderedDict[int, PredictionEntry]" = OrderedDict()
+        self.predictions_used = 0
+        self.mispredictions = 0
+
+    def predict(self, load_iid: Optional[int]) -> Optional[int]:
+        """Predicted value for the load, or None when not confident."""
+        if load_iid is None:
+            return None
+        entry = self._entries.get(load_iid)
+        if entry is None or entry.confidence < self.confidence_threshold:
+            return None
+        self._entries.move_to_end(load_iid)
+        return entry.value
+
+    def train(self, load_iid: Optional[int], actual: int) -> None:
+        """Update the table with the committed value of a load."""
+        if load_iid is None:
+            return
+        entry = self._entries.get(load_iid)
+        if entry is None:
+            self._entries[load_iid] = PredictionEntry(value=actual, confidence=0)
+            if len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+            return
+        if entry.value == actual:
+            entry.confidence = min(entry.confidence + 1, 3)
+        else:
+            entry.value = actual
+            entry.confidence = 0
+        self._entries.move_to_end(load_iid)
+
+    def record_outcome(self, correct: bool) -> None:
+        self.predictions_used += 1
+        if not correct:
+            self.mispredictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

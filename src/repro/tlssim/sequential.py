@@ -1,0 +1,41 @@
+"""Sequential baseline simulation.
+
+Runs the (untransformed) program on a single core of the simulated
+machine with the same cost model as the TLS engine, attributing cycles
+to the annotated regions so that parallel region times can be
+normalized against the sequential region times, exactly as the paper's
+bar charts are ("each bar is normalized to the execution time of the
+original sequential version").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ir.module import Module
+from repro.tlssim.config import SimConfig
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.stats import SimResult
+
+
+def simulate_sequential(
+    module: Module,
+    config: Optional[SimConfig] = None,
+    function: str = "main",
+    args: Tuple[int, ...] = (),
+) -> SimResult:
+    """Simulate ``module`` sequentially; regions tracked, not parallelized."""
+    engine = TLSEngine(module, config=config, parallel=False)
+    return engine.run(function=function, args=args)
+
+
+def simulate_tls(
+    module: Module,
+    config: Optional[SimConfig] = None,
+    oracle=None,
+    function: str = "main",
+    args: Tuple[int, ...] = (),
+) -> SimResult:
+    """Simulate ``module`` with TLS-parallel regions."""
+    engine = TLSEngine(module, config=config, oracle=oracle)
+    return engine.run(function=function, args=args)

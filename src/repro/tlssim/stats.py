@@ -1,0 +1,151 @@
+"""Graduation-slot accounting and simulation results.
+
+The paper reports region execution time decomposed into four slot
+categories (Section 1.2): *busy* (instructions graduate), *fail* (slots
+wasted on failed speculation), *sync* (stalled on synchronization) and
+*other* (everything else: memory stalls, idle cores, commit waits).
+The number of slots is issue width x cycles x processors; we track
+busy/sync/fail directly and derive *other* as the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SlotBreakdown:
+    """Slot counts for one region execution."""
+
+    busy: float = 0.0
+    fail: float = 0.0
+    sync: float = 0.0
+    total: float = 0.0
+
+    @property
+    def other(self) -> float:
+        return max(0.0, self.total - self.busy - self.fail - self.sync)
+
+    def normalized(self, scale: float) -> Dict[str, float]:
+        """Segments scaled so they sum to ``scale`` (bar rendering)."""
+        if self.total <= 0:
+            return {"busy": 0.0, "fail": 0.0, "sync": 0.0, "other": 0.0}
+        factor = scale / self.total
+        return {
+            "busy": self.busy * factor,
+            "fail": self.fail * factor,
+            "sync": self.sync * factor,
+            "other": self.other * factor,
+        }
+
+
+@dataclass
+class ViolationRecord:
+    """One squash event, for the Figure 11 classification."""
+
+    epoch: int
+    time: float
+    reason: str            # 'store', 'commit', 'sab', 'prediction', 'control'
+    load_iid: Optional[int] = None
+    compiler_marked: bool = False
+    hardware_marked: bool = False
+
+
+@dataclass
+class RegionStats:
+    """Aggregate results for one parallelized-region instance."""
+
+    function: str
+    header: str
+    start_time: float = 0.0
+    end_time: float = 0.0
+    epochs_committed: int = 0
+    epochs_squashed: int = 0
+    violations: List[ViolationRecord] = field(default_factory=list)
+    slots: SlotBreakdown = field(default_factory=SlotBreakdown)
+    #: sync slots split by cause, for diagnostics
+    sync_scalar: float = 0.0
+    sync_memory: float = 0.0
+    sync_hw: float = 0.0
+    max_signal_buffer: int = 0
+
+    @property
+    def cycles(self) -> float:
+        return max(0.0, self.end_time - self.start_time)
+
+
+@dataclass
+class SimResult:
+    """Whole-program simulation outcome."""
+
+    return_value: Optional[int]
+    program_cycles: float
+    sequential_cycles: float = 0.0  # cycles outside parallelized regions
+    regions: List[RegionStats] = field(default_factory=list)
+    memory_checksum: int = 0
+
+    def region_cycles(self) -> float:
+        return sum(r.cycles for r in self.regions)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary (for external tooling/dashboards)."""
+        return {
+            "return_value": self.return_value,
+            "program_cycles": self.program_cycles,
+            "sequential_cycles": self.sequential_cycles,
+            "memory_checksum": self.memory_checksum,
+            "regions": [
+                {
+                    "function": r.function,
+                    "header": r.header,
+                    "cycles": r.cycles,
+                    "epochs_committed": r.epochs_committed,
+                    "epochs_squashed": r.epochs_squashed,
+                    "violations": len(r.violations),
+                    "slots": {
+                        "busy": r.slots.busy,
+                        "fail": r.slots.fail,
+                        "sync": r.slots.sync,
+                        "other": r.slots.other,
+                        "total": r.slots.total,
+                    },
+                    "sync_scalar": r.sync_scalar,
+                    "sync_memory": r.sync_memory,
+                    "sync_hw": r.sync_hw,
+                    "max_signal_buffer": r.max_signal_buffer,
+                }
+                for r in self.regions
+            ],
+        }
+
+    def merged_region_slots(self) -> SlotBreakdown:
+        merged = SlotBreakdown()
+        for region in self.regions:
+            merged.busy += region.slots.busy
+            merged.fail += region.slots.fail
+            merged.sync += region.slots.sync
+            merged.total += region.slots.total
+        return merged
+
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.regions)
+
+
+def normalized_region_time(
+    parallel: SimResult, sequential: SimResult
+) -> Tuple[float, Dict[str, float]]:
+    """Region time of ``parallel`` normalized to ``sequential`` (=100).
+
+    Returns ``(normalized_time, segments)`` where the segments dict has
+    busy/fail/sync/other heights summing to the normalized time — the
+    exact format of the paper's stacked bars (values below 100 are
+    region speedups).
+    """
+    seq_cycles = sequential.region_cycles()
+    par_cycles = parallel.region_cycles()
+    if seq_cycles <= 0:
+        raise ValueError("sequential run has no region cycles")
+    height = 100.0 * par_cycles / seq_cycles
+    segments = parallel.merged_region_slots().normalized(height)
+    return height, segments

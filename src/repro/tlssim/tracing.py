@@ -1,0 +1,139 @@
+"""Execution tracing and timeline rendering.
+
+A :class:`Tracer` passed to the engine records structured events —
+epoch starts, squashes, commits, violations and region boundaries —
+that debugging tools and the ``examples/timeline.py`` walkthrough can
+replay.  :func:`render_timeline` draws the per-core occupancy of a
+region as ASCII art: each row is a core; each segment is one epoch run,
+committed (``=``) or squashed (``x``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TraceEvent:
+    """One engine event."""
+
+    kind: str          # 'region_start' | 'region_end' | 'epoch_start'
+    #                  # | 'squash' | 'commit' | 'violation'
+    time: float
+    epoch: int = -1
+    generation: int = 0
+    core: int = -1
+    detail: str = ""
+
+
+class Tracer:
+    """Collects engine events; cheap enough to leave on in tests."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    # -- engine hook points -------------------------------------------------
+
+    def region_start(self, function: str, header: str, time: float) -> None:
+        self.events.append(
+            TraceEvent("region_start", time, detail=f"{function}:{header}")
+        )
+
+    def region_end(self, time: float) -> None:
+        self.events.append(TraceEvent("region_end", time))
+
+    def epoch_start(
+        self, epoch: int, generation: int, core: int, time: float
+    ) -> None:
+        self.events.append(
+            TraceEvent("epoch_start", time, epoch, generation, core)
+        )
+
+    def squash(
+        self, epoch: int, generation: int, core: int, time: float, reason: str
+    ) -> None:
+        self.events.append(
+            TraceEvent("squash", time, epoch, generation, core, reason)
+        )
+
+    def commit(self, epoch: int, generation: int, core: int, time: float) -> None:
+        self.events.append(TraceEvent("commit", time, epoch, generation, core))
+
+    def violation(self, epoch: int, time: float, reason: str) -> None:
+        self.events.append(TraceEvent("violation", time, epoch, detail=reason))
+
+    # -- queries -------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def runs(self) -> List[Tuple[int, int, int, float, float, bool]]:
+        """(epoch, generation, core, start, end, committed) per run."""
+        open_runs: Dict[Tuple[int, int], TraceEvent] = {}
+        finished = []
+        for event in self.events:
+            key = (event.epoch, event.generation)
+            if event.kind == "epoch_start":
+                open_runs[key] = event
+            elif event.kind in ("squash", "commit") and key in open_runs:
+                start = open_runs.pop(key)
+                finished.append(
+                    (
+                        event.epoch,
+                        event.generation,
+                        start.core,
+                        start.time,
+                        event.time,
+                        event.kind == "commit",
+                    )
+                )
+        return finished
+
+
+def render_timeline(
+    tracer: Tracer,
+    width: int = 76,
+    num_cores: Optional[int] = None,
+    max_epoch: Optional[int] = None,
+) -> str:
+    """ASCII per-core occupancy of the first traced region.
+
+    Committed runs render as ``[nn====]``, squashed ones as ``[nnxxxx]``
+    (nn = epoch index modulo 100); idle time is blank.  The scale is
+    linear from region start to region end.
+    """
+    runs = tracer.runs()
+    if max_epoch is not None:
+        runs = [r for r in runs if r[0] <= max_epoch]
+    if not runs:
+        return "(no epoch runs traced)"
+    start = min(r[3] for r in runs)
+    end = max(r[4] for r in runs)
+    span = max(end - start, 1e-9)
+    cores = num_cores or (max(r[2] for r in runs) + 1)
+
+    def column(time: float) -> int:
+        return min(width - 1, max(0, int((time - start) / span * width)))
+
+    rows = []
+    for core in range(cores):
+        line = [" "] * width
+        for epoch, _gen, run_core, run_start, run_end, committed in runs:
+            if run_core != core:
+                continue
+            left, right = column(run_start), column(run_end)
+            fill = "=" if committed else "x"
+            for position in range(left, max(right, left + 1)):
+                line[position] = fill
+            label = f"{epoch % 100:02d}"
+            if right - left >= 3:
+                line[left] = label[0]
+                line[left + 1] = label[1]
+        rows.append(f"core {core} |{''.join(line)}|")
+    header = (
+        f"t={start:.0f}"
+        + " " * max(1, width - len(f"t={start:.0f}") - len(f"t={end:.0f}") + 7)
+        + f"t={end:.0f}"
+    )
+    return "\n".join([header] + rows)

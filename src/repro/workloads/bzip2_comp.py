@@ -1,0 +1,103 @@
+"""BZIP2_COMP (SPEC 256.bzip2, compression) — many low-frequency loads.
+
+Signature (paper Section 2.4): BZIP2_COMP (with GZIP_COMP) "do not
+speed up with respect to sequential execution until we additionally
+predict loads with less-frequently occurring dependences ... Only when
+all loads that cause inter-epoch data dependences in more than 5% of
+all epochs are perfectly predicted are we able to improve the
+performance", motivating the paper's 5% threshold.
+
+Realization: the shared run-length state is *written* every epoch but
+*read* through one of eight coding paths chosen by the input symbol, so
+each static load causes an inter-epoch dependence in only ~11% of
+epochs.  Perfectly predicting the >25% or >15% load sets therefore
+predicts nothing and the region keeps failing; the >5% set (and the
+compiler's 5% grouping threshold) covers all eight loads.  Each path
+recomputes the state through a long local chain before the epoch-end
+store, so even synchronized the region barely beats the sequential
+version — the paper's ~0.94 region "speedup".
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 240
+PATHS = 8
+BAND = 90 // PATHS  # symbol band width per coding path
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    symbols = lcg_stream(seed, ITERS, 90)
+
+    mb = ModuleBuilder("bzip2_comp")
+    mb.global_var("symbols", ITERS, init=symbols)
+    mb.global_var("rle_state", 1, init=5)
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        saddr = fb.add("@symbols", "i")
+        symbol = fb.load(saddr)
+        front = emit_filler(fb, 2, salt=43)
+        # Eight coding paths; each reads the shared state through its
+        # own static load (~11% of epochs each) and recomputes it
+        # through a long local chain.
+        band = fb.div(symbol, BAND)
+        for path in range(PATHS):
+            is_last = path == PATHS - 1
+            take_label = f"p{path}"
+            next_label = f"q{path}" if not is_last else f"p{path}"
+            if not is_last:
+                here = fb.binop("eq", band, path)
+                fb.condbr(here, take_label, next_label)
+                fb.block(take_label)
+            else:
+                fb.jump(take_label)
+                fb.block(take_label)
+            state = fb.load("@rle_state")
+            work = emit_filler(fb, 44, salt=3 + path)
+            mixed = fb.binop("xor", state, work)
+            recoded = fb.add(mixed, symbol)
+            bounded = fb.mod(recoded, 49999)
+            fb.move(bounded, dest="contrib")
+            fb.jump("join")
+            if not is_last:
+                fb.block(next_label)
+        fb.block("join")
+        # The state is written every epoch, whatever path produced it.
+        fb.store("@rle_state", "contrib")
+        back = emit_filler(fb, 2, salt=47)
+        deposit = fb.binop("xor", back, "contrib")
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="bzip2_comp",
+        spec_name="256.bzip2-comp",
+        build=build,
+        train_input={"seed": 127},
+        ref_input={"seed": 887},
+        coverage=0.63,
+        seq_overhead=0.96,
+        description=(
+            "An every-epoch RLE-state store read through eight ~11% "
+            "coding paths: only the 5% threshold covers the loads "
+            "(Figure 6's point), and the long in-path chains keep even "
+            "the synchronized region near sequential speed."
+        ),
+    )
+)

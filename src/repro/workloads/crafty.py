@@ -1,0 +1,81 @@
+"""CRAFTY (SPEC 186.crafty) — low coverage, infrequent hash updates.
+
+Signature (paper Table 2: 14% coverage, region speedup ~1.16): chess
+position evaluation epochs are compute-heavy and mostly independent;
+a transposition-table update occurs in only ~9% of epochs, near
+the 5% threshold boundary, so the compiler synchronizes a single
+borderline dependence.  Both synchronization schemes yield small,
+comparable improvements; the low region coverage keeps the program-
+level impact modest.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 200
+TABLE = 128
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    positions = lcg_stream(seed, ITERS, 100)
+
+    mb = ModuleBuilder("crafty")
+    mb.global_var("positions", ITERS, init=positions)
+    mb.global_var("hash_hits", 1, init=5)
+    mb.global_var("tt", TABLE, init=lcg_stream(seed + 29, TABLE, 65536))
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        paddr = fb.add("@positions", "i")
+        pos = fb.load(paddr)
+        taddr0 = fb.mul(pos, 67)
+        taddr1 = fb.mod(taddr0, TABLE)
+        taddr = fb.add("@tt", taddr1)
+        entry = fb.load(taddr)
+        local = emit_filler(fb, 64, salt=23)
+        evaluated = fb.binop("xor", local, entry)
+        # Borderline dependence: hash-hit counter in ~9% of epochs.
+        hit = fb.binop("lt", pos, 9)
+        fb.condbr(hit, "hot", "cold")
+        fb.block("hot")
+        hits = fb.load("@hash_hits")
+        hits2 = fb.add(hits, 1)
+        fb.store("@hash_hits", hits2)
+        fb.jump("join")
+        fb.block("cold")
+        fb.jump("join")
+        fb.block("join")
+        tail = emit_filler(fb, 18, salt=27)
+        deposit = fb.binop("xor", tail, evaluated)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="crafty",
+        spec_name="186.crafty",
+        build=build,
+        train_input={"seed": 61},
+        ref_input={"seed": 457},
+        coverage=0.14,
+        seq_overhead=0.92,
+        description=(
+            "Compute-heavy independent epochs; a ~9% hash-counter "
+            "dependence sits at the threshold boundary."
+        ),
+    )
+)

@@ -1,0 +1,85 @@
+"""GAP (SPEC 254.gap) — allocator bump pointer on the critical path.
+
+Signature (paper Table 2: 57% coverage, parallel-region speedup ~0.92
+— even the best scheme cannot reach sequential speed — yet Section 4.2
+lists GAP among the benchmarks where *compiler* synchronization is the
+best of the schemes): every epoch reads the shared arena bump pointer
+early and publishes the advanced pointer only after computing the
+(value-dependent) object size, so the forwarding chain spans most of
+the epoch.  Under plain TLS the dependence violates nearly every epoch;
+compiler forwarding at the store turns that into synchronization stalls
+(cheaper than restarts but still serializing); hardware
+stall-until-commit serializes slightly more.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 200
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    requests = lcg_stream(seed, ITERS, 48)
+
+    mb = ModuleBuilder("gap")
+    mb.global_var("requests", ITERS, init=requests)
+    mb.global_var("bump_ptr", 1, init=1000)
+    mb.global_var("heap_words", 4096)
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        raddr = fb.add("@requests", "i")
+        request = fb.load(raddr)
+        # Read the bump pointer early ...
+        ptr = fb.load("@bump_ptr")
+        # ... compute the rounded allocation size (takes most of the
+        # epoch: the chain from load to store is long) ...
+        local = emit_filler(fb, 62, salt=37)
+        noise = fb.mod(local, 7)
+        size0 = fb.add(request, noise)
+        size1 = fb.add(size0, 7)
+        size2 = fb.binop("shr", size1, 3)
+        size = fb.binop("shl", size2, 3)
+        nptr0 = fb.add(ptr, size)
+        nptr = fb.mod(nptr0, 1 << 20)
+        # ... and only then publish the advanced pointer.
+        fb.store("@bump_ptr", nptr)
+        # Touch the "allocated" storage (private-ish region).
+        haddr0 = fb.mod(ptr, 4096)
+        haddr = fb.add("@heap_words", haddr0)
+        fb.store(haddr, request)
+        tail = emit_filler(fb, 4, salt=41)
+        deposit = fb.binop("xor", tail, nptr)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="gap",
+        spec_name="254.gap",
+        build=build,
+        train_input={"seed": 113},
+        ref_input={"seed": 859},
+        coverage=0.57,
+        seq_overhead=0.82,
+        description=(
+            "An every-epoch bump-pointer dependence whose producer "
+            "store lands late: forwarding helps but the region stays "
+            "near sequential speed."
+        ),
+    )
+)

@@ -1,0 +1,108 @@
+"""GO (SPEC 099.go) — game-tree evaluation with frequent global updates.
+
+Signature (paper Table 2 / Section 4.2): 22% coverage; the parallelized
+loop evaluates candidate moves, and most epochs read-modify-write a
+global evaluation accumulator and a small history table, producing
+*frequent, word-granular, true* inter-epoch dependences with the
+producer store in the middle of the epoch.  The compiler synchronizes
+them precisely and forwards early, so compiler-inserted
+synchronization gives the best result (GO is one of the paper's four
+compiler-won benchmarks); the hardware's stall-until-commit
+over-serializes the same loads.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 220
+BOARD = 192
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    moves = lcg_stream(seed, ITERS, 100)
+    positions = lcg_stream(seed + 7, ITERS, BOARD)
+
+    mb = ModuleBuilder("go")
+    mb.global_var("moves", ITERS, init=moves)
+    mb.global_var("positions", ITERS, init=positions)
+    mb.global_var("board", BOARD, init=lcg_stream(seed + 13, BOARD, 1000))
+    mb.global_var("eval_score", 1, init=5)
+    mb.global_var("history", 1, init=1)
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        addr = fb.add("@moves", "i")
+        move = fb.load(addr)
+        paddr = fb.add("@positions", "i")
+        pos = fb.load(paddr)
+        # Evaluate the candidate position (epoch-local work).
+        baddr = fb.add("@board", pos)
+        stone = fb.load(baddr)
+        local = emit_filler(fb, 40, salt=3)
+        mix = fb.binop("xor", local, stone)
+        # Frequent dependence 1: the evaluation accumulator, updated in
+        # ~85% of epochs mid-epoch.
+        rare = fb.binop("lt", move, 85)
+        fb.condbr(rare, "score", "noscore")
+        fb.block("score")
+        score = fb.load("@eval_score")
+        bump = fb.mod(mix, 97)
+        score2 = fb.add(score, bump)
+        score3 = fb.mod(score2, 65536)
+        fb.store("@eval_score", score3)
+        fb.jump("hist")
+        fb.block("noscore")
+        fb.jump("hist")
+        # Frequent dependence 2: the history heuristic counter (~60%).
+        fb.block("hist")
+        h_cond = fb.binop("lt", move, 60)
+        fb.condbr(h_cond, "hupd", "tail")
+        fb.block("hupd")
+        hist = fb.load("@history")
+        hist2 = fb.binop("xor", hist, mix)
+        hist3 = fb.binop("or", hist2, 1)
+        fb.store("@history", hist3)
+        fb.jump("tail")
+        # Infrequent dependence: board update in ~4% of epochs.
+        fb.block("tail")
+        b_cond = fb.binop("lt", move, 4)
+        fb.condbr(b_cond, "bupd", "wrap")
+        fb.block("bupd")
+        upd = fb.add(stone, 1)
+        fb.store(baddr, upd)
+        fb.jump("wrap")
+        fb.block("wrap")
+        tail = emit_filler(fb, 24, salt=9)
+        deposit = fb.binop("xor", tail, mix)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="go",
+        spec_name="099.go",
+        build=build,
+        train_input={"seed": 101},
+        ref_input={"seed": 707},
+        coverage=0.22,
+        seq_overhead=0.90,
+        description=(
+            "Frequent mid-epoch true dependences on an evaluation "
+            "accumulator and history counter; compiler sync wins."
+        ),
+    )
+)

@@ -1,0 +1,126 @@
+"""GZIP_COMP (SPEC 164.gzip, compression) — input-sensitive dependences.
+
+Signature (paper Sections 4.1-4.2): compression's control flow "is
+complex and sensitive to the input set, and this in turn determines
+which loads and stores are dependent; hence different profiling input
+sets can lead the compiler to synchronizing different pairs of loads
+and stores" — the one benchmark where the T (train-profiled) and C
+(ref-profiled) bars diverge.  Additionally the packed window-state
+line is falsely shared across epochs, which only the hardware's
+PC-indexed synchronization handles, giving it the best result.
+
+Realization: each epoch consumes one input symbol.  *Literal* symbols
+update the literal-frequency head; *match* symbols update the match
+dictionary head — the train input is literal-heavy (the match path is
+below the 5% profiling threshold) while the ref input is match-heavy,
+so the train profile synchronizes the wrong pair.  Window refills
+(~25% of epochs) read one status word and write an adjacent counter
+word of the packed window line at the very top of the epoch: false
+sharing with no word-level dependence, invisible to the compiler's
+profile but violating at line granularity, and each violation squashes
+the epoch's whole speculative state.  Only the hardware removes those
+failures, so hardware synchronization wins overall.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 240
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    match_percent = input_spec["match_percent"]
+    stream = lcg_stream(seed, ITERS, 100)
+
+    mb = ModuleBuilder("gzip_comp")
+    mb.global_var("stream", ITERS, init=stream)
+    mb.global_var("lit_head", 1, init=3)
+    mb.global_var("match_head", 1, init=9)
+    mb.global_var("window_state", 8, init=[2, 4, 6, 8, 0, 0, 0, 0])
+    add_result_slots(mb, ITERS)
+    mb.global_var("match_cut", 1, init=match_percent)
+
+    def body(fb):
+        saddr = fb.add("@stream", "i")
+        symbol = fb.load(saddr)
+        cut = fb.load("@match_cut")
+        # Early: every epoch bumps its window counter (words 0-3 of
+        # the packed line); those words are never read in the region.
+        slot = fb.mod("i", 4)
+        waddr = fb.add("@window_state", slot)
+        bump = fb.add(symbol, "i")
+        fb.store(waddr, bump)
+        front = emit_filler(fb, 52, salt=21)
+        # Input-dependent dependence late in the epoch: literal vs
+        # match head update.  Late placement keeps the hardware's
+        # stall-until-commit cheap; which head is hot depends on the
+        # input symbol mix (train vs ref).
+        is_match = fb.binop("lt", symbol, cut)
+        fb.condbr(is_match, "match", "literal")
+        fb.block("match")
+        mh = fb.load("@match_head")
+        mh2 = fb.add(mh, symbol)
+        mh3 = fb.mod(mh2, 32768)
+        fb.store("@match_head", mh3)
+        fb.jump("after")
+        fb.block("literal")
+        lh = fb.load("@lit_head")
+        lh2 = fb.binop("xor", lh, symbol)
+        lh3 = fb.add(lh2, 1)
+        fb.store("@lit_head", lh3)
+        fb.jump("after")
+        fb.block("after")
+        mid = emit_filler(fb, 8, salt=6)
+        # Late window-status read (~35% of epochs): words 4-7 of the
+        # same packed line the counters live on — false sharing with no
+        # word-level dependence.  Violated at the producers' commits
+        # after most of the epoch's work is done; only the hardware's
+        # (late, nearly free) stall removes these failures.
+        rem = fb.mod(symbol, 20)
+        refill = fb.binop("lt", rem, 7)
+        fb.condbr(refill, "wstat", "tail")
+        fb.block("wstat")
+        sslot0 = fb.mod(symbol, 4)
+        sslot = fb.add(sslot0, 4)
+        saddr2 = fb.add("@window_state", sslot)
+        wstate = fb.load(saddr2)
+        fb.jump("tail")
+        fb.block("tail")
+        deposit0 = fb.binop("xor", front, mid)
+        deposit = fb.add(deposit0, symbol)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="gzip_comp",
+        spec_name="164.gzip-comp",
+        build=build,
+        # Train input: literal-heavy (matches in only 3% of epochs, under
+        # the 5% threshold).  Ref input: match-heavy (60% matches, 40%
+        # literals — both sides frequent, but the *match* head is hot).
+        train_input={"seed": 401, "match_percent": 3},
+        ref_input={"seed": 911, "match_percent": 60},
+        coverage=0.25,
+        seq_overhead=0.98,
+        description=(
+            "Which dictionary head is hot depends on the input symbol "
+            "mix, so the train profile synchronizes the wrong pair; a "
+            "false-shared window line keeps hardware sync on top."
+        ),
+    )
+)

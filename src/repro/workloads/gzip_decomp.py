@@ -1,0 +1,88 @@
+"""GZIP_DECOMP (SPEC 164.gzip, decompression) — early forwardable value.
+
+Signature (paper Section 4.2): "In GZIP_DECOMPRESS, the compiler and
+the hardware both insert synchronization, however, the compiler is able
+to speculatively forward the desired value much earlier than our
+hardware can.  This avoids over-synchronization, resulting in better
+performance."
+
+Realization: every epoch advances a decompression window pointer — the
+producer store executes near the *start* of the epoch, and the
+consumer load is the first thing the next epoch does.  Compiler-
+inserted synchronization forwards the pointer as soon as it is stored,
+so epochs overlap almost fully; hardware synchronization stalls the
+load until the previous epoch *commits*, serializing at whole-epoch
+granularity.  The bulk of the epoch is independent output production.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 220
+OUT = 8
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    codes = lcg_stream(seed, ITERS, 64)
+
+    mb = ModuleBuilder("gzip_decomp")
+    mb.global_var("codes", ITERS, init=codes)
+    mb.global_var("window_ptr", 1, init=7)
+    mb.global_var("output", ITERS * OUT)
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        # Consumer load and producer store both at the top of the epoch:
+        # the window pointer advances by a code-dependent amount.
+        caddr = fb.add("@codes", "i")
+        code = fb.load(caddr)
+        wptr = fb.load("@window_ptr")
+        step = fb.add(code, 1)
+        nptr0 = fb.add(wptr, step)
+        nptr = fb.mod(nptr0, 65536)
+        fb.store("@window_ptr", nptr)
+        # Long independent tail: expand the code into the private
+        # output block.
+        local = emit_filler(fb, 60, salt=7)
+        expanded = fb.binop("xor", local, nptr)
+        base = fb.mul("i", OUT)
+        for k in range(OUT):
+            offs = fb.add(base, k)
+            addr = fb.add("@output", offs)
+            word = fb.binop("shr", expanded, k % 7)
+            fb.store(addr, word)
+        deposit = fb.add(expanded, code)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="gzip_decomp",
+        spec_name="164.gzip-decomp",
+        build=build,
+        train_input={"seed": 73},
+        ref_input={"seed": 389},
+        coverage=0.99,
+        seq_overhead=0.97,
+        description=(
+            "A window pointer produced at epoch start and consumed at "
+            "the next epoch's start: compiler forwarding overlaps "
+            "epochs almost fully; hardware stall-until-commit "
+            "serializes them."
+        ),
+    )
+)

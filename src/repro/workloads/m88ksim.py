@@ -1,0 +1,100 @@
+"""M88KSIM (SPEC 124.m88ksim) — false sharing dominates violations.
+
+Signature (paper Section 4.2): "In M88KSIM, violations are not caused
+by true data dependences, rather they are caused by false sharing.  The
+compiler is attempting to synchronize true dependences, while the
+hardware is tracking dependences at a cache line granularity."
+
+The parallelized loop simulates instruction dispatch over a packed
+per-CPU state block: each epoch *reads* one status word and *writes* an
+adjacent counter word of the same cache line.  No word is both read and
+written across epochs, so the word-granularity dependence profile is
+empty and compiler synchronization has nothing to do — but every store
+invalidates the line that every later epoch has speculatively loaded,
+so line-granularity violation detection fires constantly.
+Hardware-inserted synchronization stalls the status-word loads until
+the epoch is non-speculative and wins (the paper's best-for-hardware
+benchmark); fixing the layout itself is, as the paper notes, a job for
+memory layout optimization rather than synchronization.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 240
+#: one cache line of packed simulator state: words 0-3 are read-only
+#: status fields, words 4-7 are write-only cycle counters.
+STATE_WORDS = 8
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    opcodes = lcg_stream(seed, ITERS, 16)
+
+    mb = ModuleBuilder("m88ksim")
+    mb.global_var("opcodes", ITERS, init=opcodes)
+    mb.global_var("cpu_state", STATE_WORDS, init=[3, 5, 7, 11, 0, 0, 0, 0])
+    mb.global_var("memory_image", 512, init=lcg_stream(seed + 3, 512, 4096))
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        addr = fb.add("@opcodes", "i")
+        opcode = fb.load(addr)
+        # Decode/execute work against the simulated memory image.
+        maddr0 = fb.mul(opcode, 31)
+        maddr1 = fb.mod(maddr0, 512)
+        maddr = fb.add("@memory_image", maddr1)
+        word = fb.load(maddr)
+        local = emit_filler(fb, 56, salt=5)
+        mixed = fb.binop("xor", local, word)
+        # System-register instructions (~70% of the stream) read a
+        # status word and write an adjacent counter word of the same
+        # packed line: false sharing, no word-level dependence.
+        sysop = fb.binop("lt", opcode, 11)  # opcodes 0-10 of 16
+        fb.condbr(sysop, "sysreg", "plain")
+        fb.block("sysreg")
+        unit = fb.mod("i", 4)
+        raddr = fb.add("@cpu_state", unit)
+        status = fb.load(raddr)
+        mixed2 = fb.add(mixed, status)
+        wexact = fb.add(unit, 4)
+        waddr = fb.add("@cpu_state", wexact)
+        fb.store(waddr, mixed2)
+        fb.jump("join")
+        fb.block("plain")
+        fb.jump("join")
+        fb.block("join")
+        tail = emit_filler(fb, 16, salt=8)
+        deposit = fb.binop("xor", tail, mixed)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="m88ksim",
+        spec_name="124.m88ksim",
+        build=build,
+        train_input={"seed": 211},
+        ref_input={"seed": 877},
+        coverage=0.56,
+        seq_overhead=0.82,
+        description=(
+            "Pure false sharing on a packed state line: no word-level "
+            "dependences for the compiler, constant line-level "
+            "violations that only hardware synchronization removes."
+        ),
+    )
+)

@@ -1,0 +1,102 @@
+"""VPR_PLACE (SPEC 175.vpr, placement) — line-granular cost-grid sharing.
+
+Signature (paper Section 4.2 groups VPR_PLACE with the benchmarks where
+hardware-inserted synchronization wins; Table 2 shows compiler
+synchronization leaving its region time unchanged): simulated-annealing
+epochs update the cost of the *moved* cell early and probe the cost of
+a random *candidate* cell late in the epoch.  The probed word almost
+never equals a recently-moved word — so word-granularity compiler
+synchronization has nothing useful to forward — but it frequently
+shares a cache line with one, so the late probe is violated at commit
+time after most of the epoch's work is done.  The hardware's
+violating-load table stalls the probe until the epoch is
+non-speculative, which this late in the epoch costs almost nothing: the
+paper's best-for-hardware behaviour.  A modest accept-counter
+dependence (~25% of epochs) gives the compiler a small win on the side.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ModuleBuilder
+from repro.workloads.base import (
+    Workload,
+    add_result_slots,
+    emit_filler,
+    emit_slot_store,
+    lcg_stream,
+    register,
+    standard_region,
+)
+
+ITERS = 240
+GRID = 16  # cost-grid words: 2 cache lines, so probes collide often
+
+
+def build(input_spec):
+    seed = input_spec["seed"]
+    moves = lcg_stream(seed, ITERS, GRID)
+    probes = lcg_stream(seed + 5, ITERS, GRID)
+    temps = lcg_stream(seed + 11, ITERS, 100)
+
+    mb = ModuleBuilder("vpr_place")
+    mb.global_var("moves", ITERS, init=moves)
+    mb.global_var("probes", ITERS, init=probes)
+    mb.global_var("temps", ITERS, init=temps)
+    mb.global_var("cost_grid", GRID, init=lcg_stream(seed + 17, GRID, 500))
+    mb.global_var("accepts", 1, init=1)
+    add_result_slots(mb, ITERS)
+
+    def body(fb):
+        maddr = fb.add("@moves", "i")
+        cell = fb.load(maddr)
+        taddr = fb.add("@temps", "i")
+        temp = fb.load(taddr)
+        # Early: commit the moved cell's new cost.
+        waddr = fb.add("@cost_grid", cell)
+        moved = fb.add(cell, temp)
+        fb.store(waddr, moved)
+        # Long middle: evaluate the placement.
+        local = emit_filler(fb, 44, salt=11)
+        delta = fb.binop("xor", local, temp)
+        # Late: probe a candidate cell's cost.  The word rarely matches
+        # a recent move, but the line usually holds one.
+        paddr0 = fb.add("@probes", "i")
+        pcell = fb.load(paddr0)
+        paddr = fb.add("@cost_grid", pcell)
+        pcost = fb.load(paddr)
+        # True dependence at the very end: accepted-move counter,
+        # ~25% of epochs (cheap for either synchronization scheme).
+        accept = fb.binop("lt", temp, 25)
+        fb.condbr(accept, "acc", "rej")
+        fb.block("acc")
+        count = fb.load("@accepts")
+        count2 = fb.add(count, 1)
+        fb.store("@accepts", count2)
+        fb.jump("out")
+        fb.block("rej")
+        fb.jump("out")
+        fb.block("out")
+        deposit0 = fb.add(delta, pcost)
+        deposit = fb.binop("xor", deposit0, cell)
+        emit_slot_store(fb, deposit)
+
+    standard_region(mb, ITERS, body)
+    return mb.build()
+
+
+WORKLOAD = register(
+    Workload(
+        name="vpr_place",
+        spec_name="175.vpr-place",
+        build=build,
+        train_input={"seed": 53},
+        ref_input={"seed": 769},
+        coverage=0.99,
+        seq_overhead=0.97,
+        description=(
+            "Early cost-grid stores and late probes share lines but "
+            "not words: expensive commit-time violations that only the "
+            "hardware's late, cheap stall removes."
+        ),
+    )
+)

@@ -1,0 +1,186 @@
+"""Base-object alias analysis: precision, soundness vs the profiler."""
+
+import pytest
+
+from repro.compiler.memdep.alias import (
+    HEAP,
+    TOP,
+    UNKNOWN,
+    analyze_aliases,
+    candidate_pair_fraction,
+    may_alias,
+)
+from repro.ir.builder import ModuleBuilder
+from repro.ir.instructions import Load, Store
+
+
+class TestLattice:
+    def test_disjoint_bases_do_not_alias(self):
+        assert not may_alias(frozenset({"a"}), frozenset({"b"}))
+
+    def test_shared_base_aliases(self):
+        assert may_alias(frozenset({"a", "b"}), frozenset({"b"}))
+
+    def test_unknown_aliases_everything_nonempty(self):
+        assert may_alias(TOP, frozenset({"a"}))
+        assert may_alias(frozenset({"a"}), frozenset({UNKNOWN}))
+
+    def test_empty_never_aliases(self):
+        assert not may_alias(frozenset(), TOP)
+        assert not may_alias(TOP, frozenset())
+
+
+def refs_of(module, function, kind):
+    return [
+        i for i in module.function(function).instructions() if isinstance(i, kind)
+    ]
+
+
+class TestAnalysis:
+    def test_distinct_globals_distinguished(self):
+        mb = ModuleBuilder()
+        mb.global_var("a", 8)
+        mb.global_var("b", 8)
+        fb = mb.function("main")
+        fb.block("entry")
+        pa = fb.add("@a", 2)
+        pb = fb.add("@b", 2)
+        fb.store(pa, 1)
+        la = fb.load(pb)
+        fb.ret(la)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        store = refs_of(module, "main", Store)[0]
+        load = refs_of(module, "main", Load)[0]
+        assert analysis.bases_of_ref(store.iid) == frozenset({"a"})
+        assert analysis.bases_of_ref(load.iid) == frozenset({"b"})
+        assert not analysis.refs_may_alias(store.iid, load.iid)
+
+    def test_same_base_through_arithmetic(self):
+        mb = ModuleBuilder()
+        mb.global_var("arr", 16)
+        fb = mb.function("main", ["i"])
+        fb.block("entry")
+        off = fb.mul("i", 2)
+        addr = fb.add("@arr", off)
+        fb.store(addr, 7)
+        other = fb.add("@arr", 3)
+        value = fb.load(other)
+        fb.ret(value)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        store = refs_of(module, "main", Store)[0]
+        load = refs_of(module, "main", Load)[0]
+        assert analysis.refs_may_alias(store.iid, load.iid)
+
+    def test_loaded_pointer_is_unknown(self):
+        mb = ModuleBuilder()
+        mb.global_var("head", 1)
+        fb = mb.function("main")
+        fb.block("entry")
+        p = fb.load("@head")
+        v = fb.load(p)  # pointer came from memory: unknown base
+        fb.ret(v)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        loads = refs_of(module, "main", Load)
+        assert analysis.bases_of_ref(loads[0].iid) == frozenset({"head"})
+        assert UNKNOWN in analysis.bases_of_ref(loads[1].iid)
+
+    def test_alloc_is_heap(self):
+        mb = ModuleBuilder()
+        fb = mb.function("main")
+        fb.block("entry")
+        p = fb.alloc(4)
+        fb.store(p, 1)
+        fb.ret(0)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        store = refs_of(module, "main", Store)[0]
+        assert analysis.bases_of_ref(store.iid) == frozenset({HEAP})
+
+    def test_interprocedural_parameter_binding(self):
+        mb = ModuleBuilder()
+        mb.global_var("arena", 8)
+        mb.global_var("other", 8)
+        fb = mb.function("write_to", ["p"])
+        fb.block("entry")
+        fb.store("p", 1)
+        fb.ret()
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.call("write_to", ["@arena"], dest=False)
+        v = fb.load("@other")
+        fb.ret(v)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        store = refs_of(module, "write_to", Store)[0]
+        load = refs_of(module, "main", Load)[0]
+        assert analysis.bases_of_ref(store.iid) == frozenset({"arena"})
+        assert not analysis.refs_may_alias(store.iid, load.iid)
+
+    def test_multiple_call_sites_merge(self):
+        mb = ModuleBuilder()
+        mb.global_var("a", 8)
+        mb.global_var("b", 8)
+        fb = mb.function("touch", ["p"])
+        fb.block("entry")
+        fb.store("p", 1)
+        fb.ret()
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.call("touch", ["@a"], dest=False)
+        fb.call("touch", ["@b"], dest=False)
+        fb.ret(0)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        store = refs_of(module, "touch", Store)[0]
+        assert analysis.bases_of_ref(store.iid) == frozenset({"a", "b"})
+
+    def test_terminates_on_loops(self):
+        mb = ModuleBuilder()
+        mb.global_var("g", 8)
+        fb = mb.function("main", ["n"])
+        fb.block("entry")
+        fb.move("@g", dest="p")
+        fb.const(0, dest="i")
+        fb.jump("loop")
+        fb.block("loop")
+        fb.add("p", 1, dest="p")
+        fb.store("p", "i")
+        fb.add("i", 1, dest="i")
+        c = fb.binop("lt", "i", "n")
+        fb.condbr(c, "loop", "done")
+        fb.block("done")
+        fb.ret(0)
+        module = mb.build()
+        analysis = analyze_aliases(module)
+        assert analysis.iterations < 50
+        store = refs_of(module, "main", Store)[0]
+        assert analysis.bases_of_ref(store.iid) == frozenset({"g"})
+
+
+class TestSoundnessAgainstProfiler:
+    @pytest.mark.parametrize("name", ["parser", "go", "gzip_comp"])
+    def test_every_profiled_dependence_is_a_may_alias_pair(self, name):
+        """Soundness: the dynamic profile never contradicts the static
+        analysis — the property that makes alias-guided profiling safe."""
+        from repro.experiments.runner import bundle_for
+
+        bundle = bundle_for(name)
+        module = bundle.compiled.baseline
+        analysis = analyze_aliases(module)
+        for profile in bundle.compiled.profile_ref.values():
+            for (store_ref, load_ref) in profile.pair_epochs:
+                assert analysis.refs_may_alias(store_ref[0], load_ref[0]), (
+                    store_ref,
+                    load_ref,
+                )
+
+    def test_candidate_fraction_below_one(self):
+        """The analysis prunes a real share of the pair space."""
+        from repro.experiments.runner import bundle_for
+
+        stats = candidate_pair_fraction(bundle_for("go").compiled.baseline)
+        assert 0.0 < stats.fraction < 1.0
+        assert stats.total_pairs == stats.loads * stats.stores

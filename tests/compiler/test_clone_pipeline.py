@@ -1,0 +1,200 @@
+"""Function cloning utilities and the end-to-end compilation pipeline."""
+
+from repro.compiler.clone import (
+    clone_function,
+    clone_instruction,
+    find_by_origin,
+    fresh_clone_name,
+)
+from repro.compiler.pipeline import compile_workload
+from repro.ir.builder import ModuleBuilder
+from repro.ir.instructions import Call, Load
+from repro.ir.interpreter import run_module
+from repro.tlssim.sequential import simulate_sequential, simulate_tls
+from repro.workloads.base import lcg_stream
+
+
+class TestCloneUtilities:
+    def make_module(self):
+        mb = ModuleBuilder()
+        mb.global_var("g", 1)
+        fb = mb.function("leaf", ["x"])
+        fb.block("entry")
+        v = fb.load("@g")
+        r = fb.add(v, "x")
+        fb.ret(r)
+        fb = mb.function("main")
+        fb.block("entry")
+        r = fb.call("leaf", [1])
+        fb.ret(r)
+        return mb.build()
+
+    def test_clone_instruction_fresh_iid_same_origin(self):
+        module = self.make_module()
+        original = next(
+            i for i in module.function("leaf").instructions() if isinstance(i, Load)
+        )
+        cloned = clone_instruction(original)
+        assert cloned.iid is None  # assigned on attach
+        assert cloned.origin_iid == original.iid
+
+    def test_clone_function_structure(self):
+        module = self.make_module()
+        clone = clone_function(module, "leaf", "leaf$sync1")
+        assert clone.name == "leaf$sync1"
+        assert clone.cloned_from == "leaf"
+        assert list(clone.blocks) == list(module.function("leaf").blocks)
+        assert clone.instruction_count() == module.function("leaf").instruction_count()
+
+    def test_clone_of_clone_tracks_root(self):
+        module = self.make_module()
+        clone_function(module, "leaf", "leaf$sync1")
+        second = clone_function(module, "leaf$sync1", "leaf$sync2")
+        assert second.cloned_from == "leaf"
+
+    def test_find_by_origin(self):
+        module = self.make_module()
+        original = next(
+            i for i in module.function("leaf").instructions() if isinstance(i, Load)
+        )
+        clone = clone_function(module, "leaf", "leaf$sync1")
+        found = find_by_origin(clone, original.iid)
+        assert found is not None and found.iid != original.iid
+
+    def test_fresh_clone_name(self):
+        module = self.make_module()
+        assert fresh_clone_name(module, "leaf", tag="sync") == "leaf$sync1"
+        clone_function(module, "leaf", "leaf$sync1")
+        assert fresh_clone_name(module, "leaf", tag="sync") == "leaf$sync2"
+
+    def test_clone_behaviour_identical(self):
+        module = self.make_module()
+        clone_function(module, "leaf", "leaf$sync1")
+        call = next(
+            i for i in module.function("main").instructions() if isinstance(i, Call)
+        )
+        call.callee = "leaf$sync1"
+        assert run_module(module).return_value == 1
+
+
+def tiny_workload(input_spec):
+    """A miniature but complete workload for pipeline tests."""
+    seed = input_spec["seed"]
+    data = lcg_stream(seed, 40, 100)
+    mb = ModuleBuilder("tiny")
+    mb.global_var("data", 40, init=data)
+    mb.global_var("shared", 1, init=2)
+    mb.global_var("out", 40 * 8)
+    fb = mb.function("bump", ["v"])
+    fb.block("entry")
+    s = fb.load("@shared")
+    s2 = fb.add(s, "v")
+    s3 = fb.mod(s2, 1009)
+    fb.store("@shared", s3)
+    fb.ret(s3)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    a = fb.add("@data", "i")
+    v = fb.load(a)
+    acc = fb.const(1)
+    for k in range(24):
+        acc = fb.binop(("add", "xor", "mul", "sub")[k % 4], acc, k + 1)
+    hot = fb.binop("lt", v, 70)
+    fb.condbr(hot, "upd", "skip")
+    fb.block("upd")
+    fb.call("bump", [v])
+    fb.jump("skip")
+    fb.block("skip")
+    off = fb.mul("i", 8)
+    slot = fb.add("@out", off)
+    mix = fb.binop("xor", acc, v)
+    fb.store(slot, mix)
+    fb.add("i", 1, dest="i")
+    c = fb.binop("lt", "i", 40)
+    fb.condbr(c, "loop", "done")
+    fb.block("done")
+    r = fb.load("@shared")
+    fb.ret(r)
+    return mb.build()
+
+
+class TestPipeline:
+    def compiled(self):
+        if not hasattr(TestPipeline, "_cache"):
+            TestPipeline._cache = compile_workload(
+                "tiny", tiny_workload, {"seed": 3}, {"seed": 44}
+            )
+        return TestPipeline._cache
+
+    def test_loop_selected(self):
+        compiled = self.compiled()
+        assert compiled.selected == [("main", "loop")]
+
+    def test_all_binaries_equivalent(self):
+        compiled = self.compiled()
+        reference = run_module(compiled.seq).return_value
+        for attr in ("baseline", "sync_ref", "sync_train"):
+            assert run_module(getattr(compiled, attr)).return_value == reference
+
+    def test_profiles_found_dependence(self):
+        compiled = self.compiled()
+        profile = compiled.profile_ref[("main", "loop")]
+        assert profile.frequent_pairs(0.05)
+
+    def test_train_ref_iid_correspondence(self):
+        """Profiles from different inputs name the same instructions."""
+        compiled = self.compiled()
+        ref_refs = {
+            ref
+            for pair in compiled.profile_ref[("main", "loop")].pair_epochs
+            for ref in pair
+        }
+        train_refs = {
+            ref
+            for pair in compiled.profile_train[("main", "loop")].pair_epochs
+            for ref in pair
+        }
+        assert ref_refs == train_refs  # same program points in both
+
+    def test_sync_binaries_have_channels(self):
+        compiled = self.compiled()
+        assert any(
+            info.kind == "mem" for info in compiled.sync_ref.channels.values()
+        )
+        assert compiled.sync_ref.sync_loads
+
+    def test_baseline_has_no_memory_channels(self):
+        compiled = self.compiled()
+        assert all(
+            info.kind == "scalar" for info in compiled.baseline.channels.values()
+        )
+
+    def test_simulations_agree_with_interpreter(self):
+        compiled = self.compiled()
+        reference = run_module(compiled.seq).return_value
+        seq = simulate_sequential(compiled.seq)
+        assert seq.return_value == reference
+        for attr in ("baseline", "sync_ref", "sync_train"):
+            result = simulate_tls(getattr(compiled, attr))
+            assert result.return_value == reference
+            assert result.memory_checksum == seq.memory_checksum
+
+    def test_synchronization_improves_region(self):
+        compiled = self.compiled()
+        seq = simulate_sequential(compiled.seq)
+        baseline = simulate_tls(compiled.baseline)
+        synced = simulate_tls(compiled.sync_ref)
+        assert len(synced.regions[0].violations) < len(
+            baseline.regions[0].violations
+        )
+        assert synced.region_cycles() < baseline.region_cycles()
+        assert seq.region_cycles() > 0
+
+    def test_scalar_reports_cover_loop(self):
+        compiled = self.compiled()
+        assert compiled.scalar_reports
+        assert "i" in compiled.scalar_reports[0].communicating
+        assert compiled.scheduling_reports[0].hoisted == ["i"]

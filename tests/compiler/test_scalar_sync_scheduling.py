@@ -1,0 +1,167 @@
+"""Scalar synchronization insertion and forwarding-path scheduling."""
+
+from repro.compiler.scalar_sync import (
+    find_communicating_scalars,
+    insert_all_scalar_sync,
+    insert_scalar_sync,
+)
+from repro.compiler.scheduling import schedule_all, schedule_loop
+from repro.ir.builder import ModuleBuilder
+from repro.ir.instructions import Signal, Wait
+from repro.ir.interpreter import run_module
+from repro.ir.module import ParallelLoop
+from repro.tlssim.sequential import simulate_tls
+
+
+def build_loop(conditional_def=False, invariant_use=True, iters=12):
+    mb = ModuleBuilder()
+    mb.global_var("out", iters * 8)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.const(0, dest="acc")
+    fb.const(7, dest="base")  # loop invariant
+    fb.jump("loop")
+    fb.block("loop")
+    if conditional_def:
+        parity = fb.mod("i", 2)
+        fb.condbr(parity, "bump", "skip")
+        fb.block("bump")
+        fb.add("acc", 1, dest="acc")
+        fb.jump("cont")
+        fb.block("skip")
+        fb.jump("cont")
+        fb.block("cont")
+    else:
+        fb.add("acc", "i", dest="acc")
+    value = fb.add("acc", "base") if invariant_use else fb.move("acc")
+    off = fb.mul("i", 8)
+    addr = fb.add("@out", off)
+    fb.store(addr, value)
+    fb.add("i", 1, dest="i")
+    cond = fb.binop("lt", "i", iters)
+    fb.condbr(cond, "loop", "done")
+    fb.block("done")
+    fb.ret("acc")
+    module = mb.build()
+    module.parallel_loops.append(ParallelLoop(function="main", header="loop"))
+    return module
+
+
+def count_instrs(module, cls, channel=None):
+    found = []
+    for instr in module.function("main").instructions():
+        if isinstance(instr, cls):
+            if channel is None or instr.channel == channel:
+                found.append(instr)
+    return found
+
+
+class TestCommunicatingScalars:
+    def test_loop_carried_identified(self):
+        module = build_loop()
+        scalars = find_communicating_scalars(module, module.parallel_loops[0])
+        assert "i" in scalars and "acc" in scalars
+
+    def test_invariant_excluded(self):
+        module = build_loop()
+        scalars = find_communicating_scalars(module, module.parallel_loops[0])
+        assert "base" not in scalars
+
+    def test_epoch_local_temp_excluded(self):
+        module = build_loop()
+        scalars = find_communicating_scalars(module, module.parallel_loops[0])
+        assert all(not s.startswith("t") for s in scalars)
+
+
+class TestInsertion:
+    def test_waits_at_header_top(self):
+        module = build_loop()
+        report = insert_scalar_sync(module, module.parallel_loops[0])
+        assert report.waits_inserted == 2
+        header = module.function("main").block("loop")
+        assert isinstance(header.instructions[0], Wait)
+        assert isinstance(header.instructions[1], Wait)
+
+    def test_signals_after_defs(self):
+        module = build_loop()
+        insert_scalar_sync(module, module.parallel_loops[0])
+        signals = count_instrs(module, Signal)
+        assert len(signals) == 2  # one per communicating scalar
+
+    def test_conditional_def_signal_on_def_path(self):
+        module = build_loop(conditional_def=True)
+        insert_scalar_sync(module, module.parallel_loops[0])
+        acc_channel = [
+            c for c in module.channels if c.endswith(":acc")
+        ][0]
+        signals = count_instrs(module, Signal, channel=acc_channel)
+        assert len(signals) == 1
+        # the signal lives in the block with the definition
+        bump = module.function("main").block("bump")
+        assert any(isinstance(i, Signal) and i.channel == acc_channel for i in bump)
+
+    def test_channels_registered(self):
+        module = build_loop()
+        insert_scalar_sync(module, module.parallel_loops[0])
+        loop = module.parallel_loops[0]
+        assert len(loop.scalar_channels) == 2
+        for channel in loop.scalar_channels:
+            assert module.channels[channel].kind == "scalar"
+
+    def test_sequential_behaviour_unchanged(self):
+        module = build_loop(conditional_def=True)
+        reference = run_module(build_loop(conditional_def=True)).return_value
+        insert_all_scalar_sync(module)
+        assert run_module(module).return_value == reference
+
+    def test_tls_execution_correct(self):
+        module = build_loop()
+        reference = run_module(build_loop()).return_value
+        insert_all_scalar_sync(module)
+        result = simulate_tls(module)
+        assert result.return_value == reference
+
+
+class TestScheduling:
+    def test_induction_variable_hoisted(self):
+        module = build_loop()
+        insert_all_scalar_sync(module)
+        reports = schedule_all(module)
+        assert reports[0].hoisted == ["i"]
+        header = module.function("main").block("loop")
+        # after the two waits: the hoisted add + signal
+        kinds = [type(i).__name__ for i in header.instructions[:4]]
+        assert kinds[:2] == ["Wait", "Wait"]
+        assert "Signal" in kinds
+
+    def test_accumulator_with_variable_step_not_hoisted(self):
+        module = build_loop()  # acc += i: step not a constant
+        insert_all_scalar_sync(module)
+        reports = schedule_all(module)
+        assert "acc" not in reports[0].hoisted
+
+    def test_conditional_def_not_hoisted(self):
+        module = build_loop(conditional_def=True)
+        insert_all_scalar_sync(module)
+        report = schedule_loop(module, module.parallel_loops[0])
+        assert "acc" not in report.hoisted
+        assert "i" in report.hoisted
+
+    def test_behaviour_preserved_after_scheduling(self):
+        reference = run_module(build_loop(conditional_def=True)).return_value
+        module = build_loop(conditional_def=True)
+        insert_all_scalar_sync(module)
+        schedule_all(module)
+        assert run_module(module).return_value == reference
+        assert simulate_tls(module).return_value == reference
+
+    def test_scheduling_shrinks_region_time(self):
+        def prepared(schedule):
+            module = build_loop(iters=40)
+            insert_all_scalar_sync(module)
+            if schedule:
+                schedule_all(module)
+            return simulate_tls(module).region_cycles()
+
+        assert prepared(schedule=True) <= prepared(schedule=False)

@@ -1,0 +1,203 @@
+"""Loop selection heuristics and loop unrolling."""
+
+import pytest
+
+from repro.compiler.loop_selection import (
+    MIN_COVERAGE,
+    MIN_EPOCHS_PER_INSTANCE,
+    MIN_INSNS_PER_EPOCH,
+    LoopStats,
+    find_candidate_loops,
+    profile_loop,
+    select_loops,
+)
+from repro.compiler.unroll import choose_unroll_factor, unroll_loop
+from repro.ir.builder import ModuleBuilder
+from repro.ir.interpreter import Interpreter, run_module
+from repro.ir.module import ParallelLoop
+
+
+def two_loop_module(big_iters=50, small_iters=60):
+    """A hot fat loop and a tiny (sub-threshold) loop."""
+    mb = ModuleBuilder()
+    mb.global_var("out", 1)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("hot")
+    fb.block("hot")
+    acc = fb.const(1)
+    for k in range(30):
+        acc = fb.binop(("add", "xor", "mul", "sub")[k % 4], acc, k + 1)
+    cur = fb.load("@out")
+    merged = fb.binop("xor", cur, acc)
+    fb.store("@out", merged)
+    fb.add("i", 1, dest="i")
+    c = fb.binop("lt", "i", big_iters)
+    fb.condbr(c, "hot", "mid")
+    fb.block("mid")
+    fb.const(0, dest="j")
+    fb.jump("tiny")
+    fb.block("tiny")
+    fb.add("j", 1, dest="j")
+    c2 = fb.binop("lt", "j", small_iters)
+    fb.condbr(c2, "tiny", "done")
+    fb.block("done")
+    r = fb.load("@out")
+    fb.ret(r)
+    return mb.build()
+
+
+class TestCandidates:
+    def test_both_loops_found(self):
+        candidates = find_candidate_loops(two_loop_module())
+        assert ("main", "hot") in candidates
+        assert ("main", "tiny") in candidates
+
+    def test_loop_with_alloc_excluded(self):
+        mb = ModuleBuilder()
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.const(0, dest="i")
+        fb.jump("loop")
+        fb.block("loop")
+        fb.alloc(2)
+        fb.add("i", 1, dest="i")
+        c = fb.binop("lt", "i", 3)
+        fb.condbr(c, "loop", "done")
+        fb.block("done")
+        fb.ret(0)
+        assert find_candidate_loops(mb.build()) == []
+
+    def test_recursive_callee_excluded(self):
+        mb = ModuleBuilder()
+        fb = mb.function("rec", [])
+        fb.block("entry")
+        fb.call("rec", [])
+        fb.ret(0)
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.const(0, dest="i")
+        fb.jump("loop")
+        fb.block("loop")
+        fb.call("rec", [])
+        fb.add("i", 1, dest="i")
+        c = fb.binop("lt", "i", 3)
+        fb.condbr(c, "loop", "done")
+        fb.block("done")
+        fb.ret(0)
+        assert find_candidate_loops(mb.build()) == []
+
+
+class TestProfiling:
+    def test_coverage_metrics(self):
+        stats = profile_loop(two_loop_module(), "main", "hot")
+        assert stats.instances == 1
+        assert stats.epochs == 50
+        assert stats.coverage > 0.5
+        assert stats.insns_per_epoch > 30
+
+    def test_tiny_loop_fails_epoch_size(self):
+        stats = profile_loop(two_loop_module(), "main", "tiny")
+        assert stats.insns_per_epoch < MIN_INSNS_PER_EPOCH
+        assert not stats.qualifies()
+
+    def test_qualifies_thresholds(self):
+        stats = LoopStats(
+            function="f", header="h",
+            total_steps=1000, region_steps=300, instances=2, epochs=10,
+        )
+        assert stats.qualifies()
+        assert not LoopStats(
+            function="f", header="h",
+            total_steps=100000, region_steps=10, instances=1, epochs=1,
+        ).qualifies()
+
+    def test_heuristic_constants_match_paper(self):
+        assert MIN_COVERAGE == 0.001
+        assert MIN_EPOCHS_PER_INSTANCE == 1.5
+        assert MIN_INSNS_PER_EPOCH == 15.0
+
+
+class TestSelection:
+    def test_hot_selected_tiny_rejected(self):
+        selected, _stats = select_loops(two_loop_module())
+        keys = [(l.function, l.header) for l in selected]
+        assert ("main", "hot") in keys
+        assert ("main", "tiny") not in keys
+
+    def test_nested_overlap_resolved(self):
+        """Of two nested qualifying loops, only one is selected."""
+        mb = ModuleBuilder()
+        mb.global_var("out", 1)
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.const(0, dest="i")
+        fb.jump("outer")
+        fb.block("outer")
+        fb.const(0, dest="j")
+        fb.jump("inner")
+        fb.block("inner")
+        acc = fb.const(1)
+        for k in range(20):
+            acc = fb.binop("add", acc, k)
+        fb.store("@out", acc)
+        fb.add("j", 1, dest="j")
+        cj = fb.binop("lt", "j", 10)
+        fb.condbr(cj, "inner", "latch")
+        fb.block("latch")
+        fb.add("i", 1, dest="i")
+        ci = fb.binop("lt", "i", 10)
+        fb.condbr(ci, "outer", "done")
+        fb.block("done")
+        fb.ret(0)
+        selected, _ = select_loops(mb.build())
+        assert len(selected) == 1
+
+
+class TestUnroll:
+    def unrolled(self, factor, iters=10):
+        module = two_loop_module(big_iters=iters)
+        loop = ParallelLoop(function="main", header="hot")
+        module.parallel_loops.append(loop)
+        report = unroll_loop(module, loop, factor)
+        return module, report
+
+    def test_factor_one_is_noop(self):
+        module, report = self.unrolled(1)
+        assert report.factor == 1
+        assert "hot$u1" not in module.function("main").blocks
+
+    def test_blocks_duplicated(self):
+        module, _ = self.unrolled(4)
+        blocks = module.function("main").blocks
+        assert "hot$u1" in blocks and "hot$u3" in blocks
+        assert "hot$u4" not in blocks
+
+    @pytest.mark.parametrize("factor,iters", [(2, 10), (4, 10), (2, 7), (4, 9)])
+    def test_behaviour_preserved(self, factor, iters):
+        reference = run_module(two_loop_module(big_iters=iters)).return_value
+        module, _ = self.unrolled(factor, iters=iters)
+        assert run_module(module).return_value == reference
+
+    def test_epoch_count_divided(self):
+        module, _ = self.unrolled(2, iters=10)
+        result = Interpreter(module).run()
+        assert result.epochs_per_region[("main", "hot")] == 5
+
+    def test_non_divisible_trip_count(self):
+        module, _ = self.unrolled(4, iters=10)
+        result = Interpreter(module).run()
+        # 2 full epochs of 4 iterations + exit from a partial pass
+        assert result.epochs_per_region[("main", "hot")] == 3
+
+    def test_annotation_updated(self):
+        _module, report = self.unrolled(4)
+        assert report.loop.unroll_factor == 4
+
+    def test_choose_unroll_factor(self):
+        assert choose_unroll_factor(100.0) == 1
+        assert choose_unroll_factor(30.0) == 2
+        assert choose_unroll_factor(13.0) == 4
+        assert choose_unroll_factor(3.0) == 8  # capped
+        assert choose_unroll_factor(0.0) == 1

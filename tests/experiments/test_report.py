@@ -1,0 +1,37 @@
+"""The report generator and scorecard plumbing."""
+
+from repro.experiments.report import SECTIONS, generate_report, summary_lines
+from repro.experiments.validate import ClaimResult, format_scorecard
+
+
+class TestGenerateReport:
+    def test_section_filter(self):
+        text = generate_report(workloads=["go"], sections=["table 1"])
+        assert "### Table 1" in text
+        assert "### Figure" not in text
+
+    def test_full_subset_report_has_all_sections(self):
+        text = generate_report(workloads=["go"])
+        for title, _runner, _columns, _needs in SECTIONS:
+            assert f"### {title}" in text
+
+    def test_unknown_section_empty(self):
+        assert generate_report(workloads=["go"], sections=["figure 99"]) == ""
+
+    def test_summary_lines(self):
+        lines = summary_lines(["go", "m88ksim"])
+        assert len(lines) == 2
+        assert lines[0].startswith("go")
+        assert "winner=" in lines[0]
+
+
+class TestScorecardFormatting:
+    def test_format_marks_and_tally(self):
+        results = [
+            ClaimResult("claim a", "§1", True, "fine"),
+            ClaimResult("claim b", "§2", False, "broken"),
+        ]
+        text = format_scorecard(results)
+        assert "[PASS] claim a" in text
+        assert "[FAIL] claim b" in text
+        assert "1/2 claims reproduced" in text

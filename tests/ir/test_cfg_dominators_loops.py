@@ -1,0 +1,169 @@
+"""CFG construction, dominators, and natural-loop analysis."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.cfg import CFG
+from repro.ir.dominators import DominatorTree
+from repro.ir.loops import LoopForest
+
+
+def diamond():
+    """entry -> (left|right) -> join -> exit."""
+    mb = ModuleBuilder()
+    fb = mb.function("f", ["c"])
+    fb.block("entry")
+    fb.condbr("c", "left", "right")
+    fb.block("left")
+    fb.jump("join")
+    fb.block("right")
+    fb.jump("join")
+    fb.block("join")
+    fb.ret(0)
+    return mb.module.function("f")
+
+
+def loop_function(nested=False):
+    """entry -> header <-> body (-> inner loop) -> exit."""
+    mb = ModuleBuilder()
+    fb = mb.function("f", ["n"])
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("header")
+    fb.block("header")
+    cond = fb.binop("lt", "i", "n")
+    fb.condbr(cond, "body", "exit")
+    fb.block("body")
+    if nested:
+        fb.const(0, dest="j")
+        fb.jump("inner")
+        fb.block("inner")
+        fb.add("j", 1, dest="j")
+        inner_c = fb.binop("lt", "j", 3)
+        fb.condbr(inner_c, "inner", "latch")
+        fb.block("latch")
+    fb.add("i", 1, dest="i")
+    fb.jump("header")
+    fb.block("exit")
+    fb.ret("i")
+    return mb.module.function("f")
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        cfg = CFG(diamond())
+        assert set(cfg.succs["entry"]) == {"left", "right"}
+        assert set(cfg.preds["join"]) == {"left", "right"}
+        assert cfg.succs["join"] == []
+
+    def test_reachability(self):
+        function = diamond()
+        dead = function.add_block("dead")
+        from repro.ir.instructions import Ret
+
+        dead.append(Ret())
+        cfg = CFG(function)
+        assert "dead" not in cfg.reachable
+        assert "dead" not in cfg.reverse_postorder()
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = CFG(diamond())
+        assert cfg.reverse_postorder()[0] == "entry"
+
+    def test_rpo_visits_preds_before_succs_in_dag(self):
+        cfg = CFG(diamond())
+        order = {label: i for i, label in enumerate(cfg.reverse_postorder())}
+        assert order["entry"] < order["left"]
+        assert order["left"] < order["join"]
+        assert order["right"] < order["join"]
+
+    def test_unknown_branch_target_rejected(self):
+        mb = ModuleBuilder()
+        fb = mb.function("f")
+        fb.block("entry")
+        fb.jump("nowhere")
+        with pytest.raises(ValueError):
+            CFG(mb.module.function("f"))
+
+    def test_exits(self):
+        cfg = CFG(diamond())
+        assert cfg.exits() == ["join"]
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        tree = DominatorTree(CFG(diamond()))
+        assert tree.idom["entry"] is None
+        assert tree.idom["left"] == "entry"
+        assert tree.idom["right"] == "entry"
+        assert tree.idom["join"] == "entry"
+
+    def test_dominates_is_reflexive(self):
+        tree = DominatorTree(CFG(diamond()))
+        for label in ("entry", "left", "right", "join"):
+            assert tree.dominates(label, label)
+
+    def test_entry_dominates_all(self):
+        tree = DominatorTree(CFG(diamond()))
+        for label in ("left", "right", "join"):
+            assert tree.strictly_dominates("entry", label)
+
+    def test_branch_does_not_dominate_join(self):
+        tree = DominatorTree(CFG(diamond()))
+        assert not tree.dominates("left", "join")
+
+    def test_loop_idoms(self):
+        tree = DominatorTree(CFG(loop_function()))
+        assert tree.idom["header"] == "entry"
+        assert tree.idom["body"] == "header"
+        assert tree.idom["exit"] == "header"
+
+    def test_dominators_of(self):
+        tree = DominatorTree(CFG(loop_function()))
+        assert tree.dominators_of("body") == {"entry", "header", "body"}
+
+    def test_frontier_of_diamond(self):
+        tree = DominatorTree(CFG(diamond()))
+        frontier = tree.frontier()
+        assert frontier["left"] == {"join"}
+        assert frontier["right"] == {"join"}
+
+    def test_frontier_of_loop_contains_header(self):
+        tree = DominatorTree(CFG(loop_function()))
+        assert "header" in tree.frontier()["body"]
+
+
+class TestLoops:
+    def test_simple_loop_detected(self):
+        forest = LoopForest(CFG(loop_function()))
+        loop = forest.loop_of("header")
+        assert loop is not None
+        assert loop.blocks == {"header", "body"}
+        assert loop.latches == ["body"]
+
+    def test_exit_edges(self):
+        cfg = CFG(loop_function())
+        loop = LoopForest(cfg).loop_of("header")
+        assert loop.exit_edges(cfg) == [("header", "exit")]
+
+    def test_nested_loops(self):
+        forest = LoopForest(CFG(loop_function(nested=True)))
+        outer = forest.loop_of("header")
+        inner = forest.loop_of("inner")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.blocks < outer.blocks
+        assert outer.depth == 1 and inner.depth == 2
+
+    def test_innermost_containing(self):
+        forest = LoopForest(CFG(loop_function(nested=True)))
+        assert forest.innermost_containing("inner").header == "inner"
+        assert forest.innermost_containing("body").header == "header"
+        assert forest.innermost_containing("entry") is None
+
+    def test_top_level(self):
+        forest = LoopForest(CFG(loop_function(nested=True)))
+        assert [l.header for l in forest.top_level()] == ["header"]
+
+    def test_no_loops_in_diamond(self):
+        assert LoopForest(CFG(diamond())).loops == {}

@@ -1,0 +1,154 @@
+"""Instruction classes: defs/uses, validation, terminator flags."""
+
+import pytest
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    UNARY_OPS,
+    Alloc,
+    BinOp,
+    Call,
+    Check,
+    CondBr,
+    Const,
+    Jump,
+    Load,
+    Move,
+    Resume,
+    Ret,
+    Select,
+    Signal,
+    Store,
+    UnOp,
+    Wait,
+)
+from repro.ir.operands import GlobalRef, Imm, Reg
+
+
+class TestDefsUses:
+    def test_const(self):
+        instr = Const(Reg("d"), 7)
+        assert instr.defs() == [Reg("d")]
+        assert instr.uses() == []
+
+    def test_move(self):
+        instr = Move(Reg("d"), Reg("s"))
+        assert instr.defs() == [Reg("d")]
+        assert instr.uses() == [Reg("s")]
+
+    def test_move_of_imm_has_no_uses(self):
+        assert Move(Reg("d"), Imm(1)).uses() == []
+
+    def test_binop(self):
+        instr = BinOp(Reg("d"), "add", Reg("a"), Reg("b"))
+        assert instr.defs() == [Reg("d")]
+        assert set(instr.uses()) == {Reg("a"), Reg("b")}
+
+    def test_binop_with_imm(self):
+        instr = BinOp(Reg("d"), "add", Reg("a"), Imm(1))
+        assert instr.uses() == [Reg("a")]
+
+    def test_unop(self):
+        instr = UnOp(Reg("d"), "neg", Reg("a"))
+        assert instr.defs() == [Reg("d")]
+        assert instr.uses() == [Reg("a")]
+
+    def test_load(self):
+        instr = Load(Reg("d"), Reg("p"), offset=2)
+        assert instr.defs() == [Reg("d")]
+        assert instr.uses() == [Reg("p")]
+        assert instr.offset == 2
+
+    def test_load_from_global(self):
+        instr = Load(Reg("d"), GlobalRef("g"))
+        assert instr.uses() == []
+        assert instr.operands() == [GlobalRef("g")]
+
+    def test_store(self):
+        instr = Store(Reg("p"), Reg("v"))
+        assert instr.defs() == []
+        assert set(instr.uses()) == {Reg("p"), Reg("v")}
+
+    def test_alloc(self):
+        instr = Alloc(Reg("d"), Reg("n"))
+        assert instr.defs() == [Reg("d")]
+        assert instr.uses() == [Reg("n")]
+
+    def test_call_with_dest(self):
+        instr = Call(Reg("d"), "f", [Reg("a"), Imm(2)])
+        assert instr.defs() == [Reg("d")]
+        assert instr.uses() == [Reg("a")]
+
+    def test_void_call(self):
+        instr = Call(None, "f", [])
+        assert instr.defs() == []
+
+    def test_ret_value(self):
+        assert Ret(Reg("v")).uses() == [Reg("v")]
+        assert Ret().uses() == []
+
+    def test_wait(self):
+        instr = Wait(Reg("d"), "ch")
+        assert instr.defs() == [Reg("d")]
+        assert instr.kind == "value"
+
+    def test_signal(self):
+        instr = Signal("ch", Reg("v"), kind="addr")
+        assert instr.uses() == [Reg("v")]
+        assert instr.kind == "addr"
+
+    def test_check(self):
+        instr = Check(Reg("fa"), Reg("ma"), offset=1)
+        assert set(instr.uses()) == {Reg("fa"), Reg("ma")}
+
+    def test_select(self):
+        instr = Select(Reg("d"), Reg("f"), Reg("m"))
+        assert instr.defs() == [Reg("d")]
+        assert set(instr.uses()) == {Reg("f"), Reg("m")}
+
+    def test_resume(self):
+        instr = Resume()
+        assert instr.defs() == [] and instr.uses() == []
+
+
+class TestTerminators:
+    def test_terminator_flags(self):
+        assert Jump("b").is_terminator
+        assert CondBr(Reg("c"), "a", "b").is_terminator
+        assert Ret().is_terminator
+        assert not Const(Reg("d"), 0).is_terminator
+        assert not Call(None, "f", []).is_terminator
+
+    def test_targets(self):
+        assert Jump("x").targets() == ["x"]
+        assert CondBr(Reg("c"), "a", "b").targets() == ["a", "b"]
+
+
+class TestValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp(Reg("d"), "bogus", Reg("a"), Reg("b"))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            UnOp(Reg("d"), "bogus", Reg("a"))
+
+    def test_const_dest_must_be_reg(self):
+        with pytest.raises(TypeError):
+            Const(Imm(1), 2)
+
+    def test_wait_kind_validated(self):
+        with pytest.raises(ValueError):
+            Wait(Reg("d"), "ch", kind="bogus")
+
+    def test_signal_kind_validated(self):
+        with pytest.raises(ValueError):
+            Signal("ch", Reg("v"), kind="bogus")
+
+    def test_all_binary_ops_constructible(self):
+        for op in BINARY_OPS:
+            BinOp(Reg("d"), op, Reg("a"), Reg("b"))
+
+    def test_all_unary_ops_constructible(self):
+        for op in UNARY_OPS:
+            UnOp(Reg("d"), op, Reg("a"))

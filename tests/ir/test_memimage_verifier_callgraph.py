@@ -1,0 +1,255 @@
+"""Memory image layout, module verifier, call graph/tree."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.callgraph import CallGraph, CallTree
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Call, Const, Jump, Ret
+from repro.ir.loops import LoopForest
+from repro.ir.memimage import (
+    GLOBAL_BASE,
+    WORDS_PER_LINE,
+    MemoryImage,
+    NullDereference,
+    line_of,
+)
+from repro.ir.module import Module, ParallelLoop
+from repro.ir.operands import Reg
+from repro.ir.verifier import VerificationError, verify_module
+
+
+class TestMemoryImage:
+    def make(self):
+        module = Module()
+        module.add_global("a", 3, init=[1, 2])
+        module.add_global("b", 1, init=9)
+        return MemoryImage(module)
+
+    def test_globals_line_aligned(self):
+        memory = self.make()
+        assert memory.addr_of("a") % WORDS_PER_LINE == 0
+        assert memory.addr_of("b") % WORDS_PER_LINE == 0
+        assert memory.addr_of("a") >= GLOBAL_BASE
+
+    def test_distinct_globals_on_distinct_lines(self):
+        memory = self.make()
+        assert line_of(memory.addr_of("a")) != line_of(memory.addr_of("b"))
+
+    def test_init_data(self):
+        memory = self.make()
+        assert memory.global_words("a") == [1, 2, 0]
+        assert memory.global_words("b") == [9]
+
+    def test_load_default_zero(self):
+        memory = self.make()
+        assert memory.load(memory.addr_of("a") + 2) == 0
+
+    def test_store_load(self):
+        memory = self.make()
+        memory.store(memory.addr_of("b"), 77)
+        assert memory.load(memory.addr_of("b")) == 77
+
+    def test_null_access_rejected(self):
+        memory = self.make()
+        with pytest.raises(NullDereference):
+            memory.load(0)
+        with pytest.raises(NullDereference):
+            memory.store(0, 1)
+
+    def test_alloc_monotonic_and_disjoint(self):
+        memory = self.make()
+        first = memory.alloc(10)
+        second = memory.alloc(5)
+        assert second >= first + 10
+        with pytest.raises(ValueError):
+            memory.alloc(0)
+
+    def test_heap_starts_after_globals(self):
+        memory = self.make()
+        assert memory.alloc(1) > memory.addr_of("b")
+
+    def test_checksum_reflects_contents(self):
+        first = self.make()
+        second = self.make()
+        assert first.checksum() == second.checksum()
+        second.store(second.addr_of("b") , 123)
+        assert first.checksum() != second.checksum()
+
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(WORDS_PER_LINE) == 1
+        assert line_of(WORDS_PER_LINE - 1) == 0
+
+
+class TestVerifier:
+    def good_module(self):
+        mb = ModuleBuilder()
+        mb.global_var("g", 1)
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.load("@g")
+        fb.ret(0)
+        return mb.build()
+
+    def test_good_module_passes(self):
+        verify_module(self.good_module())
+
+    def test_unterminated_block(self):
+        module = self.good_module()
+        function = module.function("main")
+        block = function.add_block("open")
+        block.append(Const(Reg("x"), 1))
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_module(module)
+
+    def test_unknown_branch_target(self):
+        module = self.good_module()
+        module.function("main").add_block("bad").append(Jump("nowhere"))
+        with pytest.raises(VerificationError, match="unknown block"):
+            verify_module(module)
+
+    def test_unknown_callee(self):
+        module = self.good_module()
+        block = module.function("main").add_block("extra")
+        block.append(Call(None, "ghost", []))
+        block.append(Ret())
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(module)
+
+    def test_arity_mismatch(self):
+        mb = ModuleBuilder()
+        fb = mb.function("callee", ["a", "b"])
+        fb.block("entry")
+        fb.ret(0)
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.call("callee", [1])
+        fb.ret(0)
+        with pytest.raises(VerificationError, match="passes 1 args"):
+            verify_module(mb.build())
+
+    def test_unknown_global(self):
+        mb = ModuleBuilder()
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.load("@ghost")
+        fb.ret(0)
+        with pytest.raises(VerificationError, match="unknown global"):
+            verify_module(mb.build())
+
+    def test_bad_parallel_annotation(self):
+        module = self.good_module()
+        module.parallel_loops.append(ParallelLoop(function="main", header="ghost"))
+        with pytest.raises(VerificationError, match="does not exist"):
+            verify_module(module)
+
+    def test_all_problems_reported(self):
+        module = self.good_module()
+        module.function("main").add_block("bad").append(Jump("nowhere"))
+        module.parallel_loops.append(ParallelLoop(function="ghost", header="x"))
+        with pytest.raises(VerificationError) as info:
+            verify_module(module)
+        assert len(info.value.problems) >= 2
+
+
+def chain_module():
+    """main -> a -> b, plus main -> b."""
+    mb = ModuleBuilder()
+    fb = mb.function("b", [])
+    fb.block("entry")
+    fb.ret(1)
+    fb = mb.function("a", [])
+    fb.block("entry")
+    r = fb.call("b", [])
+    fb.ret(r)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    fb.call("a", [])
+    fb.call("b", [])
+    fb.add("i", 1, dest="i")
+    c = fb.binop("lt", "i", 3)
+    fb.condbr(c, "loop", "done")
+    fb.block("done")
+    fb.ret(0)
+    return mb.build()
+
+
+class TestCallGraph:
+    def test_edges(self):
+        graph = CallGraph(chain_module())
+        assert graph.callees["main"] == {"a", "b"}
+        assert graph.callees["a"] == {"b"}
+        assert graph.callers["b"] == {"a", "main"}
+
+    def test_no_recursion(self):
+        assert not CallGraph(chain_module()).is_recursive_from("main")
+
+    def test_recursion_detected(self):
+        mb = ModuleBuilder()
+        fb = mb.function("loop_fn", [])
+        fb.block("entry")
+        fb.call("loop_fn", [])
+        fb.ret(0)
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.call("loop_fn", [])
+        fb.ret(0)
+        assert CallGraph(mb.build()).is_recursive_from("main")
+
+    def test_reachable_from(self):
+        graph = CallGraph(chain_module())
+        assert graph.reachable_from("a") == {"a", "b"}
+
+    def test_unknown_callee_rejected(self):
+        mb = ModuleBuilder()
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.call("ghost", [])
+        fb.ret(0)
+        with pytest.raises(ValueError, match="unknown function"):
+            CallGraph(mb.build())
+
+
+class TestCallTree:
+    def test_stacks_enumerated(self):
+        module = chain_module()
+        loop_blocks = LoopForest(CFG(module.function("main"))).loop_of("loop").blocks
+        tree = CallTree(module, "main", loop_blocks=loop_blocks)
+        stacks = {node.stack for node in tree.all_nodes()}
+        # root, main->a, main->a->b, main->b
+        assert () in stacks
+        assert len(stacks) == 4
+        depth2 = [s for s in stacks if len(s) == 2]
+        assert len(depth2) == 1  # only a->b
+
+    def test_node_functions(self):
+        module = chain_module()
+        tree = CallTree(module, "main")
+        by_stack = {node.stack: node.function for node in tree.all_nodes()}
+        assert by_stack[()] == "main"
+        assert sorted(
+            fn for stack, fn in by_stack.items() if len(stack) == 1
+        ) == ["a", "b"]
+
+    def test_recursion_rejected(self):
+        mb = ModuleBuilder()
+        fb = mb.function("r", [])
+        fb.block("entry")
+        fb.call("r", [])
+        fb.ret(0)
+        fb = mb.function("main")
+        fb.block("entry")
+        fb.call("r", [])
+        fb.ret(0)
+        with pytest.raises(ValueError, match="recursion"):
+            CallTree(mb.build(), "main")
+
+    def test_path(self):
+        module = chain_module()
+        tree = CallTree(module, "main")
+        deep = [n for n in tree.all_nodes() if len(n.stack) == 2][0]
+        assert [n.function for n in deep.path()] == ["main", "a", "b"]

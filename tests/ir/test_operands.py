@@ -1,0 +1,79 @@
+"""Operand kinds: equality, hashing, coercion."""
+
+import pytest
+
+from repro.ir.operands import GlobalRef, Imm, Reg, as_operand
+
+
+class TestReg:
+    def test_equality(self):
+        assert Reg("a") == Reg("a")
+        assert Reg("a") != Reg("b")
+
+    def test_hashable(self):
+        assert len({Reg("a"), Reg("a"), Reg("b")}) == 2
+
+    def test_not_equal_to_other_kinds(self):
+        assert Reg("a") != Imm(1)
+        assert Reg("a") != GlobalRef("a")
+
+    def test_repr(self):
+        assert repr(Reg("x")) == "%x"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Reg("")
+
+
+class TestImm:
+    def test_equality(self):
+        assert Imm(3) == Imm(3)
+        assert Imm(3) != Imm(4)
+
+    def test_negative(self):
+        assert Imm(-7).value == -7
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            Imm("5")
+
+    def test_hash_distinct_from_reg(self):
+        assert hash(Imm(1)) != hash(Reg("1"))
+
+
+class TestGlobalRef:
+    def test_equality(self):
+        assert GlobalRef("g") == GlobalRef("g")
+        assert GlobalRef("g") != GlobalRef("h")
+
+    def test_repr(self):
+        assert repr(GlobalRef("g")) == "@g"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalRef("")
+
+
+class TestAsOperand:
+    def test_int_becomes_imm(self):
+        assert as_operand(5) == Imm(5)
+
+    def test_bool_becomes_imm(self):
+        assert as_operand(True) == Imm(1)
+
+    def test_plain_string_becomes_reg(self):
+        assert as_operand("x") == Reg("x")
+
+    def test_at_string_becomes_global(self):
+        assert as_operand("@g") == GlobalRef("g")
+
+    def test_percent_string_becomes_reg(self):
+        assert as_operand("%r") == Reg("r")
+
+    def test_operand_passthrough(self):
+        reg = Reg("a")
+        assert as_operand(reg) is reg
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand(3.14)

@@ -1,0 +1,127 @@
+"""Textual IR: formatting and parsing round-trips."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.interpreter import run_module
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.printer import format_instruction, format_module
+
+
+def sync_module():
+    mb = ModuleBuilder("demo")
+    mb.global_var("free_list", 1, init=0)
+    mb.global_var("arr", 8, init=[1, 2, 3])
+    fb = mb.function("helper", ["p"])
+    fb.block("entry")
+    v = fb.load("p", offset=1)
+    fb.store("p", v, offset=2)
+    fb.ret(v)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    f_addr = fb.wait("mem:0", kind="addr")
+    fb.check(f_addr, "@free_list")
+    f_val = fb.wait("mem:0", kind="value")
+    m_val = fb.load("@free_list")
+    r = fb.select(f_val, m_val)
+    fb.resume()
+    fb.store("@free_list", r)
+    fb.signal("mem:0", "@free_list", kind="addr")
+    fb.signal("mem:0", r, kind="value")
+    h = fb.call("helper", ["@arr"])
+    fb.add("i", 1, dest="i")
+    c = fb.binop("lt", "i", 4)
+    fb.condbr(c, "loop", "done")
+    fb.block("done")
+    u = fb.unop("neg", h)
+    fb.ret(u)
+    module = mb.build()
+    module.parallel_loops.append(
+        __import__("repro.ir.module", fromlist=["ParallelLoop"]).ParallelLoop(
+            function="main", header="loop"
+        )
+    )
+    return module
+
+
+class TestPrinter:
+    def test_instruction_formats(self):
+        from repro.ir.instructions import BinOp, Load, Signal, Store, Wait
+        from repro.ir.operands import GlobalRef, Imm, Reg
+
+        assert format_instruction(BinOp(Reg("d"), "add", Reg("a"), Imm(1))) == "d = add a, 1"
+        assert format_instruction(Load(Reg("d"), Reg("p"), 3)) == "d = load p + 3"
+        assert format_instruction(Load(Reg("d"), Reg("p"), -2)) == "d = load p - 2"
+        assert format_instruction(Store(GlobalRef("g"), Imm(5))) == "store @g, 5"
+        assert format_instruction(Wait(Reg("d"), "ch", "addr")) == "d = wait.addr ch"
+        assert format_instruction(Signal("ch", Reg("v"))) == "signal.value ch, v"
+
+    def test_module_has_globals_and_parallel(self):
+        text = format_module(sync_module())
+        assert "global free_list 1 init 0" in text
+        assert "global arr 8 init 1, 2, 3" in text
+        assert "parallel main loop" in text
+        assert "func helper(p) {" in text
+
+
+class TestRoundTrip:
+    def test_behaviour_preserved(self):
+        module = sync_module()
+        reparsed = parse_module(format_module(module))
+        assert run_module(reparsed).return_value == run_module(module).return_value
+
+    def test_structure_preserved(self):
+        module = sync_module()
+        reparsed = parse_module(format_module(module))
+        assert set(reparsed.functions) == set(module.functions)
+        assert set(reparsed.globals) == set(module.globals)
+        for name, function in module.functions.items():
+            other = reparsed.function(name)
+            assert list(other.blocks) == list(function.blocks)
+            assert other.instruction_count() == function.instruction_count()
+        assert [
+            (l.function, l.header) for l in reparsed.parallel_loops
+        ] == [(l.function, l.header) for l in module.parallel_loops]
+
+    def test_double_round_trip_fixpoint(self):
+        text = format_module(sync_module())
+        assert format_module(parse_module(text)) == text
+
+
+class TestParseErrors:
+    def test_statement_outside_function(self):
+        with pytest.raises(ParseError, match="outside function"):
+            parse_module("x = const 1\n")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(ParseError, match="before any block label"):
+            parse_module("func f() {\n  x = const 1\n}\n")
+
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_module("func f() {\nentry:\n  ret\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(ParseError):
+            parse_module("func f() {\nentry:\n  x = add $$, 1\n  ret\n}\n")
+
+    def test_unknown_operation(self):
+        with pytest.raises(ParseError, match="unknown operation"):
+            parse_module("func f() {\nentry:\n  x = frobnicate 1\n  ret\n}\n")
+
+    def test_condbr_arity(self):
+        with pytest.raises(ParseError, match="condbr"):
+            parse_module("func f() {\nentry:\n  condbr x, a\n}\n")
+
+    def test_comments_and_blanks_ignored(self):
+        module = parse_module(
+            "# a comment\n\nfunc main() {\nentry:  # trailing\n  ret 3\n}\n"
+        )
+        assert run_module(module).return_value == 3
+
+    def test_nested_function_rejected(self):
+        with pytest.raises(ParseError, match="nested"):
+            parse_module("func f() {\nfunc g() {\n}\n}\n")

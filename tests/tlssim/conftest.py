@@ -1,0 +1,68 @@
+"""Shared builders for TLS-engine tests."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.module import ChannelInfo, ParallelLoop
+from repro.ir.verifier import verify_module
+
+
+def make_counted_loop(
+    iters=40,
+    body=None,
+    scalars=("i",),
+    mem_channels=(),
+    globals_spec=(),
+    filler=0,
+):
+    """A hand-transformed parallel loop.
+
+    ``body(fb)`` emits the epoch body right after the scalar waits (so
+    its memory accesses sit early in the epoch), followed by ``filler``
+    straight-line ALU instructions; the induction variable ``i`` is
+    communicated with an early signal (the scheduled form).
+    """
+    mb = ModuleBuilder("t")
+    for name, size, init in globals_spec:
+        mb.global_var(name, size, init)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    for reg in scalars:
+        fb.wait(f"scalar:{reg}", dest=reg)
+    fb.add("i", 1, dest="i.fwd")
+    fb.signal("scalar:i", "i.fwd")
+    if body is not None:
+        body(fb)
+    if filler:
+        acc = fb.const(1)
+        for k in range(filler):
+            acc = fb.binop(("add", "xor", "mul", "sub")[k % 4], acc, k % 13 + 1)
+    fb.move("i.fwd", dest="i")
+    cond = fb.binop("lt", "i", iters)
+    fb.condbr(cond, "loop", "done")
+    fb.block("done")
+    fb.ret("i")
+    module = mb.build()
+    loop = ParallelLoop(
+        function="main",
+        header="loop",
+        scalar_channels=[f"scalar:{r}" for r in scalars],
+        mem_channels=list(mem_channels),
+    )
+    module.parallel_loops.append(loop)
+    for reg in scalars:
+        module.add_channel(
+            ChannelInfo(name=f"scalar:{reg}", kind="scalar", scalar=reg)
+        )
+    for channel in mem_channels:
+        module.add_channel(ChannelInfo(name=channel, kind="mem"))
+    verify_module(module)
+    return module
+
+
+@pytest.fixture
+def counted_loop_factory():
+    return make_counted_loop

@@ -1,0 +1,124 @@
+"""Property-based equivalence: TLS engine vs reference interpreter.
+
+For randomly generated parallelized loops (random arithmetic over
+shared and private globals, with the scalar-sync pass applied), the
+TLS engine — restarts, forwarding, squashes and all — must produce
+exactly the sequential result and final memory.  This is the paper's
+core correctness obligation: speculation may only affect *time*.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.scalar_sync import insert_all_scalar_sync
+from repro.ir.builder import ModuleBuilder
+from repro.ir.interpreter import run_module
+from repro.ir.module import ParallelLoop
+from repro.ir.verifier import verify_module
+from repro.tlssim.config import SimConfig
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.sequential import simulate_tls
+
+SAFE_OPS = ("add", "sub", "mul", "xor", "and", "or", "min", "max")
+
+
+@st.composite
+def random_parallel_loop(draw):
+    """A loop mixing private work, shared RMWs, and conditionals."""
+    iters = draw(st.integers(min_value=3, max_value=25))
+    shared_count = draw(st.integers(min_value=1, max_value=3))
+    mb = ModuleBuilder("rand")
+    for index in range(shared_count):
+        mb.global_var(f"s{index}", 1, init=draw(st.integers(0, 50)))
+    mb.global_var("private", iters * 8)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.const(draw(st.integers(0, 9)), dest="acc")
+    fb.jump("loop")
+    fb.block("loop")
+    regs = ["i", "acc"]
+    steps = draw(st.integers(min_value=2, max_value=10))
+    for step in range(steps):
+        action = draw(st.integers(0, 3))
+        if action == 0:  # arithmetic
+            op = draw(st.sampled_from(SAFE_OPS))
+            lhs = draw(st.sampled_from(regs))
+            rhs = draw(st.integers(-9, 9))
+            regs.append(fb.binop(op, lhs, rhs).name)
+        elif action == 1:  # shared RMW
+            which = draw(st.integers(0, shared_count - 1))
+            value = fb.load(f"@s{which}")
+            mixed = fb.binop(
+                draw(st.sampled_from(SAFE_OPS)), value, draw(st.sampled_from(regs))
+            )
+            fb.store(f"@s{which}", mixed)
+            regs.append(mixed.name)
+        elif action == 2:  # private store
+            offset = fb.mul("i", 8)
+            addr = fb.add("@private", offset)
+            fb.store(addr, draw(st.sampled_from(regs)))
+        else:  # data-dependent diamond
+            label = f"d{step}"
+            cond = fb.binop("and", draw(st.sampled_from(regs)), 1)
+            fb.condbr(cond, f"{label}t", f"{label}f")
+            fb.block(f"{label}t")
+            fb.add("acc", 1, dest="acc")
+            fb.jump(f"{label}j")
+            fb.block(f"{label}f")
+            fb.jump(f"{label}j")
+            fb.block(f"{label}j")
+    fb.add("acc", draw(st.sampled_from(regs)), dest="acc")
+    fb.add("i", 1, dest="i")
+    cond = fb.binop("lt", "i", iters)
+    fb.condbr(cond, "loop", "done")
+    fb.block("done")
+    result = fb.load("@s0")
+    total = fb.add(result, "acc")
+    fb.ret(total)
+    module = mb.build()
+    module.parallel_loops.append(ParallelLoop(function="main", header="loop"))
+    insert_all_scalar_sync(module)
+    verify_module(module)
+    return module
+
+
+class TestEngineMatchesInterpreter:
+    @given(random_parallel_loop())
+    @settings(max_examples=40, deadline=None)
+    def test_plain_tls(self, module):
+        reference = run_module(module)
+        tls = simulate_tls(module)
+        assert tls.return_value == reference.return_value
+        assert tls.memory_checksum == reference.memory.checksum()
+
+    @given(random_parallel_loop())
+    @settings(max_examples=20, deadline=None)
+    def test_hw_sync_mode(self, module):
+        reference = run_module(module)
+        result = TLSEngine(
+            module, config=SimConfig().with_mode(hw_sync=True)
+        ).run()
+        assert result.return_value == reference.return_value
+        assert result.memory_checksum == reference.memory.checksum()
+
+    @given(random_parallel_loop())
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_mode(self, module):
+        reference = run_module(module)
+        result = TLSEngine(
+            module, config=SimConfig().with_mode(prediction=True)
+        ).run()
+        assert result.return_value == reference.return_value
+        assert result.memory_checksum == reference.memory.checksum()
+
+    @given(random_parallel_loop())
+    @settings(max_examples=20, deadline=None)
+    def test_region_accounting_invariants(self, module):
+        result = simulate_tls(module)
+        for region in result.regions:
+            slots = region.slots
+            assert slots.total >= 0
+            assert slots.busy + slots.sync + slots.fail <= slots.total + 1e-6
+            assert region.epochs_committed >= 1
+            assert region.end_time >= region.start_time

@@ -1,0 +1,243 @@
+"""The Section 2.2 forwarding protocol and the idealized/hw schemes."""
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.interpreter import run_module
+from repro.ir.module import ChannelInfo, ParallelLoop
+from repro.ir.verifier import verify_module
+from repro.tlssim.config import SimConfig
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.oracle import collect_oracle
+from repro.tlssim.sequential import simulate_sequential, simulate_tls
+
+
+def make_protocol_loop(iters=40, sab_conflict=False, alternating=False, filler=30):
+    """A loop whose shared-counter RMW uses the full wait/check/select
+    protocol with an early signal, as the compiler would emit it.
+
+    ``sab_conflict``: the producer stores the counter *again* after
+    signalling, exercising the signal address buffer correction path.
+    ``alternating``: only even epochs store, so the forwarded address
+    pipelines through non-producing epochs via the auto-flush.
+    """
+    mb = ModuleBuilder("proto")
+    mb.global_var("counter", 1, init=3)
+    mb.global_var("slots", iters * 8)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    fb.wait("scalar:i", dest="i")
+    fb.add("i", 1, dest="i.fwd")
+    fb.signal("scalar:i", "i.fwd")
+    # consumer side of the protocol
+    f_addr = fb.wait("mem:c", kind="addr")
+    fb.check(f_addr, "@counter")
+    f_val = fb.wait("mem:c", kind="value")
+    m_val = fb.load("@counter")
+    cur = fb.select(f_val, m_val)
+    fb.resume()
+    if alternating:
+        parity = fb.mod("i", 2)
+        fb.condbr(parity, "skip_store", "do_store")
+        fb.block("do_store")
+    new = fb.add(cur, "i")
+    fb.store("@counter", new)
+    fb.signal("mem:c", "@counter", kind="addr")
+    fb.signal("mem:c", new, kind="value")
+    if sab_conflict:
+        fixed = fb.add(new, 1)
+        fb.store("@counter", fixed)  # conflicts with the signalled addr
+    if alternating:
+        fb.jump("rest")
+        fb.block("skip_store")
+        fb.jump("rest")
+        fb.block("rest")
+    acc = fb.const(1)
+    for k in range(filler):
+        acc = fb.binop(("add", "xor", "mul", "sub")[k % 4], acc, k % 11 + 1)
+    off = fb.mul("i", 8)
+    slot = fb.add("@slots", off)
+    dep = fb.binop("xor", acc, cur)
+    fb.store(slot, dep)
+    fb.move("i.fwd", dest="i")
+    cond = fb.binop("lt", "i", iters)
+    fb.condbr(cond, "loop", "done")
+    fb.block("done")
+    final = fb.load("@counter")
+    fb.ret(final)
+    module = mb.build()
+    module.parallel_loops.append(
+        ParallelLoop(
+            function="main",
+            header="loop",
+            scalar_channels=["scalar:i"],
+            mem_channels=["mem:c"],
+        )
+    )
+    module.add_channel(ChannelInfo(name="scalar:i", kind="scalar", scalar="i"))
+    module.add_channel(ChannelInfo(name="mem:c", kind="mem"))
+    # mark the guarded load for E-mode / Figure 11 classification
+    from repro.ir.instructions import Load
+
+    for instr in module.function("main").instructions():
+        if isinstance(instr, Load) and instr.addr.__class__.__name__ == "GlobalRef":
+            if instr.addr.name == "counter":
+                module.sync_loads.add(instr.iid)
+    verify_module(module)
+    return module
+
+
+class TestForwardingProtocol:
+    def test_protocol_produces_correct_result(self):
+        module = make_protocol_loop()
+        reference = run_module(module)
+        tls = simulate_tls(module)
+        assert tls.return_value == reference.return_value
+        assert tls.memory_checksum == reference.memory.checksum()
+
+    def test_forwarding_removes_violations(self):
+        module = make_protocol_loop()
+        tls = simulate_tls(module)
+        assert len(tls.regions[0].violations) <= 2
+
+    def test_unsynchronized_version_violates(self):
+        """Same dependence without the protocol fails constantly."""
+        module = make_protocol_loop()
+        config = SimConfig().with_mode(compiler_mem_sync=False)
+        marking = TLSEngine(module, config=config).run()
+        synced = simulate_tls(module)
+        assert len(marking.regions[0].violations) > len(synced.regions[0].violations)
+        assert marking.return_value == synced.return_value
+
+    def test_signal_buffer_conflict_corrects_value(self):
+        module = make_protocol_loop(sab_conflict=True)
+        reference = run_module(module)
+        tls = simulate_tls(module)
+        assert tls.return_value == reference.return_value
+        region = tls.regions[0]
+        assert any(v.reason == "sab" for v in region.violations) or (
+            region.epochs_committed == 40
+        )
+
+    def test_signal_buffer_high_water_small(self):
+        """Paper: 'we never need a buffer larger than 10-entries'."""
+        module = make_protocol_loop()
+        tls = simulate_tls(module)
+        assert tls.regions[0].max_signal_buffer <= 10
+
+    def test_auto_flush_pipelines_values(self):
+        """Non-producing epochs re-forward, so consumers never hang."""
+        module = make_protocol_loop(alternating=True)
+        reference = run_module(module)
+        tls = simulate_tls(module)
+        assert tls.return_value == reference.return_value
+        assert tls.regions[0].epochs_committed == 40
+
+    def test_sync_stall_accounted_as_memory_sync(self):
+        module = make_protocol_loop(filler=4)  # tiny epochs stall on waits
+        tls = simulate_tls(module)
+        region = tls.regions[0]
+        assert region.sync_memory + region.sync_scalar > 0
+
+
+class TestIdealizedModes:
+    def test_oracle_all_eliminates_violations(self):
+        module = make_protocol_loop()
+        config = SimConfig().with_mode(compiler_mem_sync=False, oracle_mode="all")
+        oracle = collect_oracle(module)
+        result = TLSEngine(module, config=config, oracle=oracle).run()
+        assert result.return_value == run_module(module).return_value
+        # Only control-speculated tail epochs (past the loop exit, where
+        # the sequential trace has no values) may still violate.
+        real = [v for v in result.regions[0].violations if v.epoch < 40]
+        assert real == []
+
+    def test_oracle_sync_mode_beats_plain_sync(self):
+        module = make_protocol_loop(filler=6)
+        oracle = collect_oracle(module)
+        plain = simulate_tls(module)
+        ideal = TLSEngine(
+            module, config=SimConfig().with_mode(oracle_mode="sync"), oracle=oracle
+        ).run()
+        assert ideal.return_value == plain.return_value
+        assert ideal.region_cycles() <= plain.region_cycles() + 1e-6
+
+    def test_l_mode_slower_but_correct(self):
+        module = make_protocol_loop()
+        plain = simulate_tls(module)
+        l_mode = TLSEngine(
+            module, config=SimConfig().with_mode(l_mode_stall=True)
+        ).run()
+        assert l_mode.return_value == plain.return_value
+        assert l_mode.region_cycles() >= plain.region_cycles() - 1e-6
+
+
+class TestHardwareSchemes:
+    def unsync_rmw_loop(self, iters=40):
+        from tests.tlssim.conftest import make_counted_loop
+
+        def body(fb):
+            v = fb.load("@shared")
+            v2 = fb.add(v, 1)
+            fb.store("@shared", v2)
+
+        return make_counted_loop(
+            iters=iters, body=body, globals_spec=[("shared", 1, 0)], filler=40
+        )
+
+    def test_hw_sync_reduces_violations(self):
+        module = self.unsync_rmw_loop()
+        plain = simulate_tls(module)
+        hw = TLSEngine(module, config=SimConfig().with_mode(hw_sync=True)).run()
+        assert hw.return_value == plain.return_value
+        assert len(hw.regions[0].violations) < len(plain.regions[0].violations)
+        assert hw.regions[0].sync_hw > 0
+
+    def test_prediction_correct_even_when_wrong(self):
+        module = self.unsync_rmw_loop()
+        predicted = TLSEngine(
+            module, config=SimConfig().with_mode(prediction=True)
+        ).run()
+        assert predicted.return_value == simulate_tls(module).return_value
+
+    def test_prediction_helps_constant_values(self):
+        """A load of a near-constant word becomes predictable."""
+        from tests.tlssim.conftest import make_counted_loop
+
+        def body(fb):
+            v = fb.load("@mostly_const")
+            fb.store("@mostly_const", v)  # silent store: same value
+
+        module = make_counted_loop(
+            iters=60, body=body, globals_spec=[("mostly_const", 1, 7)], filler=40
+        )
+        plain = simulate_tls(module)
+        predicted = TLSEngine(
+            module, config=SimConfig().with_mode(prediction=True)
+        ).run()
+        assert predicted.return_value == plain.return_value
+        assert len(predicted.regions[0].violations) <= len(
+            plain.regions[0].violations
+        )
+
+
+class TestFalseSharing:
+    def test_line_granularity_violations(self):
+        """Different words, same line: violations without true deps."""
+        from tests.tlssim.conftest import make_counted_loop
+
+        def body(fb):
+            slot = fb.mod("i", 4)
+            raddr = fb.add("@packed", slot)
+            fb.load(raddr)
+            wslot = fb.add(slot, 4)
+            waddr = fb.add("@packed", wslot)
+            fb.store(waddr, "i")
+
+        module = make_counted_loop(
+            iters=40, body=body, globals_spec=[("packed", 8, None)], filler=40
+        )
+        tls = simulate_tls(module)
+        assert len(tls.regions[0].violations) > 5
+        assert tls.return_value == run_module(module).return_value

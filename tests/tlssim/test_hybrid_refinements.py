@@ -1,0 +1,98 @@
+"""Hybrid refinements: channel filtering and persistent table hints."""
+
+from repro.tlssim.config import SimConfig
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.hwsync import ViolatingLoadTable
+
+from tests.tlssim.test_engine_sync import make_protocol_loop
+
+
+class TestPersistentHints:
+    def test_persistent_entries_survive_reset(self):
+        table = ViolatingLoadTable(threshold=1, reset_interval=2, persistent={7})
+        table.record_violation(7)
+        table.record_violation(8)
+        table.on_commit()
+        table.on_commit()  # triggers the reset
+        assert table.is_tracked(7)
+        assert not table.is_tracked(8)
+        assert table.resets == 1
+
+    def test_engine_wires_sync_loads_as_hints(self):
+        module = make_protocol_loop(iters=8)
+        engine = TLSEngine(
+            module, config=SimConfig().with_mode(hw_hint_persistent=True)
+        )
+        assert engine.hw_table.persistent == frozenset(module.sync_loads)
+
+    def test_hints_off_by_default(self):
+        module = make_protocol_loop(iters=8)
+        engine = TLSEngine(module, config=SimConfig())
+        assert engine.hw_table.persistent == frozenset()
+
+
+class TestChannelFilter:
+    def test_useful_channel_not_filtered(self):
+        """The protocol loop's forwards always match: filter stays off
+        and the synchronized execution stays violation-free."""
+        module = make_protocol_loop(iters=40)
+        config = SimConfig().with_mode(hybrid_filter=True)
+        result = TLSEngine(module, config=config).run()
+        plain = TLSEngine(module, config=SimConfig()).run()
+        assert result.return_value == plain.return_value
+        assert len(result.regions[0].violations) <= len(
+            plain.regions[0].violations
+        ) + 1
+        # the channel accumulated successful checks
+        engine = TLSEngine(module, config=config)
+        engine.run()
+        (stats,) = engine.channel_stats.values()
+        assert stats[1] / stats[0] > 0.5
+
+    def test_mismatching_channel_gets_filtered(self):
+        """A channel whose forwarded address never matches is dropped
+        once enough checks have failed — and execution stays correct."""
+        from tests.tlssim.conftest import make_counted_loop
+        from repro.ir.instructions import Check, Load, Resume, Select, Signal, Wait
+        from repro.ir.operands import Reg
+
+        # Hand-build a rotating-slot consumer whose check always fails.
+        def body(fb):
+            # producer: store slot i%4 (lines apart), signal it
+            phase = fb.mod("i", 4)
+            w = fb.mul(phase, 8)
+            waddr = fb.add("@slots4", w)
+            fb.store(waddr, "i")
+            fb.signal("mem:r", waddr, kind="addr")
+            fb.signal("mem:r", "i", kind="value")
+            # consumer: guarded load of the slot stored two epochs ago
+            rbase = fb.add("i", 2)
+            rphase = fb.mod(rbase, 4)
+            r = fb.mul(rphase, 8)
+            raddr = fb.add("@slots4", r)
+            f_addr = fb.wait("mem:r", kind="addr")
+            fb.check(f_addr, raddr)
+            f_val = fb.wait("mem:r", kind="value")
+            m_val = fb.load(raddr)
+            fb.select(f_val, m_val)
+            fb.resume()
+
+        module = make_counted_loop(
+            iters=60,
+            body=body,
+            globals_spec=[("slots4", 32, None)],
+            mem_channels=["mem:r"],
+            filler=40,
+        )
+        filtered_engine = TLSEngine(
+            module,
+            config=SimConfig().with_mode(
+                hybrid_filter=True, filter_min_samples=8
+            ),
+        )
+        filtered = filtered_engine.run()
+        plain = TLSEngine(module, config=SimConfig()).run()
+        assert filtered.return_value == plain.return_value
+        stats = filtered_engine.channel_stats["mem:r"]
+        assert stats[0] >= 8
+        assert stats[1] / stats[0] < 0.2  # the addresses never match

@@ -1,0 +1,69 @@
+"""Value-oracle collection and lookup alignment."""
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.instructions import Load
+from repro.ir.module import ParallelLoop
+from repro.tlssim.oracle import collect_oracle
+
+
+def build(iters=5):
+    mb = ModuleBuilder()
+    mb.global_var("acc", 1, init=100)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    v = fb.load("@acc")       # first load of acc
+    v2 = fb.add(v, "i")
+    fb.store("@acc", v2)
+    fb.load("@acc")           # second (distinct) load instruction
+    fb.add("i", 1, dest="i")
+    c = fb.binop("lt", "i", iters)
+    fb.condbr(c, "loop", "done")
+    fb.block("done")
+    fb.ret(0)
+    module = mb.build()
+    module.parallel_loops.append(ParallelLoop(function="main", header="loop"))
+    loads = [
+        i for i in module.function("main").instructions() if isinstance(i, Load)
+    ]
+    return module, loads
+
+
+class TestOracle:
+    def test_records_per_epoch_values(self):
+        module, loads = build(iters=4)
+        oracle = collect_oracle(module)
+        first_load = loads[0].iid
+        # acc starts at 100; epoch e loads 100 + sum(0..e-1)
+        assert oracle.lookup(0, 0, first_load, 0) == 100
+        assert oracle.lookup(0, 1, first_load, 0) == 100
+        assert oracle.lookup(0, 2, first_load, 0) == 101
+        assert oracle.lookup(0, 3, first_load, 0) == 103
+
+    def test_second_static_load_recorded_separately(self):
+        module, loads = build(iters=3)
+        oracle = collect_oracle(module)
+        second_load = loads[1].iid
+        # the second load sees the freshly stored value
+        assert oracle.lookup(0, 0, second_load, 0) == 100
+        assert oracle.lookup(0, 1, second_load, 0) == 101
+
+    def test_missing_entries_return_none(self):
+        module, loads = build(iters=3)
+        oracle = collect_oracle(module)
+        assert oracle.lookup(0, 99, loads[0].iid, 0) is None
+        assert oracle.lookup(5, 0, loads[0].iid, 0) is None
+        assert oracle.lookup(0, 0, 999999, 0) is None
+        assert oracle.lookup(0, 0, loads[0].iid, 7) is None
+
+    def test_region_count(self):
+        module, _ = build()
+        assert collect_oracle(module).region_count == 1
+
+    def test_no_regions_no_data(self):
+        module, _ = build()
+        module.parallel_loops = []
+        oracle = collect_oracle(module)
+        assert oracle.region_count == 0

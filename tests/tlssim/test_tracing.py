@@ -1,0 +1,89 @@
+"""Engine tracing and timeline rendering."""
+
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.tracing import Tracer, render_timeline
+
+from tests.tlssim.conftest import make_counted_loop
+
+
+def traced_run(module):
+    tracer = Tracer()
+    result = TLSEngine(module, tracer=tracer).run()
+    return tracer, result
+
+
+class TestTracer:
+    def test_region_boundaries(self):
+        tracer, _ = traced_run(make_counted_loop(iters=10, filler=20))
+        assert len(tracer.of_kind("region_start")) == 1
+        assert len(tracer.of_kind("region_end")) == 1
+        start = tracer.of_kind("region_start")[0]
+        end = tracer.of_kind("region_end")[0]
+        assert start.time <= end.time
+
+    def test_commit_per_epoch(self):
+        tracer, _ = traced_run(make_counted_loop(iters=10, filler=20))
+        commits = tracer.of_kind("commit")
+        assert sorted(e.epoch for e in commits)[:10] == list(range(10))
+
+    def test_runs_pair_starts_with_ends(self):
+        tracer, _ = traced_run(make_counted_loop(iters=10, filler=20))
+        runs = tracer.runs()
+        assert len(runs) >= 10
+        for _epoch, _gen, core, start, end, _committed in runs:
+            assert 0 <= core < 4
+            assert end >= start
+
+    def test_violations_and_squashes_traced(self):
+        def body(fb):
+            v = fb.load("@shared")
+            fb.store("@shared", fb.add(v, 1))
+
+        module = make_counted_loop(
+            iters=20, body=body, globals_spec=[("shared", 1, 0)], filler=40
+        )
+        tracer, _ = traced_run(module)
+        assert tracer.of_kind("violation")
+        squashed = [r for r in tracer.runs() if not r[5]]
+        assert squashed
+        # every squashed generation is eventually recommitted
+        committed_epochs = {r[0] for r in tracer.runs() if r[5]}
+        assert set(range(20)) <= committed_epochs
+
+    def test_tracing_does_not_change_results(self):
+        module = make_counted_loop(iters=15, filler=25)
+        _, traced = traced_run(module)
+        plain = TLSEngine(module).run()
+        assert traced.return_value == plain.return_value
+        assert traced.program_cycles == plain.program_cycles
+
+
+class TestTimeline:
+    def test_renders_rows_per_core(self):
+        tracer, _ = traced_run(make_counted_loop(iters=12, filler=25))
+        art = render_timeline(tracer, width=60)
+        lines = art.splitlines()
+        assert len(lines) == 5  # header + 4 cores
+        assert lines[1].startswith("core 0 |")
+        assert "=" in art
+
+    def test_empty_tracer(self):
+        assert "no epoch runs" in render_timeline(Tracer())
+
+    def test_max_epoch_filter(self):
+        tracer, _ = traced_run(make_counted_loop(iters=12, filler=25))
+        short = render_timeline(tracer, width=60, max_epoch=3)
+        full = render_timeline(tracer, width=60)
+        assert short != full
+
+    def test_squashes_drawn_differently(self):
+        def body(fb):
+            v = fb.load("@shared")
+            fb.store("@shared", fb.add(v, 1))
+
+        module = make_counted_loop(
+            iters=20, body=body, globals_spec=[("shared", 1, 0)], filler=40
+        )
+        tracer, _ = traced_run(module)
+        art = render_timeline(tracer, width=70)
+        assert "x" in art and "=" in art

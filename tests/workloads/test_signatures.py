@@ -1,0 +1,158 @@
+"""Per-workload dependence signatures (the paper's qualitative shapes).
+
+These tests pin the *shape* of each benchmark's behaviour — who wins,
+roughly by how much — to the paper's Section 4 findings.  Bundles are
+compiled once per session (the runner memoizes them), so the whole
+module costs one compile+simulate pass per workload.
+"""
+
+import pytest
+
+from repro.experiments.runner import bundle_for
+from repro.ir.interpreter import run_module
+
+
+def times(name, bars):
+    bundle = bundle_for(name)
+    return {bar: bundle.normalized_region(bar)[0] for bar in bars}
+
+
+def violations(name, bar):
+    bundle = bundle_for(name)
+    return sum(len(r.violations) for r in bundle.simulate(bar).regions)
+
+
+class TestCorrectnessEverywhere:
+    @pytest.mark.parametrize(
+        "name",
+        ["go", "m88ksim", "gzip_comp", "parser", "twolf", "mcf"],
+    )
+    def test_all_bars_match_interpreter(self, name):
+        bundle = bundle_for(name)
+        expected = run_module(bundle.compiled.seq).return_value
+        seq = bundle.simulate("SEQ")
+        for bar in ("U", "C", "T", "H", "P", "B", "E", "L", "O"):
+            result = bundle.simulate(bar)
+            assert result.return_value == expected, (name, bar)
+            assert result.memory_checksum == seq.memory_checksum, (name, bar)
+
+
+class TestCompilerWins:
+    """GO, GZIP_DECOMP, PERLBMK, GAP: best with compiler sync (§4.2)."""
+
+    @pytest.mark.parametrize("name", ["go", "gzip_decomp", "perlbmk", "gap"])
+    def test_compiler_beats_hardware_and_baseline(self, name):
+        t = times(name, ("U", "C", "H"))
+        assert t["C"] < t["U"] - 5, t
+        assert t["C"] < t["H"] - 5, t
+
+    def test_gzip_decomp_hardware_overserializes(self):
+        """The hardware stalls until commit; the compiler forwards
+        early — H barely improves on U while C transforms the region."""
+        t = times("gzip_decomp", ("U", "C", "H"))
+        assert t["C"] < 0.5 * t["U"]
+        assert t["H"] > 0.85 * t["U"]
+
+
+class TestHardwareWins:
+    """M88KSIM, VPR_PLACE: best with hardware sync (§4.2)."""
+
+    @pytest.mark.parametrize("name", ["m88ksim", "vpr_place"])
+    def test_hardware_beats_compiler(self, name):
+        t = times(name, ("U", "C", "H"))
+        assert t["H"] < t["C"] - 5, t
+        assert t["H"] < t["U"], t
+
+    def test_m88ksim_compiler_blind_to_false_sharing(self):
+        """No word-level dependences: the profile is empty, C == U."""
+        bundle = bundle_for("m88ksim")
+        for groups in bundle.compiled.groups_ref.values():
+            assert groups == []
+        t = times("m88ksim", ("U", "C"))
+        assert abs(t["C"] - t["U"]) < 1.0
+
+    def test_vpr_place_compiler_no_help(self):
+        """Table 2 shows vpr region speedup 1.00: C leaves it alone."""
+        t = times("vpr_place", ("U", "C"))
+        assert abs(t["C"] - t["U"]) < 6.0
+
+
+class TestNeutralBenchmarks:
+    @pytest.mark.parametrize("name", ["ijpeg", "bzip2_decomp"])
+    def test_speculation_already_works(self, name):
+        """Failed speculation was not a problem to begin with (§4.1)."""
+        t = times(name, ("U", "C", "H", "B"))
+        assert t["U"] < 40  # strong TLS speedup without any help
+        for bar in ("C", "H", "B"):
+            assert abs(t[bar] - t["U"]) < 3.0
+
+    def test_twolf_sync_is_pure_overhead(self):
+        """§4.2: conservative synchronization degrades TWOLF slightly."""
+        t = times("twolf", ("U", "C"))
+        assert t["U"] <= t["C"] <= t["U"] + 5.0
+
+    def test_twolf_rarely_violates_unsynchronized(self):
+        assert violations("twolf", "U") < 40
+
+
+class TestInputSensitivity:
+    def test_gzip_comp_train_profile_misses_hot_dependence(self):
+        """Figure 8: GZIP_COMP is the one benchmark where T != C."""
+        t = times("gzip_comp", ("U", "T", "C"))
+        assert t["C"] < t["U"] - 10
+        assert t["T"] > t["C"] + 10  # train profile synchronized the wrong pair
+
+    @pytest.mark.parametrize("name", ["go", "parser", "gcc", "gap"])
+    def test_other_benchmarks_profile_insensitive(self, name):
+        t = times(name, ("T", "C"))
+        assert abs(t["T"] - t["C"]) < 3.0
+
+    def test_gzip_comp_group_sets_differ(self):
+        bundle = bundle_for("gzip_comp")
+        key = bundle.compiled.selected[0]
+        ref_members = {
+            m for g in bundle.compiled.groups_ref[key] for m in g.members
+        }
+        train_members = {
+            m for g in bundle.compiled.groups_train[key] for m in g.members
+        }
+        assert train_members < ref_members
+
+
+class TestThresholdStory:
+    def test_bzip2_comp_pairs_live_between_5_and_15_percent(self):
+        """§2.4: only the 5% threshold catches BZIP2_COMP's pairs."""
+        bundle = bundle_for("bzip2_comp")
+        profile = next(iter(bundle.compiled.profile_ref.values()))
+        frequencies = sorted(
+            profile.pair_frequency(pair) for pair in profile.frequent_pairs(0.05)
+        )
+        assert frequencies, "expected frequent pairs at the 5% threshold"
+        assert all(f < 0.25 for f in frequencies)
+        assert profile.frequent_pairs(0.15) != profile.frequent_pairs(0.05)
+
+    def test_bzip2_comp_synchronization_transforms_region(self):
+        t = times("bzip2_comp", ("U", "C"))
+        assert t["C"] < t["U"] - 20
+
+
+class TestPredictionInsignificant:
+    @pytest.mark.parametrize("name", ["go", "gzip_decomp", "gap"])
+    def test_prediction_near_baseline(self, name):
+        """§4.2: forwarded memory values are unpredictable, P ~= U."""
+        t = times(name, ("U", "P"))
+        assert abs(t["P"] - t["U"]) < 5.0
+
+
+class TestParserFreeList:
+    def test_cloning_happened(self):
+        bundle = bundle_for("parser")
+        names = set(bundle.compiled.sync_ref.functions)
+        assert any(name.startswith("free_element$sync") for name in names)
+        assert any(name.startswith("use_element$sync") for name in names)
+        assert any(name.startswith("work$sync") for name in names)
+
+    def test_region_transformed(self):
+        t = times("parser", ("U", "C"))
+        assert t["C"] < 0.7 * t["U"]
+        assert violations("parser", "C") < 0.2 * violations("parser", "U")
