@@ -1,29 +1,41 @@
 # Convenience targets for the CGO 2004 TLS reproduction.
 
-.PHONY: install test bench report scorecard examples clean
+PY ?= python
+#: worker processes for the report simulation matrix (0 = all cores)
+JOBS ?= 0
+
+.PHONY: install test lint ci bench report scorecard examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
+# Mirrors the tier-1 verify command: no editable install required.
 test:
-	pytest tests/ -q
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+lint:
+	ruff check .
+
+ci: lint test
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only
 
 report:
-	python -m repro report -o measured_results.md
+	PYTHONPATH=src $(PY) -m repro report --jobs $(JOBS) \
+		--metrics-out run_metrics.json -o measured_results.md
 
 scorecard:
-	python -m repro scorecard
+	PYTHONPATH=src $(PY) -m repro scorecard
 
 examples:
-	python examples/quickstart.py
-	python examples/free_list.py
-	python examples/scheme_comparison.py
-	python examples/textual_ir.py
-	python examples/timeline.py
+	PYTHONPATH=src $(PY) examples/quickstart.py
+	PYTHONPATH=src $(PY) examples/free_list.py
+	PYTHONPATH=src $(PY) examples/scheme_comparison.py
+	PYTHONPATH=src $(PY) examples/textual_ir.py
+	PYTHONPATH=src $(PY) examples/timeline.py
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
-	rm -rf src/repro.egg-info .pytest_cache .benchmarks
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks .ruff_cache
+	rm -rf .repro_cache run_metrics.json measured_results.md

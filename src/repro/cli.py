@@ -14,11 +14,19 @@ Commands
     Regenerate one of the paper's figures/tables (e.g. ``figure 10``).
 ``report``
     Regenerate the full measured-results document (EXPERIMENTS.md's
-    final section).
+    final section).  ``--jobs N`` fans the simulation matrix out over
+    N worker processes; ``--metrics-out FILE`` writes run metrics as
+    JSON.
 ``summary``
     One line per workload: U/C/H/B times and the winning scheme.
 ``scorecard``
     Evaluate every reproduced paper claim (exit code 1 on any failure).
+``cache``
+    Manage the persistent result cache (``info`` / ``clear``).
+
+Experiment commands memoize results under ``.repro_cache/`` (override
+with ``--cache-dir`` or ``REPRO_CACHE_DIR``); ``--no-cache`` disables
+the store for one invocation.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments import cache as cache_mod
+from repro.experiments import metrics as metrics_mod
 from repro.experiments import report as report_mod
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import bundle_for
@@ -35,6 +45,26 @@ from repro.tlssim.stats import normalized_region_time
 from repro.workloads import all_workloads
 
 BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+
+
+def _setup_run(args) -> None:
+    """Install the persistent cache and reset the metrics collector."""
+    cache_mod.configure(
+        not getattr(args, "no_cache", False), getattr(args, "cache_dir", None)
+    )
+    metrics_mod.reset(workers=max(1, getattr(args, "jobs", 1)))
+
+
+def _finish_run(args) -> None:
+    """Write/print run metrics if the command asked for them."""
+    run = metrics_mod.current()
+    run.stop()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        run.write(metrics_out)
+        print(f"wrote {metrics_out}", file=sys.stderr)
+    if metrics_out or getattr(args, "jobs", 1) != 1:
+        print(run.format_summary(), file=sys.stderr)
 
 
 def _cmd_list(_args) -> int:
@@ -91,6 +121,7 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    _setup_run(args)
     bundle = bundle_for(args.workload, threshold=args.threshold)
     config = SimConfig(num_cores=args.cores)
     from repro.experiments.runner import config_for
@@ -125,54 +156,104 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_figure(args) -> int:
     wanted = args.name.lower().lstrip("fig").lstrip("ure").strip()
+    _setup_run(args)
     text = report_mod.generate_report(
-        workloads=args.workloads, sections=[f"figure {wanted}"]
+        workloads=args.workloads, sections=[f"figure {wanted}"], jobs=args.jobs
     )
     if not text:
         print(f"no figure matches {args.name!r}", file=sys.stderr)
         return 1
     print(text)
+    _finish_run(args)
     return 0
 
 
 def _cmd_table(args) -> int:
+    _setup_run(args)
     text = report_mod.generate_report(
-        workloads=args.workloads, sections=[f"table {args.name.strip()}"]
+        workloads=args.workloads, sections=[f"table {args.name.strip()}"],
+        jobs=args.jobs,
     )
     if not text:
         print(f"no table matches {args.name!r}", file=sys.stderr)
         return 1
     print(text)
+    _finish_run(args)
     return 0
 
 
 def _cmd_report(args) -> int:
-    text = report_mod.generate_report(workloads=args.workloads)
+    _setup_run(args)
+    text = report_mod.generate_report(workloads=args.workloads, jobs=args.jobs)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    _finish_run(args)
     return 0
 
 
 def _cmd_summary(args) -> int:
-    for line in report_mod.summary_lines(args.workloads):
+    _setup_run(args)
+    for line in report_mod.summary_lines(args.workloads, jobs=args.jobs):
         print(line)
+    _finish_run(args)
     return 0
 
 
 def _cmd_scorecard(args) -> int:
     from repro.experiments.validate import format_scorecard, run_scorecard
 
+    _setup_run(args)
     results = run_scorecard(args.workloads)
     print(format_scorecard(results))
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_cache(args) -> int:
+    cache = cache_mod.ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"root   : {info['root']}")
+    print(f"entries: {info['entries']}")
+    print(f"size   : {info['bytes']} bytes")
+    return 0
+
+
 def _workload_list(value: str) -> List[str]:
     return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def _add_run_options(parser, jobs: bool = True, metrics: bool = False) -> None:
+    """Cache/parallelism options shared by the experiment commands."""
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default .repro_cache, or REPRO_CACHE_DIR)",
+    )
+    if jobs:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the simulation matrix (0 = all cores)",
+        )
+    if metrics:
+        parser.add_argument(
+            "--metrics-out",
+            default=None,
+            help="write run metrics (cache hits, speedup, utilization) as JSON",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,25 +285,30 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--bar", choices=BARS, default="C")
     simulate_parser.add_argument("--cores", type=int, default=4)
     simulate_parser.add_argument("--threshold", type=float, default=0.05)
+    _add_run_options(simulate_parser, jobs=False)
     simulate_parser.set_defaults(func=_cmd_simulate)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("name", help="2, 6, 7, 8, 9, 10, 11 or 12")
     figure_parser.add_argument("--workloads", type=_workload_list, default=None)
+    _add_run_options(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     table_parser = sub.add_parser("table", help="regenerate a paper table")
     table_parser.add_argument("name", help="1 or 2")
     table_parser.add_argument("--workloads", type=_workload_list, default=None)
+    _add_run_options(table_parser)
     table_parser.set_defaults(func=_cmd_table)
 
     report_parser = sub.add_parser("report", help="full measured-results doc")
     report_parser.add_argument("-o", "--output", default=None)
     report_parser.add_argument("--workloads", type=_workload_list, default=None)
+    _add_run_options(report_parser, metrics=True)
     report_parser.set_defaults(func=_cmd_report)
 
     summary_parser = sub.add_parser("summary", help="one line per workload")
     summary_parser.add_argument("--workloads", type=_workload_list, default=None)
+    _add_run_options(summary_parser)
     summary_parser.set_defaults(func=_cmd_summary)
 
     scorecard_parser = sub.add_parser(
@@ -231,7 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard_parser.add_argument(
         "--workloads", type=_workload_list, default=None
     )
+    _add_run_options(scorecard_parser, jobs=False)
     scorecard_parser.set_defaults(func=_cmd_scorecard)
+
+    cache_parser = sub.add_parser(
+        "cache", help="manage the persistent result cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("--cache-dir", default=None)
+    cache_parser.set_defaults(func=_cmd_cache)
 
     return parser
 

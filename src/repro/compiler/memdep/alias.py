@@ -21,7 +21,7 @@ pairs; :func:`candidate_pair_fraction` quantifies the saving.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.ir.instructions import (
     Alloc,

@@ -103,6 +103,29 @@ def compile_workload(
     reported slot counts correspond to the unoptimized instruction
     stream, as a source-to-source system's would.
     """
+    # One outer deterministic id context covers the *whole* pipeline:
+    # instructions created after the builds (memory-sync insertion,
+    # procedure cloning) must also receive ids that do not depend on
+    # what else this process happened to compile first — simulation
+    # results carry instruction ids and are cached and compared across
+    # worker processes.
+    with deterministic_iids():
+        return _run_pipeline(
+            name, build, train_input, ref_input, threshold, unroll,
+            optimize, fuel,
+        )
+
+
+def _run_pipeline(
+    name: str,
+    build: Builder,
+    train_input: object,
+    ref_input: object,
+    threshold: float,
+    unroll: bool,
+    optimize: bool,
+    fuel: int,
+) -> CompiledWorkload:
     # Phase 1: selection decisions on a scratch train-input build.
     with deterministic_iids():
         scratch = build(train_input)

@@ -12,16 +12,30 @@ from repro.experiments import (  # noqa: F401
     table1_config,
     table2_speedups,
 )
-from repro.experiments import report, validate  # noqa: F401
+from repro.experiments import cache, metrics, report, validate  # noqa: F401
 from repro.experiments.reporting import BAR_COLUMNS, bar_row, format_table
-from repro.experiments.runner import WorkloadBundle, bundle_for, clear_cache
+from repro.experiments.runner import (
+    JobGraph,
+    JobSpec,
+    WorkloadBundle,
+    bundle_for,
+    clear_cache,
+    execute_plan,
+    plan_bar_jobs,
+)
 
 __all__ = [
     "BAR_COLUMNS",
+    "JobGraph",
+    "JobSpec",
     "WorkloadBundle",
     "bar_row",
     "bundle_for",
+    "cache",
     "clear_cache",
+    "execute_plan",
+    "metrics",
+    "plan_bar_jobs",
     "fig02_potential",
     "fig06_threshold",
     "fig07_distance",

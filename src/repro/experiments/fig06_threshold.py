@@ -36,13 +36,14 @@ def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
         time, segments = bundle.normalized_region("U")
         rows.append(bar_row(name, "U", time, segments))
         for threshold in THRESHOLDS:
-            load_set = frozenset()
-            for profile in bundle.compiled.profile_ref.values():
-                load_set |= frozenset(profile.loads_above(threshold))
+            label = f">{int(threshold * 100)}%"
+            load_set = bundle.profile_load_set(threshold)
             config = SimConfig().with_mode(oracle_mode="set", oracle_set=load_set)
-            result = bundle.simulate_custom("baseline", config, oracle_needed=True)
+            result = bundle.simulate_custom(
+                "baseline", config, oracle_needed=True, label=label
+            )
             time, segments = normalized_region_time(result, sequential)
-            rows.append(bar_row(name, f">{int(threshold * 100)}%", time, segments))
+            rows.append(bar_row(name, label, time, segments))
     return rows
 
 

@@ -24,10 +24,7 @@ def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
     rows: List[Dict] = []
     for name in names:
         bundle = bundle_for(name)
-        hist: Dict[int, int] = {}
-        for profile in bundle.compiled.profile_ref.values():
-            for distance, count in profile.distance_hist.items():
-                hist[distance] = hist.get(distance, 0) + count
+        hist = bundle.distance_histogram()
         total = sum(hist.values())
         one = hist.get(1, 0)
         two = hist.get(2, 0)

@@ -3,17 +3,40 @@
 Every figure/table experiment works from the same per-workload bundle:
 the compiled binaries (sequential / U / C / T), their dependence
 profiles, and memoized simulation results for each bar configuration.
-Compilation and simulation are deterministic, so results are cached per
-(workload, bar) for the lifetime of the process — the benchmark harness
-regenerates several figures from the same bundle without recompiling.
+Compilation and simulation are deterministic, so results are memoized
+at three levels:
+
+* **in-process** — per-bundle dicts, as before;
+* **on disk** — the persistent result cache
+  (:mod:`repro.experiments.cache`), when the CLI enables it;
+* **across cores** — :func:`execute_plan` schedules a sweep of
+  :class:`JobSpec` simulation jobs as an explicit DAG (one compile
+  node per workload, bar-simulation nodes depending on it) over a
+  ``ProcessPoolExecutor``, merging results back deterministically so
+  downstream rendering is byte-identical to a serial run.
+
+Scheduling policy: a workload's pending simulation nodes are
+co-scheduled with their compile dependency in a single worker task, so
+compiled binaries never cross a process boundary and each workload is
+compiled at most once per run.  Parallelism is across workloads — the
+sweep matrix is 15 workloads wide, which saturates typical machines.
+
+Compilation is lazy: a bundle only compiles when a simulation misses
+every cache level or when profile/compile artifacts are requested, so
+a warm-cache run never compiles at all.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.pipeline import CompiledWorkload, compile_workload
+from repro.experiments import cache as cache_mod
+from repro.experiments import metrics as metrics_mod
 from repro.ir.module import Module
 from repro.tlssim.config import SimConfig
 from repro.tlssim.engine import TLSEngine
@@ -34,6 +57,10 @@ BAR_PROGRAM = {
     "L": "sync_ref",
     "SEQ": "seq",
 }
+
+#: dependence-frequency thresholds whose load sets are part of the
+#: cached profile summary (the Figure 6 sweep).
+PROFILE_SET_THRESHOLDS = (0.25, 0.15, 0.05)
 
 
 def config_for(bar: str, base: Optional[SimConfig] = None) -> SimConfig:
@@ -61,9 +88,37 @@ class WorkloadBundle:
     """Compiled binaries plus memoized simulations for one workload."""
 
     workload: Workload
-    compiled: CompiledWorkload
+    threshold: float = 0.05
+    _compiled: Optional[CompiledWorkload] = None
     _oracles: Dict[str, ValueOracle] = field(default_factory=dict)
     _results: Dict[Tuple[str, SimConfig], SimResult] = field(default_factory=dict)
+    _custom: Dict[Tuple[str, SimConfig], SimResult] = field(default_factory=dict)
+    _profile_summary: Optional[Dict] = None
+
+    @property
+    def compiled(self) -> CompiledWorkload:
+        """The compiled binaries; compiles on first access."""
+        if self._compiled is None:
+            started = time.perf_counter()
+            self._compiled = compile_workload(
+                self.workload.name,
+                self.workload.build,
+                self.workload.train_input,
+                self.workload.ref_input,
+                threshold=self.threshold,
+            )
+            metrics_mod.current().record(
+                self.workload.name,
+                "compile",
+                "compile",
+                metrics_mod.SOURCE_COMPUTED,
+                time.perf_counter() - started,
+            )
+        return self._compiled
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._compiled is not None
 
     def program(self, bar: str) -> Module:
         return getattr(self.compiled, BAR_PROGRAM[bar])
@@ -75,13 +130,56 @@ class WorkloadBundle:
             self._oracles[program_attr] = oracle
         return oracle
 
+    # -- cache plumbing --------------------------------------------------
+    def _disk_key(
+        self, kind: str, label: str, program: str, config: SimConfig, **extra
+    ) -> str:
+        return cache_mod.result_key(
+            self.workload.name,
+            self.threshold,
+            kind,
+            label,
+            program,
+            cache_mod.config_to_state(config),
+            extra=extra or None,
+        )
+
+    def _disk_get_result(self, key: str) -> Optional[SimResult]:
+        cache = cache_mod.active_cache()
+        if cache is None:
+            return None
+        payload = cache.get(key)
+        if payload is None:
+            return None
+        try:
+            return SimResult.from_state(payload)
+        except (KeyError, TypeError):
+            return None
+
+    def _disk_put_result(self, key: str, result: SimResult) -> None:
+        cache = cache_mod.active_cache()
+        if cache is not None:
+            cache.put(key, result.to_state())
+
+    # -- simulation ------------------------------------------------------
     def simulate(self, bar: str, base: Optional[SimConfig] = None) -> SimResult:
-        """Run one bar; memoized on (bar, resolved config)."""
+        """Run one bar; memoized on (bar, resolved config) and on disk."""
         config = config_for(bar, base)
-        key = (bar, config)
-        cached = self._results.get(key)
+        memo_key = (bar, config)
+        cached = self._results.get(memo_key)
         if cached is not None:
             return cached
+        disk_key = self._disk_key(
+            "bar", bar, BAR_PROGRAM[bar], config, parallel=(bar != "SEQ")
+        )
+        result = self._disk_get_result(disk_key)
+        if result is not None:
+            self._results[memo_key] = result
+            metrics_mod.current().record(
+                self.workload.name, bar, "bar", metrics_mod.SOURCE_CACHE, 0.0
+            )
+            return result
+        started = time.perf_counter()
         program = self.program(bar)
         oracle = None
         if config.oracle_mode != "off":
@@ -90,18 +188,124 @@ class WorkloadBundle:
             program, config=config, oracle=oracle, parallel=(bar != "SEQ")
         )
         result = engine.run()
-        self._results[key] = result
+        self._results[memo_key] = result
+        self._disk_put_result(disk_key, result)
+        metrics_mod.current().record(
+            self.workload.name,
+            bar,
+            "bar",
+            metrics_mod.SOURCE_COMPUTED,
+            time.perf_counter() - started,
+        )
         return result
 
     def simulate_custom(
-        self, program_attr: str, config: SimConfig, oracle_needed: bool = False
+        self,
+        program_attr: str,
+        config: SimConfig,
+        oracle_needed: bool = False,
+        label: Optional[str] = None,
     ) -> SimResult:
-        """Un-memoized simulation for bespoke experiment modes."""
+        """Simulation with a bespoke config; memoized like a bar.
+
+        ``label`` names the job in run metrics (defaults to the
+        program attribute).
+        """
+        label = label or program_attr
+        memo_key = (program_attr, config)
+        cached = self._custom.get(memo_key)
+        if cached is not None:
+            return cached
+        # The disk key deliberately omits the metrics label: (program,
+        # config) fully determines a custom result, and different call
+        # sites label the same simulation differently.
+        disk_key = self._disk_key("custom", "", program_attr, config)
+        result = self._disk_get_result(disk_key)
+        if result is not None:
+            self._custom[memo_key] = result
+            metrics_mod.current().record(
+                self.workload.name, label, "custom", metrics_mod.SOURCE_CACHE, 0.0
+            )
+            return result
+        started = time.perf_counter()
         oracle = self.oracle_for(program_attr) if oracle_needed else None
         engine = TLSEngine(
             getattr(self.compiled, program_attr), config=config, oracle=oracle
         )
-        return engine.run()
+        result = engine.run()
+        self._custom[memo_key] = result
+        self._disk_put_result(disk_key, result)
+        metrics_mod.current().record(
+            self.workload.name,
+            label,
+            "custom",
+            metrics_mod.SOURCE_COMPUTED,
+            time.perf_counter() - started,
+        )
+        return result
+
+    # -- profile artifacts (compile-free on a warm cache) ----------------
+    def profile_summary(self) -> Dict:
+        """Profile-derived data the figure harnesses need.
+
+        ``{"load_sets": {percent: [iids]}, "distance_hist": {d: n}}``;
+        served from memory or the persistent cache so that Figures 6
+        and 7 can render on a warm cache without recompiling.
+        """
+        if self._profile_summary is not None:
+            return self._profile_summary
+        cache = cache_mod.active_cache()
+        disk_key = cache_mod.result_key(
+            self.workload.name, self.threshold, "profile", "profile", "", None
+        )
+        if cache is not None:
+            payload = cache.get(disk_key)
+            if payload is not None:
+                self._profile_summary = payload
+                metrics_mod.current().record(
+                    self.workload.name,
+                    "profile",
+                    "profile",
+                    metrics_mod.SOURCE_CACHE,
+                    0.0,
+                )
+                return payload
+        summary = self._compute_profile_summary()
+        self._profile_summary = summary
+        if cache is not None:
+            cache.put(disk_key, summary)
+        return summary
+
+    def _compute_profile_summary(self) -> Dict:
+        load_sets: Dict[str, List[int]] = {}
+        for threshold in PROFILE_SET_THRESHOLDS:
+            loads: set = set()
+            for profile in self.compiled.profile_ref.values():
+                loads |= set(profile.loads_above(threshold))
+            load_sets[_pct_key(threshold)] = sorted(loads)
+        hist: Dict[str, int] = {}
+        for profile in self.compiled.profile_ref.values():
+            for distance, count in profile.distance_hist.items():
+                key = str(distance)
+                hist[key] = hist.get(key, 0) + count
+        return {"load_sets": load_sets, "distance_hist": hist}
+
+    def profile_load_set(self, threshold: float) -> frozenset:
+        """Loads with dependences in more than ``threshold`` of epochs."""
+        key = _pct_key(threshold)
+        summary = self.profile_summary()
+        if key not in summary["load_sets"]:
+            # Not one of the canonical thresholds: derive directly.
+            loads: set = set()
+            for profile in self.compiled.profile_ref.values():
+                loads |= set(profile.loads_above(threshold))
+            return frozenset(loads)
+        return frozenset(summary["load_sets"][key])
+
+    def distance_histogram(self) -> Dict[int, int]:
+        """Aggregate dependence-distance histogram across loops."""
+        summary = self.profile_summary()
+        return {int(k): v for k, v in summary["distance_hist"].items()}
 
     def normalized_region(
         self, bar: str, base: Optional[SimConfig] = None
@@ -112,23 +316,19 @@ class WorkloadBundle:
         return normalized_region_time(self.simulate(bar, base), self.simulate("SEQ"))
 
 
+def _pct_key(threshold: float) -> str:
+    return str(int(round(threshold * 100)))
+
+
 _BUNDLES: Dict[str, WorkloadBundle] = {}
 
 
 def bundle_for(name: str, threshold: float = 0.05) -> WorkloadBundle:
-    """Compile (once) and return the bundle for workload ``name``."""
+    """The (lazily compiled) bundle for workload ``name``."""
     key = f"{name}@{threshold}"
     bundle = _BUNDLES.get(key)
     if bundle is None:
-        workload = get_workload(name)
-        compiled = compile_workload(
-            workload.name,
-            workload.build,
-            workload.train_input,
-            workload.ref_input,
-            threshold=threshold,
-        )
-        bundle = WorkloadBundle(workload=workload, compiled=compiled)
+        bundle = WorkloadBundle(workload=get_workload(name), threshold=threshold)
         _BUNDLES[key] = bundle
     return bundle
 
@@ -136,3 +336,370 @@ def bundle_for(name: str, threshold: float = 0.05) -> WorkloadBundle:
 def clear_cache() -> None:
     """Drop all memoized bundles (tests use this for isolation)."""
     _BUNDLES.clear()
+
+
+# ---------------------------------------------------------------------------
+# the job DAG
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable simulation (or profile) job.
+
+    ``kind`` selects the execution recipe:
+
+    * ``'bar'`` — ``bundle.simulate(label)``; ``overrides`` replace
+      fields of the base :class:`SimConfig` before bar resolution.
+    * ``'custom'`` — ``bundle.simulate_custom(program, config)`` with
+      ``config = SimConfig().with_mode(**overrides)``.
+    * ``'fig06'`` — perfect prediction of the loads above ``param``
+      dependence frequency (the oracle set is derived from the
+      workload's dependence profile).
+    * ``'profile'`` — compile-only: produce the profile summary.
+
+    Specs are immutable, hashable, and picklable; the oracle set of a
+    ``fig06`` job is deliberately *not* part of the spec — it is a
+    deterministic function of the sources, which the cache key's code
+    fingerprint already covers.
+    """
+
+    workload: str
+    kind: str = "bar"
+    label: str = "C"
+    program: str = ""
+    threshold: float = 0.05
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    param: float = 0.0
+    oracle_needed: bool = False
+
+
+@dataclass
+class JobNode:
+    """A DAG node: a spec plus the node ids it depends on."""
+
+    node_id: str
+    spec: JobSpec
+    deps: Tuple[str, ...] = ()
+
+
+@dataclass
+class JobGraph:
+    """Explicit dependence graph for one sweep.
+
+    One ``compile`` node per (workload, threshold); every simulation
+    node depends on its workload's compile node.  ``profile`` jobs are
+    folded into the compile node's payload.
+    """
+
+    nodes: Dict[str, JobNode] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    @staticmethod
+    def build(specs: Sequence[JobSpec]) -> "JobGraph":
+        graph = JobGraph()
+        for spec in specs:
+            compile_id = f"compile:{spec.workload}@{spec.threshold}"
+            if compile_id not in graph.nodes:
+                compile_spec = JobSpec(
+                    workload=spec.workload,
+                    kind="compile",
+                    label="compile",
+                    threshold=spec.threshold,
+                )
+                graph.nodes[compile_id] = JobNode(compile_id, compile_spec)
+                graph.order.append(compile_id)
+            node_id = _spec_id(spec)
+            if node_id not in graph.nodes:
+                graph.nodes[node_id] = JobNode(node_id, spec, deps=(compile_id,))
+                graph.order.append(node_id)
+        return graph
+
+    def sim_nodes(self) -> List[JobNode]:
+        return [
+            self.nodes[i] for i in self.order if self.nodes[i].spec.kind != "compile"
+        ]
+
+    def groups(self, pending: Sequence[JobSpec]) -> List[Tuple[str, float, List[JobSpec]]]:
+        """Pending sim specs grouped under their compile dependency.
+
+        Each group is one worker task: the compile node runs once,
+        then every dependent simulation.  Groups are ordered by first
+        appearance so scheduling is deterministic.
+        """
+        grouped: Dict[Tuple[str, float], List[JobSpec]] = {}
+        keys: List[Tuple[str, float]] = []
+        for spec in pending:
+            key = (spec.workload, spec.threshold)
+            if key not in grouped:
+                grouped[key] = []
+                keys.append(key)
+            grouped[key].append(spec)
+        return [(w, t, grouped[(w, t)]) for (w, t) in keys]
+
+
+def _spec_id(spec: JobSpec) -> str:
+    return (
+        f"{spec.kind}:{spec.workload}@{spec.threshold}"
+        f":{spec.label}:{spec.program}:{spec.param}:{spec.overrides}"
+    )
+
+
+def _base_config(spec: JobSpec) -> Optional[SimConfig]:
+    if spec.kind == "bar" and spec.overrides:
+        return SimConfig(**dict(spec.overrides))
+    return None
+
+
+def _resolve_config(spec: JobSpec, bundle: WorkloadBundle) -> Tuple[SimConfig, str, bool]:
+    """(resolved config, program attribute, oracle needed) for a spec.
+
+    ``fig06`` resolution touches the profile summary and may compile.
+    """
+    if spec.kind == "bar":
+        config = config_for(spec.label, _base_config(spec))
+        return config, BAR_PROGRAM[spec.label], config.oracle_mode != "off"
+    if spec.kind == "custom":
+        config = SimConfig().with_mode(**dict(spec.overrides))
+        return config, spec.program, spec.oracle_needed
+    if spec.kind == "fig06":
+        load_set = bundle.profile_load_set(spec.param)
+        config = SimConfig().with_mode(oracle_mode="set", oracle_set=load_set)
+        return config, spec.program or "baseline", True
+    raise ValueError(f"unknown job kind {spec.kind!r}")
+
+
+def _run_spec(spec: JobSpec, bundle: WorkloadBundle) -> Optional[SimResult]:
+    """Execute one spec against a bundle (any cache level may serve it)."""
+    if spec.kind == "profile":
+        bundle.profile_summary()
+        return None
+    if spec.kind == "bar":
+        return bundle.simulate(spec.label, _base_config(spec))
+    config, program, oracle_needed = _resolve_config(spec, bundle)
+    return bundle.simulate_custom(
+        program, config, oracle_needed=oracle_needed, label=spec.label
+    )
+
+
+def _try_resolve_from_cache(spec: JobSpec, bundle: WorkloadBundle) -> bool:
+    """Serve a spec from memo/disk without computing; False on miss.
+
+    Never compiles: a ``fig06`` spec whose profile summary is absent
+    from every cache level is reported as a miss.
+    """
+    if spec.kind == "profile":
+        if bundle._profile_summary is not None:
+            return True
+        cache = cache_mod.active_cache()
+        if cache is None:
+            return False
+        payload = cache.get(
+            cache_mod.result_key(
+                spec.workload, spec.threshold, "profile", "profile", "", None
+            )
+        )
+        if payload is None:
+            return False
+        bundle._profile_summary = payload
+        metrics_mod.current().record(
+            spec.workload, "profile", "profile", metrics_mod.SOURCE_CACHE, 0.0
+        )
+        return True
+    if spec.kind == "fig06" and bundle._profile_summary is None:
+        if not _try_resolve_from_cache(
+            JobSpec(workload=spec.workload, kind="profile", label="profile",
+                    threshold=spec.threshold),
+            bundle,
+        ):
+            return False
+    config, program, _needed = _resolve_config(spec, bundle)
+    if spec.kind == "bar":
+        memo_key = (spec.label, config)
+        if memo_key in bundle._results:
+            metrics_mod.current().record(
+                spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_MEMO, 0.0
+            )
+            return True
+        disk_key = bundle._disk_key(
+            "bar", spec.label, program, config, parallel=(spec.label != "SEQ")
+        )
+        result = bundle._disk_get_result(disk_key)
+        if result is None:
+            return False
+        bundle._results[memo_key] = result
+    else:
+        memo_key = (program, config)
+        if memo_key in bundle._custom:
+            metrics_mod.current().record(
+                spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_MEMO, 0.0
+            )
+            return True
+        disk_key = bundle._disk_key("custom", "", program, config)
+        result = bundle._disk_get_result(disk_key)
+        if result is None:
+            return False
+        bundle._custom[memo_key] = result
+    metrics_mod.current().record(
+        spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_CACHE, 0.0
+    )
+    return True
+
+
+# ---------------------------------------------------------------------------
+# parallel execution
+# ---------------------------------------------------------------------------
+
+
+def _execute_group(payload: Tuple[str, float, List[JobSpec]]) -> Dict:
+    """Worker-side: compile one workload, run its pending simulations.
+
+    Runs in a pool worker; the persistent cache and metrics collector
+    are parent-side concerns, so results travel back as serialized
+    state and the parent does all bookkeeping.
+    """
+    name, threshold, specs = payload
+    cache_mod.configure(False)
+    metrics_mod.reset()
+    bundle = bundle_for(name, threshold)
+    out: List[Dict] = []
+    for spec in specs:
+        started = time.perf_counter()
+        if spec.kind == "profile":
+            bundle.profile_summary()
+            out.append(
+                {
+                    "spec_id": _spec_id(spec),
+                    "kind": "profile",
+                    "wall_s": time.perf_counter() - started,
+                }
+            )
+            continue
+        config, program, oracle_needed = _resolve_config(spec, bundle)
+        result = bundle.simulate_custom(
+            program, config, oracle_needed=oracle_needed, label=spec.label
+        ) if spec.kind != "bar" else bundle.simulate(spec.label, _base_config(spec))
+        out.append(
+            {
+                "spec_id": _spec_id(spec),
+                "kind": spec.kind,
+                "config": cache_mod.config_to_state(config),
+                "program": program,
+                "result": result.to_state(),
+                "wall_s": time.perf_counter() - started,
+            }
+        )
+    return {
+        "workload": name,
+        "threshold": threshold,
+        "pid": os.getpid(),
+        "profile_summary": bundle._profile_summary,
+        "jobs": out,
+    }
+
+
+def _merge_group(group: Dict, specs_by_id: Dict[str, JobSpec]) -> None:
+    """Parent-side: seed memos, persist to disk, record metrics."""
+    bundle = bundle_for(group["workload"], group["threshold"])
+    cache = cache_mod.active_cache()
+    if group["profile_summary"] is not None and bundle._profile_summary is None:
+        bundle._profile_summary = group["profile_summary"]
+        if cache is not None:
+            cache.put(
+                cache_mod.result_key(
+                    group["workload"], group["threshold"],
+                    "profile", "profile", "", None,
+                ),
+                group["profile_summary"],
+            )
+    for job in group["jobs"]:
+        spec = specs_by_id[job["spec_id"]]
+        if job["kind"] == "profile":
+            metrics_mod.current().record(
+                group["workload"], "profile", "profile",
+                metrics_mod.SOURCE_WORKER, job["wall_s"], worker=group["pid"],
+            )
+            continue
+        config = cache_mod.config_from_state(job["config"])
+        result = SimResult.from_state(job["result"])
+        if spec.kind == "bar":
+            bundle._results[(spec.label, config)] = result
+            disk_key = bundle._disk_key(
+                "bar", spec.label, job["program"], config,
+                parallel=(spec.label != "SEQ"),
+            )
+        else:
+            bundle._custom[(job["program"], config)] = result
+            disk_key = bundle._disk_key("custom", "", job["program"], config)
+        if cache is not None:
+            cache.put(disk_key, result.to_state())
+        metrics_mod.current().record(
+            group["workload"], spec.label, spec.kind,
+            metrics_mod.SOURCE_WORKER, job["wall_s"], worker=group["pid"],
+        )
+
+
+def execute_plan(specs: Sequence[JobSpec], jobs: int = 1) -> JobGraph:
+    """Run a sweep of jobs, fanning out across ``jobs`` processes.
+
+    Builds the explicit DAG, serves whatever it can from the memo and
+    the persistent cache, then dispatches each remaining per-workload
+    subgraph (compile node + its pending simulations) to a worker.
+    Results are merged deterministically — iteration order is the spec
+    order, independent of completion order — and seeded into the
+    in-process bundles so subsequent rendering never recomputes.
+    """
+    if jobs < 1:
+        jobs = os.cpu_count() or 1
+    graph = JobGraph.build(specs)
+    pending: List[JobSpec] = []
+    for node in graph.sim_nodes():
+        if not _try_resolve_from_cache(node.spec, bundle_for(
+            node.spec.workload, node.spec.threshold
+        )):
+            pending.append(node.spec)
+    if not pending:
+        return graph
+    groups = graph.groups(pending)
+    specs_by_id = {_spec_id(s): s for s in pending}
+    if jobs == 1 or len(groups) == 1:
+        # Serial path: run in-process, same memo/disk/metric bookkeeping.
+        for _name, _threshold, group_specs in groups:
+            for spec in group_specs:
+                _run_spec(spec, bundle_for(_name, _threshold))
+        return graph
+    results: Dict[str, Dict] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+        futures = {
+            pool.submit(_execute_group, (name, threshold, group_specs)): name
+            for name, threshold, group_specs in groups
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                group = future.result()
+                results[futures[future]] = group
+    # Deterministic merge: group submission order, spec order within.
+    for name, _threshold, _group_specs in groups:
+        _merge_group(results[name], specs_by_id)
+    return graph
+
+
+def plan_bar_jobs(
+    workloads: Sequence[str],
+    bars: Sequence[str],
+    threshold: float = 0.05,
+    include_seq: bool = True,
+) -> List[JobSpec]:
+    """Bar-simulation specs for a (workload x bar) sweep."""
+    specs: List[JobSpec] = []
+    for name in workloads:
+        wanted = list(bars)
+        if include_seq and "SEQ" not in wanted:
+            wanted.append("SEQ")
+        for bar in wanted:
+            specs.append(
+                JobSpec(workload=name, kind="bar", label=bar, threshold=threshold)
+            )
+    return specs

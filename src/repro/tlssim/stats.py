@@ -51,6 +51,20 @@ class ViolationRecord:
     compiler_marked: bool = False
     hardware_marked: bool = False
 
+    def to_state(self) -> Dict:
+        return {
+            "epoch": self.epoch,
+            "time": self.time,
+            "reason": self.reason,
+            "load_iid": self.load_iid,
+            "compiler_marked": self.compiler_marked,
+            "hardware_marked": self.hardware_marked,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "ViolationRecord":
+        return cls(**state)
+
 
 @dataclass
 class RegionStats:
@@ -73,6 +87,46 @@ class RegionStats:
     @property
     def cycles(self) -> float:
         return max(0.0, self.end_time - self.start_time)
+
+    def to_state(self) -> Dict:
+        return {
+            "function": self.function,
+            "header": self.header,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "epochs_committed": self.epochs_committed,
+            "epochs_squashed": self.epochs_squashed,
+            "violations": [v.to_state() for v in self.violations],
+            "slots": {
+                "busy": self.slots.busy,
+                "fail": self.slots.fail,
+                "sync": self.slots.sync,
+                "total": self.slots.total,
+            },
+            "sync_scalar": self.sync_scalar,
+            "sync_memory": self.sync_memory,
+            "sync_hw": self.sync_hw,
+            "max_signal_buffer": self.max_signal_buffer,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "RegionStats":
+        return cls(
+            function=state["function"],
+            header=state["header"],
+            start_time=state["start_time"],
+            end_time=state["end_time"],
+            epochs_committed=state["epochs_committed"],
+            epochs_squashed=state["epochs_squashed"],
+            violations=[
+                ViolationRecord.from_state(v) for v in state["violations"]
+            ],
+            slots=SlotBreakdown(**state["slots"]),
+            sync_scalar=state["sync_scalar"],
+            sync_memory=state["sync_memory"],
+            sync_hw=state["sync_hw"],
+            max_signal_buffer=state["max_signal_buffer"],
+        )
 
 
 @dataclass
@@ -118,6 +172,32 @@ class SimResult:
                 for r in self.regions
             ],
         }
+
+    def to_state(self) -> Dict:
+        """Full-fidelity serialization (persistent result cache).
+
+        Unlike :meth:`to_dict` (a lossy summary for dashboards), the
+        state round-trips through :meth:`from_state` bit-exactly —
+        every violation record survives, so cached results feed the
+        Figure 11 classification unchanged.
+        """
+        return {
+            "return_value": self.return_value,
+            "program_cycles": self.program_cycles,
+            "sequential_cycles": self.sequential_cycles,
+            "memory_checksum": self.memory_checksum,
+            "regions": [r.to_state() for r in self.regions],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "SimResult":
+        return cls(
+            return_value=state["return_value"],
+            program_cycles=state["program_cycles"],
+            sequential_cycles=state["sequential_cycles"],
+            memory_checksum=state["memory_checksum"],
+            regions=[RegionStats.from_state(r) for r in state["regions"]],
+        )
 
     def merged_region_slots(self) -> SlotBreakdown:
         merged = SlotBreakdown()

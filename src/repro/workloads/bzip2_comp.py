@@ -48,7 +48,7 @@ def build(input_spec):
     def body(fb):
         saddr = fb.add("@symbols", "i")
         symbol = fb.load(saddr)
-        front = emit_filler(fb, 2, salt=43)
+        emit_filler(fb, 2, salt=43)
         # Eight coding paths; each reads the shared state through its
         # own static load (~11% of epochs each) and recomputes it
         # through a long local chain.

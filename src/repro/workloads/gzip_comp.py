@@ -94,7 +94,7 @@ def build(input_spec):
         sslot0 = fb.mod(symbol, 4)
         sslot = fb.add(sslot0, 4)
         saddr2 = fb.add("@window_state", sslot)
-        wstate = fb.load(saddr2)
+        fb.load(saddr2)  # reads the shared state for its timing effect
         fb.jump("tail")
         fb.block("tail")
         deposit0 = fb.binop("xor", front, mid)

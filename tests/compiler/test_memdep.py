@@ -6,7 +6,7 @@ import pytest
 from repro.compiler.memdep.cloning import CloningError, specialize_call_paths
 from repro.compiler.scalar_sync import insert_all_scalar_sync
 from repro.compiler.scheduling import schedule_all
-from repro.compiler.memdep.graph import DependenceGroup, group_dependences
+from repro.compiler.memdep.graph import group_dependences
 from repro.compiler.memdep.profiler import profile_dependences
 from repro.compiler.memdep.sync_insertion import insert_memory_sync
 from repro.ir.builder import ModuleBuilder

@@ -1,12 +1,10 @@
 """Optimization passes: folding, DCE, CFG simplification, driver."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.compiler.opt import (
     eliminate_dead_code,
     fold_constants,
-    optimize_function,
     optimize_module,
     simplify_cfg,
 )

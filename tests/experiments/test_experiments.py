@@ -16,7 +16,7 @@ from repro.experiments import (
     table2_speedups,
 )
 from repro.experiments.reporting import BAR_COLUMNS
-from repro.experiments.runner import BAR_PROGRAM, WorkloadBundle, bundle_for, config_for
+from repro.experiments.runner import BAR_PROGRAM, bundle_for, config_for
 
 SUBSET = ["go", "m88ksim", "gzip_decomp"]
 

@@ -226,7 +226,7 @@ class TestRegionTracking:
         fb.const(0, dest="i")
         fb.jump("loop")
         fb.block("loop")
-        call = fb.call("touch", [], dest=False)
+        fb.call("touch", [], dest=False)
         fb.add("i", 1, dest="i")
         c = fb.binop("lt", "i", 2)
         fb.condbr(c, "loop", "done")

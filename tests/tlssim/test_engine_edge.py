@@ -6,7 +6,7 @@ from repro.ir.builder import ModuleBuilder
 from repro.ir.interpreter import run_module
 from repro.ir.module import ChannelInfo, ParallelLoop
 from repro.tlssim.config import SimConfig
-from repro.tlssim.engine import EngineError, TLSEngine
+from repro.tlssim.engine import TLSEngine
 from repro.tlssim.sequential import simulate_tls
 
 from tests.tlssim.conftest import make_counted_loop

@@ -7,7 +7,7 @@ from repro.ir.verifier import verify_module
 from repro.tlssim.config import SimConfig
 from repro.tlssim.engine import TLSEngine
 from repro.tlssim.oracle import collect_oracle
-from repro.tlssim.sequential import simulate_sequential, simulate_tls
+from repro.tlssim.sequential import simulate_tls
 
 
 def make_protocol_loop(iters=40, sab_conflict=False, alternating=False, filler=30):

@@ -53,9 +53,6 @@ class TestChannelFilter:
         """A channel whose forwarded address never matches is dropped
         once enough checks have failed — and execution stays correct."""
         from tests.tlssim.conftest import make_counted_loop
-        from repro.ir.instructions import Check, Load, Resume, Select, Signal, Wait
-        from repro.ir.operands import Reg
-
         # Hand-build a rotating-slot consumer whose check always fails.
         def body(fb):
             # producer: store slot i%4 (lines apart), signal it
