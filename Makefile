@@ -4,7 +4,7 @@ PY ?= python
 #: worker processes for the report simulation matrix (0 = all cores)
 JOBS ?= 0
 
-.PHONY: install test lint ci bench report scorecard examples clean
+.PHONY: install test lint ci bench microbench report scorecard examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,12 +13,18 @@ install:
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
+# Explicit path list so the benchmark suite is always in lint scope.
 lint:
-	ruff check .
+	ruff check src tests benchmarks examples setup.py
 
 ci: lint test
 
+# Engine throughput: fast path vs slow path, written to BENCH_engine.json
+# (the checked-in baseline; see docs/running_experiments.md).
 bench:
+	PYTHONPATH=src $(PY) -m repro bench -o BENCH_engine.json
+
+microbench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only
 
 report:

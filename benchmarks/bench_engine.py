@@ -36,6 +36,19 @@ def test_engine_synchronized_throughput(benchmark):
     assert result.regions[0].epochs_committed > 0
 
 
+def test_engine_slow_path_throughput(benchmark):
+    # The original object-walking scheduler; compare against
+    # test_engine_baseline_throughput for the fast-path speedup.
+    bundle = bundle_for("parser")
+    module = bundle.compiled.baseline
+
+    def run():
+        return TLSEngine(module, config=SimConfig(fast_path=False)).run()
+
+    result = benchmark(run)
+    assert result.regions[0].epochs_committed > 0
+
+
 def test_pipeline_compile_time(benchmark):
     workload = get_workload("parser")
 

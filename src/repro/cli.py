@@ -23,6 +23,10 @@ Commands
     Evaluate every reproduced paper claim (exit code 1 on any failure).
 ``cache``
     Manage the persistent result cache (``info`` / ``clear``).
+``bench``
+    Engine throughput benchmark: fast path vs slow path, per workload
+    and scheme, written to ``BENCH_engine.json``; ``--profile FILE``
+    additionally dumps cProfile stats of the warm fast-path runs.
 
 Experiment commands memoize results under ``.repro_cache/`` (override
 with ``--cache-dir`` or ``REPRO_CACHE_DIR``); ``--no-cache`` disables
@@ -225,8 +229,34 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.experiments.bench import format_bench, run_bench, write_bench
+
+    payload = run_bench(
+        workloads=args.workloads,
+        schemes=args.schemes,
+        repeat=args.repeat,
+        threshold=args.threshold,
+        profile=args.profile,
+    )
+    write_bench(payload, args.output)
+    print(format_bench(payload))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _workload_list(value: str) -> List[str]:
     return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def _scheme_list(value: str) -> List[str]:
+    schemes = [name.strip().upper() for name in value.split(",") if name.strip()]
+    for scheme in schemes:
+        if scheme not in BARS:
+            raise argparse.ArgumentTypeError(
+                f"unknown scheme {scheme!r} (choose from {', '.join(BARS)})"
+            )
+    return schemes
 
 
 def _add_run_options(parser, jobs: bool = True, metrics: bool = False) -> None:
@@ -326,6 +356,38 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("action", choices=("info", "clear"))
     cache_parser.add_argument("--cache-dir", default=None)
     cache_parser.set_defaults(func=_cmd_cache)
+
+    bench_parser = sub.add_parser(
+        "bench", help="engine throughput benchmark (fast vs slow path)"
+    )
+    bench_parser.add_argument(
+        "--workloads",
+        type=_workload_list,
+        default=None,
+        help="comma-separated workload names (default: all)",
+    )
+    bench_parser.add_argument(
+        "--schemes",
+        type=_scheme_list,
+        default=["U", "C"],
+        help="comma-separated bar labels to benchmark (default U,C)",
+    )
+    bench_parser.add_argument(
+        "-o", "--output", default="BENCH_engine.json",
+        help="result file (default BENCH_engine.json)",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="warm runs per cell; the best is recorded (default 3)",
+    )
+    bench_parser.add_argument("--threshold", type=float, default=0.05)
+    bench_parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="dump cProfile stats of the warm fast-path runs to FILE",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     return parser
 

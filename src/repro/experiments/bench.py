@@ -1,0 +1,249 @@
+"""Engine throughput benchmark (the ``repro bench`` subcommand).
+
+Measures wall-clock throughput of the TLS simulation engine and proves
+the fast-path claim: for every requested workload x scheme the harness
+runs the **fast path** (decoded dispatch, free-running turns, event
+heap) and the **slow path** (the original object-walking scheduler) on
+the same compiled program, checks that both produce byte-identical
+results, and records the speedup.
+
+Three kinds of record land in ``BENCH_engine.json``, all with the same
+schema (``workload, scheme, mode, phase, sim_cycles, wall_seconds,
+instructions, instrs_per_sec``):
+
+* ``fast``/``cold`` — first fast-path run; ``wall_seconds`` includes
+  this workload's one-time compilation (charged to the first scheme).
+* ``fast``/``warm`` — best of ``repeat`` runs, each on a fresh engine
+  over the already-compiled program (decode happens per engine, so the
+  one-time decode cost is *inside* this number).
+* ``slow``/``warm`` — same measurement with ``fast_path=False``.
+
+The ``speedups`` section divides warm fast throughput by warm slow
+throughput per cell, and ``largest_workload`` singles out the cell
+with the most dynamic instructions — the acceptance criterion for the
+fast path is >= 3x there.  See ``docs/running_experiments.md`` for the
+checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import platform
+import pstats
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.pipeline import compile_workload
+from repro.experiments.runner import BAR_PROGRAM, config_for
+from repro.tlssim.engine import TLSEngine
+from repro.tlssim.oracle import collect_oracle
+from repro.workloads import all_workloads, get_workload
+
+#: Default scheme sample: the untransformed program exercises the
+#: violation/squash machinery, the compiler-synchronized program the
+#: forwarding machinery.
+DEFAULT_SCHEMES = ("U", "C")
+
+#: Every result record carries exactly these keys.
+SCHEMA_FIELDS = (
+    "workload",
+    "scheme",
+    "mode",
+    "phase",
+    "sim_cycles",
+    "wall_seconds",
+    "instructions",
+    "instrs_per_sec",
+)
+
+
+def _timed_run(program, config, oracle, parallel):
+    """(wall seconds, engine, result) for one fresh-engine simulation."""
+    engine = TLSEngine(program, config=config, oracle=oracle, parallel=parallel)
+    started = time.perf_counter()
+    result = engine.run()
+    return time.perf_counter() - started, engine, result
+
+
+def _record(workload, scheme, mode, phase, result, wall, instructions) -> Dict:
+    return {
+        "workload": workload,
+        "scheme": scheme,
+        "mode": mode,
+        "phase": phase,
+        "sim_cycles": result.program_cycles,
+        "wall_seconds": wall,
+        "instructions": instructions,
+        "instrs_per_sec": instructions / wall if wall > 0 else 0.0,
+    }
+
+
+def bench_workload(
+    name: str,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    repeat: int = 3,
+    threshold: float = 0.05,
+    profiler: Optional[cProfile.Profile] = None,
+) -> List[Dict]:
+    """Benchmark one workload across schemes; returns result records.
+
+    ``profiler``, when given, is enabled around the warm fast-path
+    runs only, so the dump shows where simulation time goes rather
+    than compile time.
+    """
+    workload = get_workload(name)
+    started = time.perf_counter()
+    compiled = compile_workload(
+        workload.name,
+        workload.build,
+        workload.train_input,
+        workload.ref_input,
+        threshold=threshold,
+    )
+    compile_seconds = time.perf_counter() - started
+    records: List[Dict] = []
+    for scheme in schemes:
+        program = getattr(compiled, BAR_PROGRAM[scheme])
+        config = config_for(scheme)
+        oracle = None
+        if config.oracle_mode != "off":
+            oracle = collect_oracle(program)
+        parallel = scheme != "SEQ"
+        fast = config.with_mode(fast_path=True)
+        slow = config.with_mode(fast_path=False)
+
+        # Cold: first fast-path run, charged with this workload's
+        # compile time (once — later schemes reuse the binaries).
+        wall, engine, result = _timed_run(program, fast, oracle, parallel)
+        records.append(
+            _record(
+                name, scheme, "fast", "cold",
+                result, wall + compile_seconds, engine.instructions,
+            )
+        )
+        compile_seconds = 0.0
+
+        baseline_state = result.to_state()
+        for mode, mode_config in (("fast", fast), ("slow", slow)):
+            best = None
+            for _ in range(max(1, repeat)):
+                if profiler is not None and mode == "fast":
+                    profiler.enable()
+                wall, engine, result = _timed_run(
+                    program, mode_config, oracle, parallel
+                )
+                if profiler is not None and mode == "fast":
+                    profiler.disable()
+                if result.to_state() != baseline_state:
+                    raise RuntimeError(
+                        f"{name}/{scheme}: {mode} path diverged from the "
+                        "first fast-path run"
+                    )
+                record = _record(
+                    name, scheme, mode, "warm",
+                    result, wall, engine.instructions,
+                )
+                if best is None or record["wall_seconds"] < best["wall_seconds"]:
+                    best = record
+            records.append(best)
+    return records
+
+
+def summarize(records: Sequence[Dict]) -> Dict:
+    """Per-cell speedups plus the largest-workload headline number."""
+    warm: Dict[tuple, Dict[str, Dict]] = {}
+    for record in records:
+        if record["phase"] != "warm":
+            continue
+        warm.setdefault((record["workload"], record["scheme"]), {})[
+            record["mode"]
+        ] = record
+    speedups: List[Dict] = []
+    for (workload, scheme), modes in warm.items():
+        fast, slow = modes.get("fast"), modes.get("slow")
+        if fast is None or slow is None:
+            continue
+        speedups.append(
+            {
+                "workload": workload,
+                "scheme": scheme,
+                "instructions": fast["instructions"],
+                "fast_instrs_per_sec": fast["instrs_per_sec"],
+                "slow_instrs_per_sec": slow["instrs_per_sec"],
+                "speedup": (
+                    fast["instrs_per_sec"] / slow["instrs_per_sec"]
+                    if slow["instrs_per_sec"] > 0
+                    else 0.0
+                ),
+            }
+        )
+    largest = max(speedups, key=lambda s: s["instructions"], default=None)
+    return {"speedups": speedups, "largest_workload": largest}
+
+
+def run_bench(
+    workloads: Optional[Sequence[str]] = None,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    repeat: int = 3,
+    threshold: float = 0.05,
+    profile: Optional[str] = None,
+) -> Dict:
+    """Run the benchmark matrix and return the ``BENCH_engine`` payload."""
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    profiler = cProfile.Profile() if profile else None
+    records: List[Dict] = []
+    for name in names:
+        records.extend(
+            bench_workload(
+                name, schemes=schemes, repeat=repeat,
+                threshold=threshold, profiler=profiler,
+            )
+        )
+    payload = {
+        "benchmark": "engine-throughput",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "schema": list(SCHEMA_FIELDS),
+        "schemes": list(schemes),
+        "repeat": repeat,
+        "results": records,
+    }
+    payload.update(summarize(records))
+    if profiler is not None:
+        profiler.dump_stats(profile)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(15)
+    return payload
+
+
+def write_bench(payload: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_bench(payload: Dict) -> str:
+    """Human-readable summary table for the CLI."""
+    lines = [
+        f"{'workload':<14} {'scheme':<6} {'instrs':>8} "
+        f"{'fast i/s':>12} {'slow i/s':>12} {'speedup':>8}"
+    ]
+    for cell in payload["speedups"]:
+        lines.append(
+            f"{cell['workload']:<14} {cell['scheme']:<6} "
+            f"{cell['instructions']:>8} "
+            f"{cell['fast_instrs_per_sec']:>12.0f} "
+            f"{cell['slow_instrs_per_sec']:>12.0f} "
+            f"{cell['speedup']:>7.2f}x"
+        )
+    largest = payload.get("largest_workload")
+    if largest is not None:
+        lines.append(
+            f"largest workload: {largest['workload']}/{largest['scheme']} "
+            f"({largest['instructions']} instrs) -> "
+            f"{largest['speedup']:.2f}x fast path"
+        )
+    return "\n".join(lines)

@@ -107,6 +107,12 @@ class SimConfig:
     max_epoch_steps: int = 500_000
     max_region_steps: int = 100_000_000
 
+    # ---- simulator implementation (no effect on simulated results) ------
+    #: Use the decoded-dispatch / block-batching / event-heap execution
+    #: layer.  Results are byte-identical to the slow path; this flag
+    #: exists so equivalence tests and benchmarks can compare the two.
+    fast_path: bool = True
+
     def with_mode(self, **overrides) -> "SimConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)

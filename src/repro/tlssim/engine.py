@@ -41,10 +41,32 @@ remainder of ``cycles x issue_width x cores`` is *other*.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.cfg import CFG
+from repro.ir.decode import (
+    OP_ALLOC,
+    OP_BINOP,
+    OP_CALL,
+    OP_CHECK,
+    OP_CONDBR,
+    OP_CONST,
+    OP_DIVMOD,
+    OP_JUMP,
+    OP_LOAD,
+    OP_MOVE,
+    OP_RESUME,
+    OP_RET,
+    OP_SELECT,
+    OP_SIGNAL,
+    OP_STORE,
+    OP_UNOP,
+    OP_WAIT,
+    DecodedProgram,
+)
 from repro.ir.instructions import (
     Alloc,
     BinOp,
@@ -63,7 +85,7 @@ from repro.ir.instructions import (
     UnOp,
     Wait,
 )
-from repro.ir.interpreter import Frame, eval_binop, eval_unop
+from repro.ir.interpreter import Frame, _CalleeMissing, eval_binop, eval_unop
 from repro.ir.loops import LoopForest
 from repro.ir.memimage import MemoryImage
 from repro.ir.module import Module, ParallelLoop
@@ -99,7 +121,7 @@ class EpochRun:
         "cursors", "received", "signal_counts", "sab",
         "fwd_flag", "fwd_addr", "last_mem_channel", "exited", "exit_target",
         "steps", "predictions", "load_values", "oracle_occ",
-        "no_predict", "park_reason",
+        "no_predict", "park_reason", "trace",
     )
 
     def __init__(
@@ -144,6 +166,11 @@ class EpochRun:
         self.oracle_occ: Dict[int, int] = {}
         self.no_predict = False
         self.park_reason: Optional[str] = None
+        #: fast path only: start clock of every private instruction
+        #: executed since the run's last shared-state operation, so a
+        #: squash can roll the clock back to the exact boundary the
+        #: slow-path scheduler would have descheduled this run at.
+        self.trace: List[float] = []
 
     @property
     def sync_cycles(self) -> float:
@@ -194,6 +221,15 @@ class TLSEngine:
         self.clock = 0.0
         self.regions: List[RegionStats] = []
         self._region_counter = 0
+        #: dynamic instructions executed (sequential + epoch steps);
+        #: benchmark-only, deliberately kept out of SimResult.
+        self.instructions = 0
+        self.fast = bool(self.config.fast_path)
+        self._decoded: Optional[DecodedProgram] = (
+            DecodedProgram(module, self.memory.addr_of, self._dt_of)
+            if self.fast
+            else None
+        )
         self._loop_infos: Dict[Tuple[str, str], _LoopInfo] = {}
         for annotation in module.parallel_loops:
             cfg = CFG(module.function(annotation.function))
@@ -254,7 +290,10 @@ class TLSEngine:
                 block=entry.entry_label,
             )
         ]
-        return_value = self._run_sequential(frames)
+        if self.fast:
+            return_value = self._run_sequential_fast(frames)
+        else:
+            return_value = self._run_sequential(frames)
         region_cycles = sum(r.cycles for r in self.regions)
         return SimResult(
             return_value=return_value,
@@ -270,6 +309,18 @@ class TLSEngine:
 
     def _charge(self, latency: float) -> None:
         self.clock += latency / self.config.issue_width
+
+    def _dt_of(self, instr) -> float:
+        """Pre-divided clock charge for the decode pass.
+
+        Memory instructions carry 0.0: their latency comes from the
+        cache model at execution time.  The division happens here, once
+        per static instruction, with exactly the float operation
+        ``_charge`` performs, so accumulated clocks stay bit-identical.
+        """
+        if isinstance(instr, (Load, Store)):
+            return 0.0
+        return instruction_latency(self.config, instr) / self.config.issue_width
 
     def _value(self, frame: Frame, operand) -> int:
         if isinstance(operand, Imm):
@@ -436,6 +487,183 @@ class TLSEngine:
                 frame.index += 1
             else:
                 raise EngineError(f"cannot execute {type(instr).__name__}")
+        self.instructions += steps
+        return return_value
+
+    def _run_sequential_fast(self, frames: List[Frame]) -> Optional[int]:
+        """Decoded-dispatch twin of :meth:`_run_sequential`.
+
+        Identical observable behavior (clock, memory, regions, errors);
+        the only differences are pre-resolved operands and integer
+        opcode dispatch.  The engine clock is mirrored into a local for
+        the duration and written back on every region hand-off and on
+        exit (including error exits).
+        """
+        config = self.config
+        dprog = self._decoded
+        memory = self.memory
+        caches = self.caches
+        access = caches.access
+        line_of = caches.line_of
+        width = config.issue_width
+        max_steps = config.max_region_steps
+        loop_infos = self._loop_infos
+        return_value: Optional[int] = None
+        steps = 0
+        clock = self.clock
+        try:
+            while frames:
+                frame = frames[-1]
+                ops = dprog.block(frame.function_name, frame.block).ops
+                regs = frame.regs
+                i = frame.index
+                region_info = None
+                try:
+                    while True:
+                        op = ops[i]
+                        steps += 1
+                        if steps > max_steps:
+                            raise EngineError("sequential fuel exhausted")
+                        code = op[0]
+                        if code == OP_BINOP or code == OP_DIVMOD:
+                            a, b = op[5], op[6]
+                            regs[op[3]] = op[4](
+                                a if type(a) is int else regs[a],
+                                b if type(b) is int else regs[b],
+                            )
+                            clock += op[1]
+                            i += 1
+                        elif code == OP_LOAD:
+                            a = op[4]
+                            addr = (a if type(a) is int else regs[a]) + op[5]
+                            regs[op[3]] = memory.load(addr)
+                            clock += access(0, line_of(addr)) / width
+                            i += 1
+                        elif code == OP_STORE:
+                            a = op[3]
+                            addr = (a if type(a) is int else regs[a]) + op[4]
+                            v = op[5]
+                            memory.store(addr, v if type(v) is int else regs[v])
+                            clock += access(0, line_of(addr)) / width
+                            i += 1
+                        elif code == OP_CONST:
+                            regs[op[3]] = op[4]
+                            clock += op[1]
+                            i += 1
+                        elif code == OP_MOVE:
+                            s = op[4]
+                            regs[op[3]] = s if type(s) is int else regs[s]
+                            clock += op[1]
+                            i += 1
+                        elif code == OP_UNOP:
+                            s = op[5]
+                            regs[op[3]] = op[4](s if type(s) is int else regs[s])
+                            clock += op[1]
+                            i += 1
+                        elif code == OP_JUMP or code == OP_CONDBR:
+                            if code == OP_JUMP:
+                                target = op[3]
+                            else:
+                                c = op[3]
+                                cond = c if type(c) is int else regs[c]
+                                target = op[4] if cond else op[5]
+                            clock += op[1]
+                            seq = self._seq_region
+                            if (
+                                seq is not None
+                                and len(frames) == seq[1]
+                                and target not in seq[0].blocks
+                            ):
+                                self.clock = clock
+                                self._close_seq_region()
+                            info = loop_infos.get((frame.function_name, target))
+                            if info is not None and self._seq_region is None:
+                                if self.parallel:
+                                    frame.index = i
+                                    region_info = info
+                                    break
+                                self._seq_region = (info, len(frames), clock)
+                            frame.block = target
+                            frame.index = 0
+                            break
+                        elif code == OP_CALL:
+                            if op[6] is None:
+                                raise _CalleeMissing(op[4])
+                            values = [
+                                a if type(a) is int else regs[a] for a in op[5]
+                            ]
+                            clock += op[1]
+                            frame.index = i
+                            frames.append(
+                                Frame(
+                                    function_name=op[4],
+                                    regs=dict(zip(op[6], values)),
+                                    block=op[7],
+                                    call_instr=op[2],
+                                )
+                            )
+                            break
+                        elif code == OP_RET:
+                            v = op[3]
+                            value = (
+                                None
+                                if v is None
+                                else (v if type(v) is int else regs[v])
+                            )
+                            clock += op[1]
+                            if (
+                                self._seq_region is not None
+                                and len(frames) == self._seq_region[1]
+                            ):
+                                self.clock = clock
+                                self._close_seq_region()
+                            popped = frames.pop()
+                            if frames:
+                                caller = frames[-1]
+                                call = popped.call_instr
+                                if call.dest is not None:
+                                    if value is None:
+                                        raise EngineError(
+                                            f"void return into %{call.dest.name}"
+                                        )
+                                    caller.regs[call.dest.name] = value
+                                caller.index += 1
+                            else:
+                                return_value = value
+                            break
+                        elif code == OP_ALLOC:
+                            s = op[4]
+                            regs[op[3]] = memory.alloc(
+                                s if type(s) is int else regs[s]
+                            )
+                            clock += op[1]
+                            i += 1
+                        elif code == OP_WAIT:
+                            regs[op[3]] = regs.get(op[3], 0)
+                            clock += op[1]
+                            i += 1
+                        elif code == OP_SELECT:
+                            m = op[5]
+                            regs[op[3]] = m if type(m) is int else regs[m]
+                            clock += op[1]
+                            i += 1
+                        else:  # Signal / Check / Resume: charge-only
+                            clock += op[1]
+                            i += 1
+                except _CalleeMissing as exc:
+                    raise KeyError(exc.args[0]) from None
+                except KeyError as exc:
+                    raise EngineError(
+                        f"{frame.function_name}: read of undefined register "
+                        f"%{exc.args[0]}"
+                    ) from None
+                if region_info is not None:
+                    self.clock = clock
+                    _RegionExecution(self, frame, region_info).execute()
+                    clock = self.clock
+        finally:
+            self.clock = clock
+            self.instructions += steps
         return return_value
 
 
@@ -468,6 +696,14 @@ class _RegionExecution:
         self.exit_run: Optional[EpochRun] = None
         self.total_steps = 0
         self.fail_slots = 0.0
+        self.fast = engine.fast
+        #: event heap: (eff, logical, seq, run, action) with lazy
+        #: deletion — entries are validated against _event_for on pop.
+        self._heap: List[Tuple[float, int, int, EpochRun, str]] = []
+        self._heap_seq = 0
+        #: event time of the shared-state operation currently being
+        #: performed; squash rollbacks compare run traces against it.
+        self._now = self.start_time
         if engine.tracer is not None:
             engine.tracer.region_start(
                 frame.function_name, info.annotation.header, self.start_time
@@ -520,6 +756,8 @@ class _RegionExecution:
             self.active[k] = run
             self.first_start[k] = start
             self.next_logical += 1
+            if self.fast:
+                self._wake(k)
             if self.engine.tracer is not None:
                 self.engine.tracer.epoch_start(k, 0, core, start)
 
@@ -527,19 +765,10 @@ class _RegionExecution:
 
     def execute(self) -> None:
         self._try_spawn()
-        while not self.finished:
-            run, eff, action = self._pick()
-            if run is None:
-                raise EngineError(
-                    f"region deadlock at t={self.last_commit_end}: "
-                    + ", ".join(
-                        f"e{r.logical}g{r.generation}:{r.state}"
-                        f"@{r.wait_channel or ''}"
-                        for r in self.active.values()
-                    )
-                )
-            self._perform(run, eff, action)
-            self._try_spawn()
+        if self.fast:
+            self._drive_fast()
+        else:
+            self._drive_slow()
         # region complete: hand control back to the sequential engine
         assert self.exit_run is not None
         self.frame.regs = self.exit_run.frames[0].regs
@@ -552,40 +781,153 @@ class _RegionExecution:
         slots.total = cycles * self.config.issue_width * self.config.num_cores
         slots.fail = self.fail_slots
         self.engine.regions.append(self.stats)
+        self.engine.instructions += self.total_steps
+
+    def _drive_slow(self) -> None:
+        while not self.finished:
+            run, eff, action = self._pick()
+            if run is None:
+                raise self._deadlock_error()
+            self._perform(run, eff, action)
+            self._try_spawn()
+
+    def _drive_fast(self) -> None:
+        """Event-heap main loop.
+
+        Invariant: every run's current event has a live heap entry
+        (possibly among stale duplicates).  It is maintained by
+        *targeted* pushes at every transition that creates or changes
+        an event — spawns (_try_spawn), squash replacements (_squash),
+        sends and message replacements (_exec_signal, the SAB store
+        path, _auto_flush), commits exposing a new oldest epoch
+        (_finalize_commit), and the post-turn reinsertion below.
+        Stale entries are discarded on pop by re-deriving the run's
+        current event.  An exhausted heap with a runnable run left is
+        a scheduler bug and reported loudly rather than masked.
+        """
+        while not self.finished:
+            event = self._pop_event()
+            if event is None:
+                run, eff, action = self._pick()
+                if run is not None:  # pragma: no cover - defensive
+                    raise EngineError(
+                        f"fast-path scheduler missed a wakeup for epoch "
+                        f"{run.logical} ({action} at t={eff})"
+                    )
+                raise self._deadlock_error()
+            run, eff, action = event
+            if action == "step":
+                self._run_turn(run)
+            else:
+                self._now = eff
+                self._perform(run, eff, action)
+            if self.finished:
+                return
+            self._try_spawn()
+            self._wake(run.logical)
+
+    def _deadlock_error(self) -> EngineError:
+        return EngineError(
+            f"region deadlock at t={self.last_commit_end}: "
+            + ", ".join(
+                f"e{r.logical}g{r.generation}:{r.state}"
+                f"@{r.wait_channel or ''}"
+                for r in self.active.values()
+            )
+        )
+
+    def _event_for(self, run: EpochRun) -> Optional[Tuple[float, str]]:
+        """The (effective time, action) of ``run``'s next transition."""
+        state = run.state
+        if state == "ready":
+            return run.clock, "step"
+        if state == "wait_msg":
+            message = self.channels.peek(
+                run.wait_channel,
+                run.logical,
+                run.wait_kind,
+                run.cursors.get((run.wait_channel, run.wait_kind), 0),
+            )
+            if message is None:
+                return None
+            return (
+                max(run.clock, self.channels.arrival_time(message)),
+                "unblock_msg",
+            )
+        if run.logical != self.committed_upto + 1:
+            return None
+        eff = max(run.clock, self.last_commit_end)
+        if state == "wait_oldest":
+            return eff, "unblock_oldest"
+        if state == "done":
+            return eff, "commit"
+        if state == "parked":
+            return eff, "restart_parked"
+        return None  # pragma: no cover - defensive
+
+    def _wake(self, logical: int) -> None:
+        """(Re-)insert ``logical``'s current event into the heap."""
+        run = self.active.get(logical)
+        if run is None:
+            return
+        event = self._event_for(run)
+        if event is None:
+            return
+        self._heap_seq += 1
+        heappush(self._heap, (event[0], logical, self._heap_seq, run, event[1]))
+
+    def _pop_event(self) -> Optional[Tuple[EpochRun, float, str]]:
+        heap = self._heap
+        active = self.active
+        while heap:
+            eff, logical, _seq, run, action = heappop(heap)
+            if active.get(logical) is not run:
+                continue  # squashed or committed since the push
+            event = self._event_for(run)
+            if event is None or event[0] != eff or event[1] != action:
+                continue  # state moved on; a fresher entry exists
+            return run, eff, action
+        return None
+
+    def _peek_horizon(self, current: EpochRun) -> Tuple[Optional[float], int]:
+        """(eff, logical) of the earliest event of any *other* run.
+
+        Discards stale heap entries (and ``current``'s own duplicates
+        — its event is re-pushed after the turn) from the top while
+        peeking, so the amortized cost stays O(log heap).
+        """
+        heap = self._heap
+        active = self.active
+        while heap:
+            eff, logical, _seq, run, action = heap[0]
+            if run is current or active.get(logical) is not run:
+                heappop(heap)
+                continue
+            event = self._event_for(run)
+            if event is None or event[0] != eff or event[1] != action:
+                heappop(heap)
+                continue
+            return eff, logical
+        return None, 0
 
     def _pick(self):
+        active = self.active
+        if len(active) == 1:
+            # Single in-flight run (tail of a region, tiny loops):
+            # skip the scan/heap entirely.
+            (run,) = active.values()
+            event = self._event_for(run)
+            if event is None:
+                return None, 0.0, None
+            return run, event[0], event[1]
         best = None
         best_eff = 0.0
         best_action = None
-        oldest = self.committed_upto + 1
-        for run in self.active.values():
-            if run.state == "ready":
-                eff, action = run.clock, "step"
-            elif run.state == "wait_msg":
-                message = self.channels.peek(
-                    run.wait_channel,
-                    run.logical,
-                    run.wait_kind,
-                    run.cursors.get((run.wait_channel, run.wait_kind), 0),
-                )
-                if message is None:
-                    continue
-                eff = max(run.clock, self.channels.arrival_time(message))
-                action = "unblock_msg"
-            elif run.state == "wait_oldest":
-                if run.logical != oldest:
-                    continue
-                eff, action = max(run.clock, self.last_commit_end), "unblock_oldest"
-            elif run.state == "done":
-                if run.logical != oldest:
-                    continue
-                eff, action = max(run.clock, self.last_commit_end), "commit"
-            elif run.state == "parked":
-                if run.logical != oldest:
-                    continue
-                eff, action = max(run.clock, self.last_commit_end), "restart_parked"
-            else:
+        for run in active.values():
+            event = self._event_for(run)
+            if event is None:
                 continue
+            eff, action = event
             if best is None or (eff, run.logical) < (best_eff, best.logical):
                 best, best_eff, best_action = run, eff, action
         return best, best_eff, best_action
@@ -656,6 +998,20 @@ class _RegionExecution:
 
     def _squash(self, run: EpochRun, time: float, restart: bool) -> None:
         width = self.config.issue_width
+        trace = run.trace
+        if trace:
+            # Fast path: the victim free-ran private instructions past
+            # the squashing operation's event time ``self._now``.  The
+            # slow scheduler would have descheduled it at the first
+            # instruction boundary not strictly before that event
+            # (victims are always logically later than the violator,
+            # so ties lose), which is where its clock — and therefore
+            # the fail-slot accounting below — must stand.
+            k = bisect_left(trace, self._now)
+            overshoot = len(trace) - k
+            if overshoot:
+                run.clock = trace[k]
+                self.total_steps -= overshoot
         if self.engine.tracer is not None:
             self.engine.tracer.squash(
                 run.logical, run.generation, run.core, time,
@@ -682,6 +1038,8 @@ class _RegionExecution:
             )
             replacement.no_predict = run.no_predict
             self.active[run.logical] = replacement
+            if self.fast:
+                self._wake(run.logical)
             if self.engine.tracer is not None:
                 self.engine.tracer.epoch_start(
                     replacement.logical,
@@ -754,6 +1112,9 @@ class _RegionExecution:
         self.committed_upto = run.logical
         self.last_commit_end = commit_end
         self.core_free[run.core] = commit_end
+        if self.fast and not run.exited:
+            # The next epoch is now oldest: its gated events go live.
+            self._wake(run.logical + 1)
         if run.exited:
             self.exit_run = run
             self.stats.end_time = commit_end
@@ -771,6 +1132,9 @@ class _RegionExecution:
         run.exited = exited
         run.exit_target = target if exited else None
         run.state = "done"
+        if self.fast:
+            # Auto-flush may have satisfied the next epoch's pending wait.
+            self._wake(run.logical + 1)
 
     def _auto_flush(self, run: EpochRun) -> None:
         annotation = self.info.annotation
@@ -822,6 +1186,27 @@ class _RegionExecution:
     def _park(self, run: EpochRun, reason: str) -> None:
         run.state = "parked"
         run.park_reason = reason
+
+    def _null_fault(self, run: EpochRun, frame: Frame, what: str) -> None:
+        """NULL address: fatal for the oldest epoch, parked otherwise."""
+        if self._is_oldest(run):
+            raise EngineError(
+                f"NULL pointer {what} in epoch {run.logical} "
+                f"({frame.function_name})"
+            )
+        self._park(run, "null")
+
+    def _branch(self, run: EpochRun, frame: Frame, target: str) -> None:
+        """Take a (conditional) branch, detecting epoch/region ends."""
+        if len(run.frames) == 1:
+            if target == self.info.annotation.header:
+                self._finish_epoch(run, exited=False, target=target)
+                return
+            if target not in self.info.blocks:
+                self._finish_epoch(run, exited=True, target=target)
+                return
+        frame.block = target
+        frame.index = 0
 
     def _step(self, run: EpochRun) -> None:
         engine = self.engine
@@ -877,9 +1262,17 @@ class _RegionExecution:
             self._charge(run, instruction_latency(config, instr))
             frame.index += 1
         elif isinstance(instr, Load):
-            self._exec_load(run, frame, instr, value)
+            addr = value(instr.addr) + instr.offset
+            if addr == 0:
+                self._null_fault(run, frame, "dereference")
+                return
+            self._exec_load(run, frame, instr, addr)
         elif isinstance(instr, Store):
-            self._exec_store(run, frame, instr, value)
+            addr = value(instr.addr) + instr.offset
+            if addr == 0:
+                self._null_fault(run, frame, "store")
+                return
+            self._exec_store(run, frame, instr, addr, value(instr.value))
         elif isinstance(instr, Alloc):
             raise EngineError(
                 "alloc inside a speculative epoch is not supported; "
@@ -920,19 +1313,11 @@ class _RegionExecution:
                     instr.true_target if value(instr.cond) else instr.false_target
                 )
             self._charge(run, instruction_latency(config, instr))
-            if len(run.frames) == 1:
-                if target == self.info.annotation.header:
-                    self._finish_epoch(run, exited=False, target=target)
-                    return
-                if target not in self.info.blocks:
-                    self._finish_epoch(run, exited=True, target=target)
-                    return
-            frame.block = target
-            frame.index = 0
+            self._branch(run, frame, target)
         elif isinstance(instr, Wait):
             self._exec_wait(run, frame, instr)
         elif isinstance(instr, Signal):
-            self._exec_signal(run, frame, instr, value)
+            self._exec_signal(run, frame, instr, value(instr.value))
         elif isinstance(instr, Check):
             f_addr = value(instr.f_addr)
             m_addr = value(instr.m_addr) + instr.offset
@@ -960,24 +1345,407 @@ class _RegionExecution:
         else:
             raise EngineError(f"cannot execute {type(instr).__name__} in epoch")
 
-    # -- memory instructions -------------------------------------------------
+    def _run_turn(self, run: EpochRun) -> None:
+        """Decoded twin of :meth:`_step` executing a whole *turn*.
 
-    def _exec_load(self, run: EpochRun, frame: Frame, instr: Load, value) -> None:
+        Instructions split into two classes (the decode pass numbers
+        opcodes so one comparison separates them):
+
+        * **Private** (``code <= OP_CONDBR``): arithmetic, moves,
+          selects, calls, returns and non-epoch-ending branches.  They
+          touch only the run's registers, frames and clock, so no
+          other epoch — and none of the violation rules — can observe
+          them.  The turn executes these *freely*, even past other
+          runs' pending events; each one's start clock is appended to
+          ``run.trace`` so that, should the run later be squashed, its
+          clock can be rolled back to the exact boundary where the
+          slow-path scheduler would have descheduled it (see
+          :meth:`_squash`).
+        * **Shared-state** (loads, stores, waits, signals, checks,
+          epoch-ending branches, parks and faults): these must execute
+          in exact global ``(clock, logical)`` order.  Before each one
+          the turn re-checks the *horizon* — the earliest pending
+          event of any other run, constant during the turn because the
+          turn ends on any operation that could move it — and ends the
+          turn with the instruction unexecuted once the run is no
+          longer the scheduler's minimum.  When one does execute, the
+          trace is cleared: the run is globally ordered again.
+
+        The turn also ends when the run leaves the ready state or
+        executes an operation that can change another run's pending
+        event (a signal, or a store that squashed someone or corrected
+        a forwarded value); the main loop then re-enters via the heap.
+        Park and fault decisions depend on whether the run is the
+        oldest, i.e. on global commit progress, so they synchronize on
+        the horizon like any shared-state operation.
+        """
         engine = self.engine
         config = self.config
-        addr = value(instr.addr) + instr.offset
+        dprog = engine._decoded
+        h_eff, h_log = self._peek_horizon(run)
+        if h_eff is None:
+            h_eff = float("inf")
+            h_log = 0
+        logical = run.logical
+        max_epoch = config.max_epoch_steps
+        max_region = config.max_region_steps
+        header = self.info.annotation.header
+        blocks = self.info.blocks
+        frames = run.frames
+        trace = run.trace
+        append = trace.append
+        while True:
+            frame = frames[-1]
+            dblock = dprog.block(frame.function_name, frame.block)
+            ops = dblock.ops
+            regs = frame.regs
+            i = frame.index
+            clock = run.clock
+            busy = run.busy_slots
+            steps = run.steps
+            tsteps = self.total_steps
+            try:
+                while True:
+                    op = ops[i]
+                    code = op[0]
+                    if code <= OP_CONDBR:  # private: free-running
+                        steps += 1
+                        tsteps += 1
+                        if steps > max_epoch or tsteps > max_region:
+                            run.clock = clock
+                            run.busy_slots = busy
+                            frame.index = i
+                            if not (
+                                clock < h_eff
+                                or (clock == h_eff and logical < h_log)
+                            ):
+                                run.steps = steps - 1
+                                self.total_steps = tsteps - 1
+                                return
+                            del trace[:]
+                            self._now = clock
+                            run.steps = steps
+                            self.total_steps = tsteps
+                            if steps > max_epoch:
+                                if logical == self.committed_upto + 1:
+                                    raise EngineError(
+                                        f"oldest epoch {logical} exceeded "
+                                        f"step limit (non-terminating loop "
+                                        f"body?)"
+                                    )
+                                self._park(run, "fuel")
+                                return
+                            raise EngineError("region step limit exceeded")
+                        if code <= OP_RESUME:  # pure
+                            if code == OP_BINOP:
+                                a, b = op[5], op[6]
+                                regs[op[3]] = op[4](
+                                    a if type(a) is int else regs[a],
+                                    b if type(b) is int else regs[b],
+                                )
+                            elif code == OP_CONST:
+                                regs[op[3]] = op[4]
+                            elif code == OP_MOVE:
+                                s = op[4]
+                                regs[op[3]] = s if type(s) is int else regs[s]
+                            elif code == OP_UNOP:
+                                s = op[5]
+                                regs[op[3]] = op[4](
+                                    s if type(s) is int else regs[s]
+                                )
+                            elif code == OP_DIVMOD:
+                                a, b = op[5], op[6]
+                                lhs = a if type(a) is int else regs[a]
+                                rhs = b if type(b) is int else regs[b]
+                                if rhs == 0:
+                                    run.clock = clock
+                                    run.busy_slots = busy
+                                    frame.index = i
+                                    if not (
+                                        clock < h_eff
+                                        or (clock == h_eff and logical < h_log)
+                                    ):
+                                        run.steps = steps - 1
+                                        self.total_steps = tsteps - 1
+                                        return
+                                    del trace[:]
+                                    self._now = clock
+                                    run.steps = steps
+                                    self.total_steps = tsteps
+                                    if logical != self.committed_upto + 1:
+                                        self._park(run, "div0")
+                                        return
+                                    # oldest: genuine fault
+                                regs[op[3]] = op[4](lhs, rhs)
+                            elif code == OP_SELECT:
+                                s = op[4] if run.fwd_flag else op[5]
+                                regs[op[3]] = s if type(s) is int else regs[s]
+                            else:  # OP_RESUME
+                                run.fwd_flag = False
+                                run.fwd_addr = 0
+                            append(clock)
+                            clock += op[1]
+                            busy += 1.0
+                            i += 1
+                            continue
+                        if code == OP_JUMP or code == OP_CONDBR:
+                            if code == OP_JUMP:
+                                target = op[3]
+                            else:
+                                c = op[3]
+                                target = (
+                                    op[4]
+                                    if (c if type(c) is int else regs[c])
+                                    else op[5]
+                                )
+                            if len(frames) == 1 and (
+                                target == header or target not in blocks
+                            ):
+                                # epoch boundary: shared-state
+                                run.clock = clock
+                                run.busy_slots = busy
+                                frame.index = i
+                                if not (
+                                    clock < h_eff
+                                    or (clock == h_eff and logical < h_log)
+                                ):
+                                    run.steps = steps - 1
+                                    self.total_steps = tsteps - 1
+                                    return
+                                del trace[:]
+                                self._now = clock
+                                run.steps = steps
+                                self.total_steps = tsteps
+                                run.clock = clock + op[1]
+                                run.busy_slots = busy + 1.0
+                                self._finish_epoch(
+                                    run,
+                                    exited=(target != header),
+                                    target=target,
+                                )
+                                return
+                            append(clock)
+                            clock += op[1]
+                            busy += 1.0
+                            run.clock = clock
+                            run.busy_slots = busy
+                            run.steps = steps
+                            self.total_steps = tsteps
+                            frame.block = target
+                            frame.index = 0
+                            break  # refetch the decoded block
+                        if code == OP_CALL:
+                            if op[6] is None:
+                                run.clock = clock
+                                run.busy_slots = busy
+                                frame.index = i
+                                if not (
+                                    clock < h_eff
+                                    or (clock == h_eff and logical < h_log)
+                                ):
+                                    run.steps = steps - 1
+                                    self.total_steps = tsteps - 1
+                                    return
+                                self._now = clock
+                                run.steps = steps
+                                self.total_steps = tsteps
+                                raise _CalleeMissing(op[4])
+                            values = [
+                                a if type(a) is int else regs[a] for a in op[5]
+                            ]
+                            append(clock)
+                            clock += op[1]
+                            busy += 1.0
+                            run.clock = clock
+                            run.busy_slots = busy
+                            run.steps = steps
+                            self.total_steps = tsteps
+                            frame.index = i
+                            frames.append(
+                                Frame(
+                                    function_name=op[4],
+                                    regs=dict(zip(op[6], values)),
+                                    block=op[7],
+                                    call_instr=op[2],
+                                )
+                            )
+                            break  # enter the callee's decoded block
+                        # OP_RET
+                        if len(frames) == 1:
+                            run.clock = clock
+                            run.busy_slots = busy
+                            frame.index = i
+                            if not (
+                                clock < h_eff
+                                or (clock == h_eff and logical < h_log)
+                            ):
+                                run.steps = steps - 1
+                                self.total_steps = tsteps - 1
+                                return
+                            self._now = clock
+                            run.steps = steps
+                            self.total_steps = tsteps
+                            raise EngineError(
+                                "return from inside a parallelized loop"
+                            )
+                        v = op[3]
+                        retval = (
+                            None if v is None else (v if type(v) is int else regs[v])
+                        )
+                        call = frame.call_instr
+                        if call.dest is not None and retval is None:
+                            run.clock = clock
+                            run.busy_slots = busy
+                            frame.index = i
+                            if not (
+                                clock < h_eff
+                                or (clock == h_eff and logical < h_log)
+                            ):
+                                run.steps = steps - 1
+                                self.total_steps = tsteps - 1
+                                return
+                            self._now = clock
+                            run.steps = steps
+                            self.total_steps = tsteps
+                            raise EngineError(
+                                f"void return into %{call.dest.name}"
+                            )
+                        append(clock)
+                        clock += op[1]
+                        busy += 1.0
+                        run.clock = clock
+                        run.busy_slots = busy
+                        run.steps = steps
+                        self.total_steps = tsteps
+                        frames.pop()
+                        caller = frames[-1]
+                        if call.dest is not None:
+                            caller.regs[call.dest.name] = retval
+                        caller.index += 1
+                        break  # back to the caller's decoded block
+                    # shared-state: synchronize on the horizon first
+                    run.clock = clock
+                    run.busy_slots = busy
+                    run.steps = steps
+                    self.total_steps = tsteps
+                    frame.index = i
+                    if not (
+                        clock < h_eff or (clock == h_eff and logical < h_log)
+                    ):
+                        return  # another run's event is due first
+                    del trace[:]
+                    self._now = clock
+                    steps += 1
+                    tsteps += 1
+                    run.steps = steps
+                    self.total_steps = tsteps
+                    if steps > max_epoch:
+                        if logical == self.committed_upto + 1:
+                            raise EngineError(
+                                f"oldest epoch {logical} exceeded step limit "
+                                f"(non-terminating loop body?)"
+                            )
+                        self._park(run, "fuel")
+                        return
+                    if tsteps > max_region:
+                        raise EngineError("region step limit exceeded")
+                    if code == OP_LOAD:
+                        a = op[4]
+                        addr = (a if type(a) is int else regs[a]) + op[5]
+                        if addr == 0:
+                            self._null_fault(run, frame, "dereference")
+                            return
+                        self._exec_load(run, frame, op[2], addr)
+                        if run.state != "ready":
+                            return
+                    elif code == OP_STORE:
+                        a = op[3]
+                        addr = (a if type(a) is int else regs[a]) + op[4]
+                        if addr == 0:
+                            self._null_fault(run, frame, "store")
+                            return
+                        v = op[5]
+                        squashed_before = self.stats.epochs_squashed
+                        self._exec_store(
+                            run, frame, op[2], addr,
+                            v if type(v) is int else regs[v],
+                        )
+                        if self.stats.epochs_squashed != squashed_before:
+                            return  # squashes changed other runs' events
+                        if run.sab.channel_for(addr) is not None:
+                            return  # SAB path may have replaced a message
+                    elif code == OP_WAIT:
+                        self._exec_wait(run, frame, op[2])
+                        if run.state != "ready":
+                            return
+                    elif code == OP_SIGNAL:
+                        v = op[5]
+                        self._exec_signal(
+                            run, frame, op[2], v if type(v) is int else regs[v]
+                        )
+                        return  # sent/replaced a message: consumer event moved
+                    elif code == OP_CHECK:
+                        f = op[3]
+                        f_addr = f if type(f) is int else regs[f]
+                        m = op[4]
+                        m_addr = (m if type(m) is int else regs[m]) + op[5]
+                        run.fwd_flag = bool(f_addr != 0 and f_addr == m_addr)
+                        run.fwd_addr = f_addr
+                        if run.last_mem_channel is not None:
+                            stats = engine.channel_stats.setdefault(
+                                run.last_mem_channel, [0, 0]
+                            )
+                            stats[0] += 1
+                            if run.fwd_flag:
+                                stats[1] += 1
+                        run.clock = clock + op[1]
+                        run.busy_slots = busy + 1.0
+                        frame.index = i + 1
+                    else:  # OP_ALLOC
+                        raise EngineError(
+                            "alloc inside a speculative epoch is not "
+                            "supported; pre-allocate memory before the "
+                            "parallelized loop"
+                        )
+                    # executed with the run still ready in the same
+                    # frame: resume free-running after it.
+                    clock = run.clock
+                    busy = run.busy_slots
+                    steps = run.steps
+                    tsteps = self.total_steps
+                    i = frame.index
+            except _CalleeMissing as exc:
+                raise KeyError(exc.args[0]) from None
+            except KeyError as exc:
+                run.clock = clock
+                run.busy_slots = busy
+                frame.index = i
+                if not (
+                    clock < h_eff or (clock == h_eff and logical < h_log)
+                ):
+                    # fault ordered after another run's event, which
+                    # may yet squash this run: defer it.
+                    run.steps = steps - 1
+                    self.total_steps = tsteps - 1
+                    return
+                run.steps = steps
+                self.total_steps = tsteps
+                raise EngineError(
+                    f"epoch {logical}: read of undefined register "
+                    f"%{exc.args[0]} in {frame.function_name}"
+                ) from None
+
+    # -- memory instructions -------------------------------------------------
+
+    def _exec_load(
+        self, run: EpochRun, frame: Frame, instr: Load, addr: int
+    ) -> None:
+        """Execute a load at resolved non-NULL address ``addr``."""
+        engine = self.engine
+        config = self.config
         # Static load identity: the instruction id acts as the PC, so a
         # cloned procedure's loads are distinct (as they are in hardware).
         load_id = instr.iid
-
-        if addr == 0:
-            if self._is_oldest(run):
-                raise EngineError(
-                    f"NULL pointer dereference in epoch {run.logical} "
-                    f"({frame.function_name})"
-                )
-            self._park(run, "null")
-            return
 
         line = engine.caches.line_of(addr)
         # Violation-detection unit: whole line (coherence-based, false
@@ -1066,19 +1834,12 @@ class _RegionExecution:
         self._charge(run, engine.caches.access(run.core, line))
         frame.index += 1
 
-    def _exec_store(self, run: EpochRun, frame: Frame, instr: Store, value) -> None:
+    def _exec_store(
+        self, run: EpochRun, frame: Frame, instr: Store, addr: int, stored: int
+    ) -> None:
+        """Execute a store of ``stored`` at resolved non-NULL ``addr``."""
         engine = self.engine
         config = self.config
-        addr = value(instr.addr) + instr.offset
-        if addr == 0:
-            if self._is_oldest(run):
-                raise EngineError(
-                    f"NULL pointer store in epoch {run.logical} "
-                    f"({frame.function_name})"
-                )
-            self._park(run, "null")
-            return
-        stored = value(instr.value)
         line = engine.caches.line_of(addr)
         unit = line if config.violation_granularity == "line" else addr
         latency = engine.caches.access(run.core, line)
@@ -1103,6 +1864,8 @@ class _RegionExecution:
                 self._violate_from(
                     run.logical + 1, run.clock, reason="sab", load_iid=None
                 )
+            if self.fast:
+                self._wake(run.logical + 1)
             return
 
         run.write_buffer[addr] = stored
@@ -1196,13 +1959,14 @@ class _RegionExecution:
             return False
         return stats[1] / stats[0] < self.config.filter_min_success
 
-    def _exec_signal(self, run: EpochRun, frame: Frame, instr: Signal, value) -> None:
+    def _exec_signal(
+        self, run: EpochRun, frame: Frame, instr: Signal, payload: int
+    ) -> None:
         config = self.config
         channel = instr.channel
         kind = instr.kind
         info = self.module.channels.get(channel)
         is_mem = info is not None and info.kind == "mem"
-        payload = value(instr.value)
         self._charge(run, instruction_latency(config, instr))
         frame.index += 1
         if is_mem and not config.compiler_mem_sync:
@@ -1223,6 +1987,8 @@ class _RegionExecution:
                 and replaced.consumed_gen == consumer_run.generation
             ):
                 self._violate_from(consumer, run.clock, reason="sab", load_iid=None)
+            if self.fast:
+                self._wake(consumer)
             return
         run.signal_counts[key] = count + 1
         self.channels.send(
@@ -1230,3 +1996,5 @@ class _RegionExecution:
         )
         if kind == "addr":
             run.sab.record(payload, channel)
+        if self.fast:
+            self._wake(consumer)

@@ -112,16 +112,29 @@ class ChannelBank:
         return None
 
     def withdraw_generation(self, producer_epoch: int, generation: int) -> None:
-        """Drop every message a squashed producer run sent."""
-        for queue in self._queues.values():
-            queue[:] = [
-                m
+        """Drop every message a squashed producer run sent.
+
+        Messages only ever travel to the producer's successor epoch
+        (point-to-point forwarding down the epoch chain), so only the
+        successor's queues need scanning.
+        """
+        successor = producer_epoch + 1
+        for (_channel, consumer_epoch), queue in self._queues.items():
+            if consumer_epoch != successor:
+                continue
+            if any(
+                m.producer_epoch == producer_epoch
+                and m.producer_generation == generation
                 for m in queue
-                if not (
-                    m.producer_epoch == producer_epoch
-                    and m.producer_generation == generation
-                )
-            ]
+            ):
+                queue[:] = [
+                    m
+                    for m in queue
+                    if not (
+                        m.producer_epoch == producer_epoch
+                        and m.producer_generation == generation
+                    )
+                ]
 
     # -- consumer side ------------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""``repro bench``: well-formed BENCH_engine.json and sane numbers."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.bench import SCHEMA_FIELDS, summarize
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.output == "BENCH_engine.json"
+        assert args.schemes == ["U", "C"] and args.repeat == 3
+
+    def test_scheme_list_parsing(self):
+        args = build_parser().parse_args(["bench", "--schemes", "u, seq"])
+        assert args.schemes == ["U", "SEQ"]
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--schemes", "U,Z"])
+
+
+class TestBenchCommand:
+    def test_smoke_writes_well_formed_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_engine.json"
+        assert main(
+            [
+                "bench",
+                "--workloads", "go",
+                "--schemes", "U",
+                "--repeat", "1",
+                "-o", str(out),
+            ]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "engine-throughput"
+        assert payload["schema"] == list(SCHEMA_FIELDS)
+        # one cold + one warm fast + one warm slow record
+        assert len(payload["results"]) == 3
+        for record in payload["results"]:
+            assert set(SCHEMA_FIELDS) <= set(record)
+            assert record["workload"] == "go" and record["scheme"] == "U"
+            assert record["wall_seconds"] > 0
+            assert record["instructions"] > 0
+            assert record["instrs_per_sec"] > 0
+            assert record["sim_cycles"] > 0
+        modes = {(r["mode"], r["phase"]) for r in payload["results"]}
+        assert modes == {("fast", "cold"), ("fast", "warm"), ("slow", "warm")}
+        [cell] = payload["speedups"]
+        assert cell["speedup"] > 0
+        assert payload["largest_workload"] == cell
+        console = capsys.readouterr().out
+        assert "speedup" in console and str(out) in console
+
+    def test_profile_dump(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        stats = tmp_path / "bench.pstats"
+        assert main(
+            [
+                "bench",
+                "--workloads", "go",
+                "--schemes", "SEQ",
+                "--repeat", "1",
+                "-o", str(out),
+                "--profile", str(stats),
+            ]
+        ) == 0
+        assert stats.exists() and stats.stat().st_size > 0
+        assert "cumulative" in capsys.readouterr().out
+
+
+class TestSummarize:
+    def test_largest_picks_most_instructions(self):
+        def cell(workload, mode, instrs, ips):
+            return {
+                "workload": workload, "scheme": "U", "mode": mode,
+                "phase": "warm", "sim_cycles": 1.0, "instructions": instrs,
+                "wall_seconds": instrs / ips, "instrs_per_sec": ips,
+            }
+
+        records = [
+            cell("small", "fast", 10, 400.0),
+            cell("small", "slow", 10, 100.0),
+            cell("big", "fast", 1000, 300.0),
+            cell("big", "slow", 1000, 100.0),
+        ]
+        summary = summarize(records)
+        assert len(summary["speedups"]) == 2
+        assert summary["largest_workload"]["workload"] == "big"
+        assert summary["largest_workload"]["speedup"] == pytest.approx(3.0)
+
+    def test_cold_records_ignored(self):
+        summary = summarize(
+            [
+                {
+                    "workload": "w", "scheme": "U", "mode": "fast",
+                    "phase": "cold", "sim_cycles": 1.0, "instructions": 10,
+                    "wall_seconds": 1.0, "instrs_per_sec": 10.0,
+                }
+            ]
+        )
+        assert summary["speedups"] == []
+        assert summary["largest_workload"] is None
