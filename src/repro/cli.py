@@ -26,7 +26,13 @@ Commands
 ``bench``
     Engine throughput benchmark: fast path vs slow path, per workload
     and scheme, written to ``BENCH_engine.json``; ``--profile FILE``
-    additionally dumps cProfile stats of the warm fast-path runs.
+    additionally dumps cProfile stats of the warm fast-path runs;
+    ``--compare BASELINE`` fails on warm fast-path regressions.
+``trace``
+    Simulate one (workload, bar) cell with the observability stack
+    attached and export the event stream: ``--format chrome`` (open in
+    Perfetto), ``jsonl``, ``html`` or ``timeline`` (ASCII).  See
+    ``docs/observability.md``.
 
 Experiment commands memoize results under ``.repro_cache/`` (override
 with ``--cache-dir`` or ``REPRO_CACHE_DIR``); ``--no-cache`` disables
@@ -229,8 +235,50 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments import trace as trace_mod
+
+    run = trace_mod.run_traced(
+        args.workload,
+        bar=args.bar,
+        threshold=args.threshold,
+        base=SimConfig(num_cores=args.cores) if args.cores != 4 else None,
+    )
+    if args.format == "timeline" and args.output is None:
+        print(run.timeline())
+    else:
+        output = args.output or trace_mod.default_output(
+            args.workload, args.bar, args.format
+        )
+        trace_mod.export(run, args.format, output)
+        print(f"wrote {output}")
+    by_category: dict = {}
+    for event in run.events:
+        category = event.kind.split("_", 1)[0]
+        by_category[category] = by_category.get(category, 0) + 1
+    print(
+        f"{len(run.events)} events "
+        f"({', '.join(f'{k}:{v}' for k, v in sorted(by_category.items()))})",
+        file=sys.stderr,
+    )
+    print(
+        f"epochs committed {run.result.counters.get('epochs_committed', 0):.0f}"
+        f", squashed {run.result.counters.get('epochs_squashed', 0):.0f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
-    from repro.experiments.bench import format_bench, run_bench, write_bench
+    import json
+
+    from repro.experiments.bench import (
+        compare_bench,
+        format_bench,
+        format_compare,
+        run_bench,
+        write_bench,
+    )
 
     payload = run_bench(
         workloads=args.workloads,
@@ -242,6 +290,15 @@ def _cmd_bench(args) -> int:
     write_bench(payload, args.output)
     print(format_bench(payload))
     print(f"wrote {args.output}")
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        comparison = compare_bench(
+            payload, baseline, tolerance=args.compare_tolerance
+        )
+        print(format_compare(comparison))
+        if comparison["regressions"]:
+            return 1
     return 0
 
 
@@ -357,6 +414,29 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--cache-dir", default=None)
     cache_parser.set_defaults(func=_cmd_cache)
 
+    trace_parser = sub.add_parser(
+        "trace", help="simulate one cell with full event tracing"
+    )
+    trace_parser.add_argument(
+        "--workload", required=True, help="workload name (see `repro list`)"
+    )
+    trace_parser.add_argument("--bar", choices=BARS, default="C")
+    trace_parser.add_argument("--cores", type=int, default=4)
+    trace_parser.add_argument("--threshold", type=float, default=0.05)
+    trace_parser.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "html", "timeline"),
+        default="chrome",
+        help="chrome: Perfetto/chrome://tracing JSON; jsonl: raw event "
+        "log; html: self-contained report; timeline: ASCII art",
+    )
+    trace_parser.add_argument(
+        "-o", "--output", default=None,
+        help="output file (default trace_WORKLOAD_BAR.EXT; timeline "
+        "prints to stdout)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
     bench_parser = sub.add_parser(
         "bench", help="engine throughput benchmark (fast vs slow path)"
     )
@@ -386,6 +466,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="dump cProfile stats of the warm fast-path runs to FILE",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a checked-in BENCH_engine.json; exit 1 "
+        "on warm fast-path throughput regressions",
+    )
+    bench_parser.add_argument(
+        "--compare-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional throughput drop per cell (default 0.2)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

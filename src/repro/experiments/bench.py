@@ -219,6 +219,89 @@ def run_bench(
     return payload
 
 
+def compare_bench(
+    payload: Dict, baseline: Dict, tolerance: float = 0.2
+) -> Dict:
+    """Per-cell warm fast-path throughput comparison against a baseline.
+
+    Matches cells by (workload, scheme) between the two payloads'
+    ``speedups`` sections and flags any cell whose current warm
+    fast-path throughput fell more than ``tolerance`` (a fraction)
+    below the baseline.  Baseline cells the current run did not
+    benchmark are reported as ``skipped`` (subset runs — CI smoke
+    benches one workload against the full checked-in baseline);
+    cells new in the current run are reported as ``new``.  Neither
+    fails the comparison.  Throughput ratios, not wall times, so the
+    check is insensitive to instruction-count drift between versions.
+    """
+    current = {
+        (c["workload"], c["scheme"]): c for c in payload.get("speedups", [])
+    }
+    base = {
+        (c["workload"], c["scheme"]): c for c in baseline.get("speedups", [])
+    }
+    cells: List[Dict] = []
+    regressions = 0
+    for key in sorted(set(base) | set(current)):
+        workload, scheme = key
+        base_cell, cur_cell = base.get(key), current.get(key)
+        entry: Dict = {"workload": workload, "scheme": scheme}
+        if base_cell is None:
+            entry.update(status="new", ratio=None)
+        elif cur_cell is None:
+            entry.update(status="skipped", ratio=None)
+        else:
+            base_ips = base_cell["fast_instrs_per_sec"]
+            cur_ips = cur_cell["fast_instrs_per_sec"]
+            ratio = cur_ips / base_ips if base_ips > 0 else 1.0
+            ok = ratio >= 1.0 - tolerance
+            entry.update(
+                status="ok" if ok else "regressed",
+                baseline_instrs_per_sec=base_ips,
+                current_instrs_per_sec=cur_ips,
+                ratio=ratio,
+            )
+            if not ok:
+                regressions += 1
+        cells.append(entry)
+    return {"tolerance": tolerance, "cells": cells, "regressions": regressions}
+
+
+def format_compare(comparison: Dict) -> str:
+    """Human-readable per-cell report for ``repro bench --compare``."""
+    tolerance = comparison["tolerance"]
+    lines = [
+        f"{'workload':<14} {'scheme':<6} {'baseline i/s':>13} "
+        f"{'current i/s':>13} {'ratio':>7}  status"
+    ]
+    skipped = 0
+    for cell in comparison["cells"]:
+        if cell["status"] == "skipped":
+            skipped += 1
+            continue
+        if cell["ratio"] is None:
+            lines.append(
+                f"{cell['workload']:<14} {cell['scheme']:<6} "
+                f"{'-':>13} {'-':>13} {'-':>7}  {cell['status']}"
+            )
+            continue
+        lines.append(
+            f"{cell['workload']:<14} {cell['scheme']:<6} "
+            f"{cell['baseline_instrs_per_sec']:>13.0f} "
+            f"{cell['current_instrs_per_sec']:>13.0f} "
+            f"{cell['ratio']:>7.2f}  {cell['status']}"
+        )
+    if skipped:
+        lines.append(f"({skipped} baseline cell(s) not benchmarked this run)")
+    n = comparison["regressions"]
+    lines.append(
+        f"{n} regression(s) beyond {tolerance:.0%} tolerance"
+        if n
+        else f"all cells within {tolerance:.0%} of baseline"
+    )
+    return "\n".join(lines)
+
+
 def write_bench(payload: Dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)

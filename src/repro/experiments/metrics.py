@@ -21,7 +21,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 #: Where a job's result came from.
 SOURCE_COMPUTED = "computed"   # simulated in this process
@@ -40,6 +40,10 @@ class JobMetric:
     source: str              # SOURCE_* above
     wall_s: float
     worker: int = 0          # pid of the process that did the work
+    #: flat simulator counters carried by the job's SimResult (see
+    #: repro.obs.registry.engine_counters); empty for compile/profile
+    #: jobs and for results cached before counters existed.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return {
@@ -49,6 +53,7 @@ class JobMetric:
             "source": self.source,
             "wall_s": self.wall_s,
             "worker": self.worker,
+            "counters": dict(self.counters),
         }
 
 
@@ -76,9 +81,13 @@ class RunMetrics:
         source: str,
         wall_s: float,
         worker: int = 0,
+        counters: Optional[Dict[str, float]] = None,
     ) -> None:
         self.jobs.append(
-            JobMetric(workload, label, kind, source, wall_s, worker or os.getpid())
+            JobMetric(
+                workload, label, kind, source, wall_s,
+                worker or os.getpid(), dict(counters or {}),
+            )
         )
 
     # -- aggregation -----------------------------------------------------
@@ -116,6 +125,20 @@ class RunMetrics:
     def distinct_workers(self) -> int:
         return len({j.worker for j in self.jobs}) if self.jobs else 0
 
+    def sim_counters(self) -> Dict[str, float]:
+        """Simulator counters summed across every recorded job.
+
+        Cache hit/miss totals, violations by reason, epoch commit and
+        squash counts — the sum of each job's ``SimResult.counters``
+        snapshot.  Jobs without counters (compiles, profiles, stale
+        cache entries) contribute nothing.
+        """
+        totals: Dict[str, float] = {}
+        for job in self.jobs:
+            for name, value in job.counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return dict(sorted(totals.items()))
+
     # -- output ----------------------------------------------------------
     def to_dict(self) -> Dict:
         return {
@@ -132,6 +155,7 @@ class RunMetrics:
                 "misses": self.cache_misses,
                 "hit_rate": self.hit_rate,
             },
+            "sim": self.sim_counters(),
             "per_job": [j.to_dict() for j in self.jobs],
         }
 
@@ -167,6 +191,38 @@ class RunMetrics:
                 "value": f"{100.0 * self.hit_rate:.0f}%",
             },
         ]
+        sim = self.sim_counters()
+        if sim:
+            def total(prefix: str) -> float:
+                return sum(
+                    v for k, v in sim.items()
+                    if k == prefix or k.startswith(prefix + "{")
+                )
+
+            rows.extend(
+                [
+                    {
+                        "metric": "sim cache hits",
+                        "value": f"{total('cache_hits'):.0f}",
+                    },
+                    {
+                        "metric": "sim cache misses",
+                        "value": f"{total('cache_misses'):.0f}",
+                    },
+                    {
+                        "metric": "sim violations",
+                        "value": f"{total('violations'):.0f}",
+                    },
+                    {
+                        "metric": "sim epochs committed",
+                        "value": f"{total('epochs_committed'):.0f}",
+                    },
+                    {
+                        "metric": "sim epochs squashed",
+                        "value": f"{total('epochs_squashed'):.0f}",
+                    },
+                ]
+            )
         return format_table(rows, ("metric", "value"), title="run metrics")
 
 

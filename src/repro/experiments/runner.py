@@ -176,7 +176,8 @@ class WorkloadBundle:
         if result is not None:
             self._results[memo_key] = result
             metrics_mod.current().record(
-                self.workload.name, bar, "bar", metrics_mod.SOURCE_CACHE, 0.0
+                self.workload.name, bar, "bar", metrics_mod.SOURCE_CACHE, 0.0,
+                counters=result.counters,
             )
             return result
         started = time.perf_counter()
@@ -196,6 +197,7 @@ class WorkloadBundle:
             "bar",
             metrics_mod.SOURCE_COMPUTED,
             time.perf_counter() - started,
+            counters=result.counters,
         )
         return result
 
@@ -224,7 +226,8 @@ class WorkloadBundle:
         if result is not None:
             self._custom[memo_key] = result
             metrics_mod.current().record(
-                self.workload.name, label, "custom", metrics_mod.SOURCE_CACHE, 0.0
+                self.workload.name, label, "custom", metrics_mod.SOURCE_CACHE, 0.0,
+                counters=result.counters,
             )
             return result
         started = time.perf_counter()
@@ -241,6 +244,7 @@ class WorkloadBundle:
             "custom",
             metrics_mod.SOURCE_COMPUTED,
             time.perf_counter() - started,
+            counters=result.counters,
         )
         return result
 
@@ -516,9 +520,11 @@ def _try_resolve_from_cache(spec: JobSpec, bundle: WorkloadBundle) -> bool:
     config, program, _needed = _resolve_config(spec, bundle)
     if spec.kind == "bar":
         memo_key = (spec.label, config)
-        if memo_key in bundle._results:
+        memo_hit = bundle._results.get(memo_key)
+        if memo_hit is not None:
             metrics_mod.current().record(
-                spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_MEMO, 0.0
+                spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_MEMO, 0.0,
+                counters=memo_hit.counters,
             )
             return True
         disk_key = bundle._disk_key(
@@ -530,9 +536,11 @@ def _try_resolve_from_cache(spec: JobSpec, bundle: WorkloadBundle) -> bool:
         bundle._results[memo_key] = result
     else:
         memo_key = (program, config)
-        if memo_key in bundle._custom:
+        memo_hit = bundle._custom.get(memo_key)
+        if memo_hit is not None:
             metrics_mod.current().record(
-                spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_MEMO, 0.0
+                spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_MEMO, 0.0,
+                counters=memo_hit.counters,
             )
             return True
         disk_key = bundle._disk_key("custom", "", program, config)
@@ -541,7 +549,8 @@ def _try_resolve_from_cache(spec: JobSpec, bundle: WorkloadBundle) -> bool:
             return False
         bundle._custom[memo_key] = result
     metrics_mod.current().record(
-        spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_CACHE, 0.0
+        spec.workload, spec.label, spec.kind, metrics_mod.SOURCE_CACHE, 0.0,
+        counters=result.counters,
     )
     return True
 
@@ -636,6 +645,7 @@ def _merge_group(group: Dict, specs_by_id: Dict[str, JobSpec]) -> None:
         metrics_mod.current().record(
             group["workload"], spec.label, spec.kind,
             metrics_mod.SOURCE_WORKER, job["wall_s"], worker=group["pid"],
+            counters=result.counters,
         )
 
 

@@ -1,0 +1,50 @@
+"""repro.obs — observability for the TLS simulator.
+
+Structured, schema-versioned events (:mod:`repro.obs.events`) flow
+from the engine over an :class:`~repro.obs.bus.EventBus` to attached
+sinks: collectors, the metrics registry, the legacy timeline tracer.
+Exporters turn collected streams into JSONL logs, Chrome/Perfetto
+traces and HTML reports.  See ``docs/observability.md``.
+"""
+
+from repro.obs.bus import CollectorSink, EventBus
+from repro.obs.events import EPOCH_KINDS, KINDS, SCHEMA_VERSION, Event
+from repro.obs.export import (
+    chrome_trace,
+    html_report,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_html_report,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    engine_counters,
+)
+
+__all__ = [
+    "CollectorSink",
+    "Counter",
+    "EPOCH_KINDS",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "KINDS",
+    "MetricsRegistry",
+    "MetricsSink",
+    "SCHEMA_VERSION",
+    "chrome_trace",
+    "engine_counters",
+    "html_report",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_html_report",
+    "write_jsonl",
+]

@@ -1,0 +1,446 @@
+"""Event-stream exporters: JSONL, Chrome trace (Perfetto), HTML.
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per line,
+  first line is a schema header; lossless round-trip of the stream.
+* :func:`chrome_trace` — the Trace Event Format understood by Perfetto
+  and ``chrome://tracing``: one track per core, epoch runs as duration
+  slices (``ph="X"``), violations/squashes/parks as instant events
+  (``ph="i"``), forwarding as flow arrows (``ph="s"``/``ph="f"``),
+  stalls as nested slices and cache misses as counter tracks.  One
+  simulated cycle maps to one microsecond of trace time.
+* :func:`html_report` — a dependency-free single-file HTML timeline
+  (canvas-rendered lanes plus an event-count table) for sharing.
+
+:func:`validate_chrome_trace` is the schema check CI's trace-smoke job
+runs against generated traces.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import SCHEMA_VERSION, Event
+
+#: Instant-event kinds surfaced as ``ph="i"`` markers on core tracks.
+_INSTANT_KINDS = {
+    "violation": "violation",
+    "squash": "squash",
+    "epoch_park": "park",
+    "sab_overflow": "SAB overflow",
+    "pred_miss": "mispredict",
+}
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def jsonl_lines(events: Iterable[Event], meta: Optional[Dict] = None):
+    """Yield the JSONL lines (header first) for an event stream."""
+    header = {"schema": SCHEMA_VERSION, "stream": "repro.obs.events"}
+    if meta:
+        header.update(meta)
+    yield json.dumps(header, sort_keys=True)
+    for event in events:
+        yield json.dumps(event.to_dict(), sort_keys=True)
+
+
+def write_jsonl(
+    events: Iterable[Event], path: str, meta: Optional[Dict] = None
+) -> None:
+    with open(path, "w") as handle:
+        for line in jsonl_lines(events, meta):
+            handle.write(line)
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> Tuple[Dict, List[Event]]:
+    """Parse a JSONL event log; returns ``(header, events)``."""
+    with open(path) as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty event log")
+    header = json.loads(lines[0])
+    if header.get("stream") != "repro.obs.events":
+        raise ValueError(f"{path}: not a repro.obs event log")
+    if header.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {header.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return header, [Event.from_dict(json.loads(line)) for line in lines[1:]]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace / Perfetto
+# ---------------------------------------------------------------------------
+
+def _core_of(epoch: int, num_cores: int) -> int:
+    """Epoch-to-core mapping (fixed by the engine's spawn rule)."""
+    return epoch % num_cores if epoch >= 0 else 0
+
+
+def chrome_trace(
+    events: Sequence[Event],
+    num_cores: int = 4,
+    title: str = "repro trace",
+) -> Dict:
+    """Build a Trace Event Format payload from an event stream."""
+    pid = 0
+    region_tid = num_cores
+    out: List[Dict] = [
+        {
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": title},
+        },
+        {
+            "ph": "M", "pid": pid, "tid": region_tid, "name": "thread_name",
+            "args": {"name": "regions"},
+        },
+    ]
+    for core in range(num_cores):
+        out.append(
+            {
+                "ph": "M", "pid": pid, "tid": core, "name": "thread_name",
+                "args": {"name": f"core {core}"},
+            }
+        )
+
+    body: List[Dict] = []
+    open_runs: Dict[Tuple[int, int], Event] = {}
+    open_stalls: Dict[Tuple[int, int], Event] = {}
+    open_region: Optional[Event] = None
+    # (channel, msg_kind, consumer) -> FIFO of pending send events
+    pending_sends: Dict[Tuple, List[Event]] = {}
+    flows: List[Tuple[Event, Event]] = []
+    miss_totals = {"l2": 0, "mem": 0}
+
+    for event in events:
+        kind = event.kind
+        key = (event.epoch, event.generation)
+        core = event.core if event.core >= 0 else _core_of(
+            event.epoch, num_cores
+        )
+        if kind == "region_start":
+            open_region = event
+        elif kind == "region_end" and open_region is not None:
+            body.append(
+                {
+                    "name": "region {}:{}".format(
+                        open_region.fields.get("function", "?"),
+                        open_region.fields.get("header", "?"),
+                    ),
+                    "cat": "region", "ph": "X", "pid": pid, "tid": region_tid,
+                    "ts": open_region.time,
+                    "dur": max(0.0, event.time - open_region.time),
+                }
+            )
+            open_region = None
+        elif kind == "epoch_start":
+            open_runs[key] = event
+        elif kind in ("commit", "squash"):
+            start = open_runs.pop(key, None)
+            if start is not None:
+                name = f"epoch {event.epoch}"
+                if event.generation:
+                    name += f" (retry {event.generation})"
+                body.append(
+                    {
+                        "name": name, "cat": "epoch", "ph": "X",
+                        "pid": pid, "tid": core,
+                        "ts": start.time,
+                        "dur": max(0.0, event.time - start.time),
+                        "args": {"outcome": kind, **event.fields},
+                    }
+                )
+            open_stalls.pop(key, None)
+        elif kind in ("fwd_stall", "sync_stall"):
+            open_stalls[key] = event
+        elif kind in ("fwd_unblock", "sync_unblock"):
+            start = open_stalls.pop(key, None)
+            if start is not None:
+                body.append(
+                    {
+                        "name": "stall ({})".format(
+                            start.fields.get("channel")
+                            or start.fields.get("cause", "?")
+                        ),
+                        "cat": "stall", "ph": "X", "pid": pid, "tid": core,
+                        "ts": start.time,
+                        "dur": max(0.0, event.time - start.time),
+                        "args": dict(start.fields),
+                    }
+                )
+        elif kind in ("fwd_send", "fwd_replace"):
+            fifo_key = (
+                event.fields.get("channel"),
+                event.fields.get("msg_kind"),
+                event.fields.get("consumer"),
+            )
+            if kind == "fwd_send":
+                pending_sends.setdefault(fifo_key, []).append(event)
+        elif kind == "fwd_wait":
+            fifo_key = (
+                event.fields.get("channel"),
+                event.fields.get("msg_kind"),
+                event.epoch,
+            )
+            fifo = pending_sends.get(fifo_key)
+            if fifo:
+                flows.append((fifo.pop(0), event))
+        elif kind == "cache_miss":
+            level = event.fields.get("level", "mem")
+            if level in miss_totals:
+                miss_totals[level] += 1
+            body.append(
+                {
+                    "name": "cache misses", "cat": "cache", "ph": "C",
+                    "pid": pid, "tid": 0, "ts": event.time,
+                    "args": dict(miss_totals),
+                }
+            )
+        if kind in _INSTANT_KINDS:
+            body.append(
+                {
+                    "name": "{} ({})".format(
+                        _INSTANT_KINDS[kind],
+                        event.fields.get("reason", event.kind),
+                    ),
+                    "cat": "event", "ph": "i", "s": "t",
+                    "pid": pid, "tid": core, "ts": event.time,
+                    "args": dict(event.fields),
+                }
+            )
+
+    for flow_id, (send, wait) in enumerate(flows, start=1):
+        channel = send.fields.get("channel", "?")
+        producer_core = _core_of(send.epoch, num_cores)
+        consumer_core = _core_of(wait.epoch, num_cores)
+        body.append(
+            {
+                "name": f"fwd {channel}", "cat": "fwd", "ph": "s",
+                "id": flow_id, "pid": pid, "tid": producer_core,
+                "ts": send.time,
+            }
+        )
+        body.append(
+            {
+                "name": f"fwd {channel}", "cat": "fwd", "ph": "f", "bp": "e",
+                "id": flow_id, "pid": pid, "tid": consumer_core,
+                "ts": wait.time,
+            }
+        )
+
+    body.sort(key=lambda entry: entry["ts"])
+    out.extend(body)
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "schema": SCHEMA_VERSION,
+            "source": "repro.obs",
+            "cycles_per_us": 1,
+            "num_cores": num_cores,
+        },
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[Event],
+    path: str,
+    num_cores: int = 4,
+    title: str = "repro trace",
+) -> Dict:
+    payload = chrome_trace(events, num_cores=num_cores, title=title)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: Dict) -> List[str]:
+    """Schema check for exported traces; returns a list of problems."""
+    problems: List[str] = []
+    entries = payload.get("traceEvents")
+    if not isinstance(entries, list) or not entries:
+        return ["traceEvents missing or empty"]
+    last_ts: Dict[Tuple, float] = {}
+    flow_ids: Dict[object, List[str]] = {}
+    for i, entry in enumerate(entries):
+        ph = entry.get("ph")
+        if ph not in ("M", "X", "i", "C", "s", "f"):
+            problems.append(f"entry {i}: unknown ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if "ts" not in entry or not isinstance(entry["ts"], (int, float)):
+            problems.append(f"entry {i}: missing numeric ts")
+            continue
+        if "pid" not in entry or "tid" not in entry:
+            problems.append(f"entry {i}: missing pid/tid")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"entry {i}: X event with bad dur {dur!r}")
+            track = (entry.get("pid"), entry.get("tid"))
+            if entry["ts"] < last_ts.get(track, float("-inf")):
+                problems.append(
+                    f"entry {i}: ts goes backwards on track {track}"
+                )
+            last_ts[track] = entry["ts"]
+        if ph in ("s", "f"):
+            flow_ids.setdefault(entry.get("id"), []).append(ph)
+    for flow_id, phases in flow_ids.items():
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            problems.append(f"flow {flow_id!r}: unpaired s/f {phases}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# HTML report
+# ---------------------------------------------------------------------------
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; }
+canvas { border: 1px solid #ccc; background: #fff; display: block; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { border: 1px solid #ccc; padding: 2px 10px; text-align: left; }
+.legend span { display: inline-block; margin-right: 1.2em; }
+.swatch { display: inline-block; width: 0.8em; height: 0.8em;
+          margin-right: 0.3em; vertical-align: middle; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p class="legend">
+<span><i class="swatch" style="background:#4caf7d"></i>committed</span>
+<span><i class="swatch" style="background:#d9534f"></i>squashed</span>
+<span><i class="swatch" style="background:#f0ad4e"></i>stalled</span>
+<span><i class="swatch" style="background:#222"></i>violation</span>
+</p>
+<canvas id="timeline" width="960" height="10"></canvas>
+<table id="metrics"><tr><th>event kind</th><th>count</th></tr></table>
+<script>
+const DATA = __DATA__;
+const canvas = document.getElementById("timeline");
+const lanes = DATA.num_cores;
+const laneH = 34, pad = 42;
+canvas.height = lanes * laneH + 24;
+const ctx = canvas.getContext("2d");
+const t0 = DATA.t0, span = Math.max(DATA.t1 - DATA.t0, 1e-9);
+const w = canvas.width - pad - 8;
+const x = t => pad + (t - t0) / span * w;
+ctx.font = "11px monospace";
+for (let c = 0; c < lanes; c++) {
+  ctx.fillStyle = "#555";
+  ctx.fillText("core " + c, 2, c * laneH + 20);
+}
+for (const r of DATA.runs) {
+  ctx.fillStyle = r.committed ? "#4caf7d" : "#d9534f";
+  const left = x(r.start);
+  ctx.fillRect(left, r.core * laneH + 8, Math.max(x(r.end) - left, 1), 16);
+}
+for (const s of DATA.stalls) {
+  ctx.fillStyle = "#f0ad4e";
+  const left = x(s.start);
+  ctx.fillRect(left, s.core * laneH + 12, Math.max(x(s.end) - left, 1), 8);
+}
+ctx.fillStyle = "#222";
+for (const v of DATA.violations) {
+  ctx.fillRect(x(v.time) - 1, v.core * laneH + 4, 2, 24);
+}
+ctx.fillStyle = "#555";
+ctx.fillText("t=" + t0.toFixed(0), pad, lanes * laneH + 16);
+const endLabel = "t=" + DATA.t1.toFixed(0);
+ctx.fillText(endLabel,
+             canvas.width - 8 - ctx.measureText(endLabel).width,
+             lanes * laneH + 16);
+const table = document.getElementById("metrics");
+for (const [kind, count] of DATA.kind_counts) {
+  const row = table.insertRow();
+  row.insertCell().textContent = kind;
+  row.insertCell().textContent = count;
+}
+</script>
+</body>
+</html>
+"""
+
+
+def html_report(
+    events: Sequence[Event],
+    num_cores: int = 4,
+    title: str = "repro trace",
+) -> str:
+    """Self-contained HTML timeline + event-count table."""
+    runs: List[Dict] = []
+    stalls: List[Dict] = []
+    violations: List[Dict] = []
+    open_runs: Dict[Tuple[int, int], Event] = {}
+    open_stalls: Dict[Tuple[int, int], Event] = {}
+    kind_counts: Dict[str, int] = {}
+    t0 = None
+    t1 = None
+    for event in events:
+        kind_counts[event.kind] = kind_counts.get(event.kind, 0) + 1
+        key = (event.epoch, event.generation)
+        core = event.core if event.core >= 0 else _core_of(
+            event.epoch, num_cores
+        )
+        kind = event.kind
+        if kind == "epoch_start":
+            open_runs[key] = event
+        elif kind in ("commit", "squash"):
+            start = open_runs.pop(key, None)
+            if start is not None:
+                runs.append(
+                    {
+                        "core": core, "start": start.time, "end": event.time,
+                        "committed": kind == "commit",
+                    }
+                )
+        elif kind in ("fwd_stall", "sync_stall"):
+            open_stalls[key] = event
+        elif kind in ("fwd_unblock", "sync_unblock"):
+            start = open_stalls.pop(key, None)
+            if start is not None:
+                stalls.append(
+                    {"core": core, "start": start.time, "end": event.time}
+                )
+        elif kind == "violation":
+            violations.append({"core": core, "time": event.time})
+        if kind in ("region_start", "epoch_start"):
+            if t0 is None or event.time < t0:
+                t0 = event.time
+        if t1 is None or event.time > t1:
+            t1 = event.time
+    data = {
+        "num_cores": num_cores,
+        "t0": 0.0 if t0 is None else t0,
+        "t1": 1.0 if t1 is None else t1,
+        "runs": runs,
+        "stalls": stalls,
+        "violations": violations,
+        "kind_counts": sorted(kind_counts.items()),
+    }
+    page = _HTML_TEMPLATE.replace("__TITLE__", html.escape(title))
+    return page.replace("__DATA__", json.dumps(data))
+
+
+def write_html_report(
+    events: Sequence[Event],
+    path: str,
+    num_cores: int = 4,
+    title: str = "repro trace",
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(html_report(events, num_cores=num_cores, title=title))

@@ -52,10 +52,17 @@ class LRUCache:
 
 
 class CacheHierarchy:
-    """Private L1s over a shared L2; returns access latencies."""
+    """Private L1s over a shared L2; returns access latencies.
 
-    def __init__(self, config: SimConfig):
+    With an event ``bus`` attached, every L1 miss emits a
+    ``cache_miss`` event whose ``level`` names the level that served
+    it ('l2' or 'mem'), stamped with the bus's ambient time (the
+    engine keeps it current at every memory operation).
+    """
+
+    def __init__(self, config: SimConfig, bus=None):
         self.config = config
+        self.bus = bus
         self.l1 = [LRUCache(config.l1_lines) for _ in range(config.num_cores)]
         self.l2 = LRUCache(config.l2_lines)
 
@@ -63,7 +70,13 @@ class CacheHierarchy:
         """Latency in cycles of a load/store to ``line`` from ``core``."""
         if self.l1[core].access(line):
             return float(self.config.lat_l1)
-        if self.l2.access(line):
+        hit2 = self.l2.access(line)
+        if self.bus is not None:
+            self.bus.emit(
+                "cache_miss", core=core,
+                level="l2" if hit2 else "mem", line=line,
+            )
+        if hit2:
             return float(self.config.lat_l2)
         return float(self.config.lat_mem)
 

@@ -90,6 +90,8 @@ from repro.ir.loops import LoopForest
 from repro.ir.memimage import MemoryImage
 from repro.ir.module import Module, ParallelLoop
 from repro.ir.operands import GlobalRef, Imm, Reg
+from repro.obs.bus import EventBus
+from repro.obs.registry import engine_counters
 from repro.tlssim.cache import CacheHierarchy
 from repro.tlssim.config import SimConfig
 from repro.tlssim.costs import instruction_latency
@@ -190,12 +192,22 @@ class TLSEngine:
         oracle: Optional[ValueOracle] = None,
         parallel: bool = True,
         tracer=None,
+        obs: Optional[EventBus] = None,
     ):
         self.module = module
         self.config = config or SimConfig()
         self.oracle = oracle
-        #: optional repro.tlssim.tracing.Tracer receiving engine events
+        #: optional legacy repro.tlssim.tracing.Tracer; kept as an
+        #: attribute for compatibility, but fed through the event bus
+        #: (the tracer is just another sink).
         self.tracer = tracer
+        #: optional repro.obs.bus.EventBus; None (the default) keeps
+        #: every emission site on a single-branch no-op path.
+        if tracer is not None:
+            if obs is None:
+                obs = EventBus()
+            obs.attach(tracer)
+        self.obs = obs
         #: False = sequential baseline: same cost model on one core,
         #: regions tracked (for normalization) but not parallelized.
         self.parallel = parallel
@@ -203,7 +215,7 @@ class TLSEngine:
         if self.config.oracle_mode != "off" and oracle is None:
             raise EngineError("oracle_mode set but no oracle supplied")
         self.memory = MemoryImage(module)
-        self.caches = CacheHierarchy(self.config)
+        self.caches = CacheHierarchy(self.config, bus=obs)
         self.hw_table = ViolatingLoadTable(
             size=self.config.hw_table_size,
             threshold=self.config.hw_sync_threshold,
@@ -211,11 +223,13 @@ class TLSEngine:
             persistent=(
                 module.sync_loads if self.config.hw_hint_persistent else ()
             ),
+            bus=obs,
         )
         #: channel -> [checks, address matches] for the hybrid filter
         self.channel_stats: Dict[str, List[int]] = {}
         self.predictor = LastValuePredictor(
-            confidence_threshold=self.config.prediction_confidence
+            confidence_threshold=self.config.prediction_confidence,
+            bus=obs,
         )
         self.sync_loads: Set[int] = set(module.sync_loads)
         self.clock = 0.0
@@ -301,6 +315,7 @@ class TLSEngine:
             sequential_cycles=self.clock - region_cycles,
             regions=self.regions,
             memory_checksum=self.memory.checksum(),
+            counters=engine_counters(self),
         )
 
     # ------------------------------------------------------------------
@@ -390,11 +405,15 @@ class TLSEngine:
                 addr = self._value(frame, instr.addr) + instr.offset
                 value = self.memory.load(addr)
                 frame.regs[instr.dest.name] = value
+                if self.obs is not None:
+                    self.obs.now = self.clock
                 self._charge(self.caches.access(0, self.caches.line_of(addr)))
                 frame.index += 1
             elif isinstance(instr, Store):
                 addr = self._value(frame, instr.addr) + instr.offset
                 self.memory.store(addr, self._value(frame, instr.value))
+                if self.obs is not None:
+                    self.obs.now = self.clock
                 self._charge(self.caches.access(0, self.caches.line_of(addr)))
                 frame.index += 1
             elif isinstance(instr, Alloc):
@@ -505,6 +524,7 @@ class TLSEngine:
         caches = self.caches
         access = caches.access
         line_of = caches.line_of
+        obs = self.obs
         width = config.issue_width
         max_steps = config.max_region_steps
         loop_infos = self._loop_infos
@@ -537,6 +557,8 @@ class TLSEngine:
                             a = op[4]
                             addr = (a if type(a) is int else regs[a]) + op[5]
                             regs[op[3]] = memory.load(addr)
+                            if obs is not None:
+                                obs.now = clock
                             clock += access(0, line_of(addr)) / width
                             i += 1
                         elif code == OP_STORE:
@@ -544,6 +566,8 @@ class TLSEngine:
                             addr = (a if type(a) is int else regs[a]) + op[4]
                             v = op[5]
                             memory.store(addr, v if type(v) is int else regs[v])
+                            if obs is not None:
+                                obs.now = clock
                             clock += access(0, line_of(addr)) / width
                             i += 1
                         elif code == OP_CONST:
@@ -678,7 +702,7 @@ class _RegionExecution:
         self.info = info
         self.function = self.module.function(frame.function_name)
         self.start_time = engine.clock
-        self.channels = ChannelBank(self.config.forward_latency)
+        self.channels = ChannelBank(self.config.forward_latency, bus=engine.obs)
         self.region_index = engine._region_counter
         engine._region_counter += 1
         self.stats = RegionStats(
@@ -704,9 +728,13 @@ class _RegionExecution:
         #: event time of the shared-state operation currently being
         #: performed; squash rollbacks compare run traces against it.
         self._now = self.start_time
-        if engine.tracer is not None:
-            engine.tracer.region_start(
-                frame.function_name, info.annotation.header, self.start_time
+        if engine.obs is not None:
+            engine.obs.now = self.start_time
+            engine.obs.emit(
+                "region_start",
+                self.start_time,
+                function=frame.function_name,
+                header=info.annotation.header,
             )
         self._seed_channels()
 
@@ -758,8 +786,10 @@ class _RegionExecution:
             self.next_logical += 1
             if self.fast:
                 self._wake(k)
-            if self.engine.tracer is not None:
-                self.engine.tracer.epoch_start(k, 0, core, start)
+            if self.engine.obs is not None:
+                self.engine.obs.emit(
+                    "epoch_start", start, epoch=k, generation=0, core=core
+                )
 
     # -- main loop -----------------------------------------------------------
 
@@ -789,6 +819,8 @@ class _RegionExecution:
             if run is None:
                 raise self._deadlock_error()
             self._perform(run, eff, action)
+            if self.finished:
+                return  # don't spawn past the final commit (matches fast path)
             self._try_spawn()
 
     def _drive_fast(self) -> None:
@@ -938,10 +970,31 @@ class _RegionExecution:
         elif action == "unblock_msg":
             stall = eff - run.wait_started
             self._account_wait_stall(run, stall)
+            if self.engine.obs is not None:
+                self.engine.obs.emit(
+                    "fwd_unblock",
+                    eff,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    channel=run.wait_channel,
+                    msg_kind=run.wait_kind,
+                    stall=max(0.0, stall),
+                )
             run.clock = eff
             run.state = "ready"  # re-executes the wait; message now local
         elif action == "unblock_oldest":
-            run.sync_hw += max(0.0, eff - run.wait_started)
+            stall = max(0.0, eff - run.wait_started)
+            run.sync_hw += stall
+            if self.engine.obs is not None:
+                self.engine.obs.emit(
+                    "sync_unblock",
+                    eff,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    stall=stall,
+                )
             run.clock = eff
             run.state = "ready"
         elif action == "commit":
@@ -973,6 +1026,7 @@ class _RegionExecution:
         reason: str,
         load_iid: Optional[int],
         collateral_only: bool = False,
+        unit: Optional[int] = None,
     ) -> None:
         """Squash epoch ``victim`` and all logically-later in-flight runs."""
         if not collateral_only:
@@ -988,8 +1042,22 @@ class _RegionExecution:
                     hardware_marked=marked_hw,
                 )
             )
-            if self.engine.tracer is not None:
-                self.engine.tracer.violation(victim, time, reason)
+            obs = self.engine.obs
+            if obs is not None:
+                obs.now = time
+                victim_run = self.active.get(victim)
+                obs.emit(
+                    "violation",
+                    time,
+                    epoch=victim,
+                    generation=(
+                        victim_run.generation if victim_run is not None else 0
+                    ),
+                    core=victim_run.core if victim_run is not None else -1,
+                    reason=reason,
+                    load_iid=load_iid,
+                    unit=unit,
+                )
             if load_iid is not None:
                 self.engine.hw_table.record_violation(load_iid)
         for logical in sorted(k for k in self.active if k >= victim):
@@ -1012,10 +1080,16 @@ class _RegionExecution:
             if overshoot:
                 run.clock = trace[k]
                 self.total_steps -= overshoot
-        if self.engine.tracer is not None:
-            self.engine.tracer.squash(
-                run.logical, run.generation, run.core, time,
-                "restart" if restart else "control",
+        obs = self.engine.obs
+        if obs is not None:
+            obs.now = time
+            obs.emit(
+                "squash",
+                time,
+                epoch=run.logical,
+                generation=run.generation,
+                core=run.core,
+                reason="restart" if restart else "control",
             )
         self.fail_slots += run.consumed_slots(time, width)
         self.stats.epochs_squashed += 1
@@ -1040,12 +1114,21 @@ class _RegionExecution:
             self.active[run.logical] = replacement
             if self.fast:
                 self._wake(run.logical)
-            if self.engine.tracer is not None:
-                self.engine.tracer.epoch_start(
-                    replacement.logical,
-                    replacement.generation,
-                    replacement.core,
+            if obs is not None:
+                obs.emit(
+                    "restart",
+                    time,
+                    epoch=run.logical,
+                    generation=replacement.generation,
+                    core=run.core,
+                    penalty=self.config.violation_penalty,
+                )
+                obs.emit(
+                    "epoch_start",
                     replacement.clock,
+                    epoch=replacement.logical,
+                    generation=replacement.generation,
+                    core=replacement.core,
                 )
         else:
             del self.active[run.logical]
@@ -1054,14 +1137,17 @@ class _RegionExecution:
 
     def _commit(self, run: EpochRun, eff: float) -> None:
         config = self.config
+        obs = self.engine.obs
         commit_end = (
             eff + config.commit_base + config.commit_per_line * len(run.dirty_lines)
         )
+        if obs is not None:
+            obs.now = commit_end
         # Verify value predictions against committed state first.
         for load_iid, addr, predicted in run.predictions:
             actual = self.engine.memory.load(addr) if addr else 0
             correct = actual == predicted
-            self.engine.predictor.record_outcome(correct)
+            self.engine.predictor.record_outcome(correct, load_iid)
             self.engine.predictor.train(load_iid, actual)
             if not correct:
                 self._violate_from(
@@ -1070,22 +1156,33 @@ class _RegionExecution:
                 self.active[run.logical].no_predict = True
                 return
         # Flush the write buffer (intra-epoch ordering already merged).
+        if obs is not None and run.write_buffer:
+            obs.emit(
+                "commit_flush",
+                commit_end,
+                epoch=run.logical,
+                generation=run.generation,
+                core=run.core,
+                lines=len(run.dirty_lines),
+                words=len(run.write_buffer),
+            )
         for addr, value in run.write_buffer.items():
             self.engine.memory.store(addr, value)
         # Rule (b): dirty lines squash later epochs that exposed the line
         # before this commit made the stored value visible.
-        victims: List[Tuple[int, Optional[int]]] = []
+        victims: List[Tuple[int, Optional[int], int]] = []
         for line in run.dirty_lines:
             for other in self.active.values():
                 if other.logical > run.logical and line in other.exposed_lines:
                     loads = other.exposed_loads.get(line) or [None]
-                    victims.append((other.logical, loads[0]))
+                    victims.append((other.logical, loads[0], line))
         self._finalize_commit(run, commit_end)
         if victims and not self.finished:
             victims.sort(key=lambda v: v[0])
-            first_victim, load_iid = victims[0]
+            first_victim, load_iid, unit = victims[0]
             self._violate_from(
-                first_victim, commit_end, reason="commit", load_iid=load_iid
+                first_victim, commit_end, reason="commit", load_iid=load_iid,
+                unit=unit,
             )
 
     def _finalize_commit(self, run: EpochRun, commit_end: float) -> None:
@@ -1103,10 +1200,18 @@ class _RegionExecution:
         self.stats.max_signal_buffer = max(
             self.stats.max_signal_buffer, run.sab.high_water
         )
+        obs = self.engine.obs
+        if obs is not None:
+            obs.now = commit_end
         self.engine.hw_table.on_commit()
-        if self.engine.tracer is not None:
-            self.engine.tracer.commit(
-                run.logical, run.generation, run.core, commit_end
+        if obs is not None:
+            obs.emit(
+                "commit",
+                commit_end,
+                epoch=run.logical,
+                generation=run.generation,
+                core=run.core,
+                dirty_lines=len(run.dirty_lines),
             )
         del self.active[run.logical]
         self.committed_upto = run.logical
@@ -1122,8 +1227,8 @@ class _RegionExecution:
             for logical in sorted(self.active):
                 self._squash(self.active[logical], commit_end, restart=False)
             self.active.clear()
-            if self.engine.tracer is not None:
-                self.engine.tracer.region_end(commit_end)
+            if obs is not None:
+                obs.emit("region_end", commit_end)
 
     # -- epoch end -----------------------------------------------------------
 
@@ -1157,6 +1262,7 @@ class _RegionExecution:
             )
         if not self.config.compiler_mem_sync:
             return
+        obs = self.engine.obs
         for channel in annotation.mem_channels:
             if run.signal_counts.get((channel, "addr")):
                 continue
@@ -1165,6 +1271,16 @@ class _RegionExecution:
                 value = run.write_buffer[addr]
             else:
                 value = run.received.get((channel, "value"), 0)
+            if obs is not None and addr == 0:
+                obs.emit(
+                    "fwd_null_signal",
+                    clock,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    channel=channel,
+                    consumer=consumer,
+                )
             self.channels.send(
                 channel, consumer, "addr", addr, clock,
                 run.logical, run.generation,
@@ -1186,6 +1302,15 @@ class _RegionExecution:
     def _park(self, run: EpochRun, reason: str) -> None:
         run.state = "parked"
         run.park_reason = reason
+        if self.engine.obs is not None:
+            self.engine.obs.emit(
+                "epoch_park",
+                run.clock,
+                epoch=run.logical,
+                generation=run.generation,
+                core=run.core,
+                reason=reason,
+            )
 
     def _null_fault(self, run: EpochRun, frame: Frame, what: str) -> None:
         """NULL address: fatal for the oldest epoch, parked otherwise."""
@@ -1743,6 +1868,9 @@ class _RegionExecution:
         """Execute a load at resolved non-NULL address ``addr``."""
         engine = self.engine
         config = self.config
+        obs = engine.obs
+        if obs is not None:
+            obs.now = run.clock
         # Static load identity: the instruction id acts as the PC, so a
         # cloned procedure's loads are distinct (as they are in hardware).
         load_id = instr.iid
@@ -1803,6 +1931,16 @@ class _RegionExecution:
         ):
             run.state = "wait_oldest"
             run.wait_started = run.clock
+            if obs is not None:
+                obs.emit(
+                    "sync_stall",
+                    run.clock,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    cause="hw",
+                    load_iid=load_id,
+                )
             return
 
         # Hardware value prediction for violating loads.
@@ -1816,6 +1954,16 @@ class _RegionExecution:
             if predicted is not None:
                 run.predictions.append((load_id, addr, predicted))
                 frame.regs[instr.dest.name] = predicted
+                if obs is not None:
+                    obs.emit(
+                        "pred_use",
+                        run.clock,
+                        epoch=run.logical,
+                        generation=run.generation,
+                        core=run.core,
+                        load_iid=load_id,
+                        value=predicted,
+                    )
                 self._charge(run, float(config.lat_l1))
                 frame.index += 1
                 return
@@ -1840,6 +1988,9 @@ class _RegionExecution:
         """Execute a store of ``stored`` at resolved non-NULL ``addr``."""
         engine = self.engine
         config = self.config
+        obs = engine.obs
+        if obs is not None:
+            obs.now = run.clock
         line = engine.caches.line_of(addr)
         unit = line if config.violation_granularity == "line" else addr
         latency = engine.caches.access(run.core, line)
@@ -1847,6 +1998,16 @@ class _RegionExecution:
         # Signal address buffer: correcting a forwarded value.
         channel = run.sab.channel_for(addr)
         if channel is not None and config.compiler_mem_sync:
+            if obs is not None:
+                obs.emit(
+                    "sab_hit",
+                    run.clock,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    addr=addr,
+                    channel=channel,
+                )
             replaced = self.channels.replace_last(
                 channel, run.logical + 1, "value", stored, run.clock
             )
@@ -1882,7 +2043,9 @@ class _RegionExecution:
         if victims:
             first = min(victims)
             loads = self.active[first].exposed_loads.get(unit) or [None]
-            self._violate_from(first, run.clock, reason="store", load_iid=loads[0])
+            self._violate_from(
+                first, run.clock, reason="store", load_iid=loads[0], unit=unit
+            )
 
     # -- synchronization instructions ------------------------------------------
 
@@ -1892,6 +2055,9 @@ class _RegionExecution:
         kind = instr.kind
         info = self.module.channels.get(channel)
         is_mem = info is not None and info.kind == "mem"
+        obs = self.engine.obs
+        if obs is not None:
+            obs.now = run.clock
 
         if is_mem and kind == "addr":
             run.last_mem_channel = channel
@@ -1921,6 +2087,16 @@ class _RegionExecution:
         ):
             run.state = "wait_oldest"
             run.wait_started = run.clock
+            if obs is not None:
+                obs.emit(
+                    "sync_stall",
+                    run.clock,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    cause="lmode",
+                    load_iid=None,
+                )
             return
 
         cursor_key = (channel, kind)
@@ -1933,6 +2109,17 @@ class _RegionExecution:
                 run.cursors[cursor_key] = cursor + 1
                 run.received[cursor_key] = message.payload
                 frame.regs[instr.dest.name] = message.payload
+                if obs is not None:
+                    obs.emit(
+                        "fwd_wait",
+                        run.clock,
+                        epoch=run.logical,
+                        generation=run.generation,
+                        core=run.core,
+                        channel=channel,
+                        msg_kind=kind,
+                        payload=message.payload,
+                    )
                 self._charge(run, instruction_latency(config, instr))
                 frame.index += 1
                 return
@@ -1941,6 +2128,16 @@ class _RegionExecution:
             run.wait_channel = channel
             run.wait_kind = kind
             run.wait_started = run.clock
+            if obs is not None:
+                obs.emit(
+                    "fwd_stall",
+                    run.clock,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    channel=channel,
+                    msg_kind=kind,
+                )
             return
         if cursor_key in run.received:
             # Re-executed wait within the same epoch: reuse the value.
@@ -1952,6 +2149,16 @@ class _RegionExecution:
         run.wait_channel = channel
         run.wait_kind = kind
         run.wait_started = run.clock
+        if obs is not None:
+            obs.emit(
+                "fwd_stall",
+                run.clock,
+                epoch=run.logical,
+                generation=run.generation,
+                core=run.core,
+                channel=channel,
+                msg_kind=kind,
+            )
 
     def _channel_filtered(self, channel: str) -> bool:
         stats = self.engine.channel_stats.get(channel)
@@ -1969,6 +2176,9 @@ class _RegionExecution:
         is_mem = info is not None and info.kind == "mem"
         self._charge(run, instruction_latency(config, instr))
         frame.index += 1
+        obs = self.engine.obs
+        if obs is not None:
+            obs.now = run.clock
         if is_mem and not config.compiler_mem_sync:
             return  # marking mode: synchronization not enforced
         key = (channel, kind)
@@ -1995,6 +2205,16 @@ class _RegionExecution:
             channel, consumer, kind, payload, run.clock, run.logical, run.generation
         )
         if kind == "addr":
+            was_overflowed = run.sab.overflowed
             run.sab.record(payload, channel)
+            if obs is not None and run.sab.overflowed and not was_overflowed:
+                obs.emit(
+                    "sab_overflow",
+                    run.clock,
+                    epoch=run.logical,
+                    generation=run.generation,
+                    core=run.core,
+                    addr=payload,
+                )
         if self.fast:
             self._wake(consumer)

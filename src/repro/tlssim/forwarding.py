@@ -38,10 +38,17 @@ class Message:
 
 
 class ChannelBank:
-    """All channel state for one region execution."""
+    """All channel state for one region execution.
 
-    def __init__(self, forward_latency: float):
+    With an event ``bus`` attached, each send emits ``fwd_send`` and
+    each in-flight correction emits ``fwd_replace`` (region-start
+    channel seeds, recognizable by their ``-inf`` send time, are
+    setup, not communication, and stay silent).
+    """
+
+    def __init__(self, forward_latency: float, bus=None):
         self.forward_latency = forward_latency
+        self.bus = bus
         # (channel, consumer_epoch) -> messages in arrival order
         self._queues: Dict[Tuple[str, int], List[Message]] = {}
 
@@ -66,6 +73,17 @@ class ChannelBank:
         )
         queue = self._queues.setdefault((channel, consumer_epoch), [])
         queue.append(message)
+        if self.bus is not None and time != float("-inf"):
+            self.bus.emit(
+                "fwd_send",
+                time,
+                epoch=producer_epoch,
+                generation=generation,
+                channel=channel,
+                msg_kind=kind,
+                payload=payload,
+                consumer=consumer_epoch,
+            )
         return message
 
     def seed(self, channel: str, consumer_epoch: int, kind: str, payload: int) -> None:
@@ -108,6 +126,17 @@ class ChannelBank:
                 message.payload = payload
                 message.send_time = max(message.send_time, time)
                 message.consumed_gen = -1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "fwd_replace",
+                        time,
+                        epoch=message.producer_epoch,
+                        generation=message.producer_generation,
+                        channel=channel,
+                        msg_kind=kind,
+                        payload=payload,
+                        consumer=consumer_epoch,
+                    )
                 return replaced
         return None
 

@@ -26,10 +26,12 @@ class ViolatingLoadTable:
         threshold: int = 2,
         reset_interval: int = 64,
         persistent=(),
+        bus=None,
     ):
         if size < 1:
             raise ValueError("table size must be >= 1")
         self.size = size
+        self.bus = bus
         self.threshold = threshold
         self.reset_interval = reset_interval
         #: Load ids the compiler hints as frequently violating (paper
@@ -48,11 +50,17 @@ class ViolatingLoadTable:
         if load_iid in self._counts:
             self._counts[load_iid] += 1
             self._counts.move_to_end(load_iid)
-            return
-        self._counts[load_iid] = 1
-        self.insertions += 1
-        if len(self._counts) > self.size:
-            self._counts.popitem(last=False)
+        else:
+            self._counts[load_iid] = 1
+            self.insertions += 1
+            if len(self._counts) > self.size:
+                self._counts.popitem(last=False)
+        if self.bus is not None:
+            self.bus.emit(
+                "hwsync_insert",
+                load_iid=load_iid,
+                count=self._counts[load_iid],
+            )
 
     def should_synchronize(self, load_iid: Optional[int]) -> bool:
         """True when the hardware would stall this load."""
@@ -76,6 +84,8 @@ class ViolatingLoadTable:
             self._counts = kept
             self._commits_since_reset = 0
             self.resets += 1
+            if self.bus is not None:
+                self.bus.emit("hwsync_reset", kept=len(kept))
 
     def __len__(self) -> int:
         return len(self._counts)

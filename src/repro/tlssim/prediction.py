@@ -26,9 +26,10 @@ class PredictionEntry:
 class LastValuePredictor:
     """LRU last-value table keyed by static load id."""
 
-    def __init__(self, size: int = 32, confidence_threshold: int = 2):
+    def __init__(self, size: int = 32, confidence_threshold: int = 2, bus=None):
         self.size = size
         self.confidence_threshold = confidence_threshold
+        self.bus = bus
         self._entries: "OrderedDict[int, PredictionEntry]" = OrderedDict()
         self.predictions_used = 0
         self.mispredictions = 0
@@ -60,10 +61,14 @@ class LastValuePredictor:
             entry.confidence = 0
         self._entries.move_to_end(load_iid)
 
-    def record_outcome(self, correct: bool) -> None:
+    def record_outcome(self, correct: bool, load_iid: Optional[int] = None) -> None:
         self.predictions_used += 1
         if not correct:
             self.mispredictions += 1
+        if self.bus is not None:
+            self.bus.emit(
+                "pred_hit" if correct else "pred_miss", load_iid=load_iid
+            )
 
     def __len__(self) -> int:
         return len(self._entries)

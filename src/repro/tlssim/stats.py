@@ -138,6 +138,10 @@ class SimResult:
     sequential_cycles: float = 0.0  # cycles outside parallelized regions
     regions: List[RegionStats] = field(default_factory=list)
     memory_checksum: int = 0
+    #: flat simulator counters (see repro.obs.registry.engine_counters):
+    #: cache hits/misses per level, violations by reason, epoch totals,
+    #: hwsync and predictor activity.  Always populated by the engine.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def region_cycles(self) -> float:
         return sum(r.cycles for r in self.regions)
@@ -149,6 +153,7 @@ class SimResult:
             "program_cycles": self.program_cycles,
             "sequential_cycles": self.sequential_cycles,
             "memory_checksum": self.memory_checksum,
+            "counters": dict(self.counters),
             "regions": [
                 {
                     "function": r.function,
@@ -186,6 +191,7 @@ class SimResult:
             "program_cycles": self.program_cycles,
             "sequential_cycles": self.sequential_cycles,
             "memory_checksum": self.memory_checksum,
+            "counters": dict(self.counters),
             "regions": [r.to_state() for r in self.regions],
         }
 
@@ -197,6 +203,7 @@ class SimResult:
             sequential_cycles=state["sequential_cycles"],
             memory_checksum=state["memory_checksum"],
             regions=[RegionStats.from_state(r) for r in state["regions"]],
+            counters=dict(state.get("counters", {})),
         )
 
     def merged_region_slots(self) -> SlotBreakdown:

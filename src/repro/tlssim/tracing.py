@@ -1,17 +1,25 @@
 """Execution tracing and timeline rendering.
 
-A :class:`Tracer` passed to the engine records structured events —
-epoch starts, squashes, commits, violations and region boundaries —
-that debugging tools and the ``examples/timeline.py`` walkthrough can
-replay.  :func:`render_timeline` draws the per-core occupancy of a
-region as ASCII art: each row is a core; each segment is one epoch run,
-committed (``=``) or squashed (``x``).
+A :class:`Tracer` records epoch-lifecycle events — epoch starts,
+squashes, commits, violations, region boundaries and (since the
+``repro.obs`` event bus) synchronization stalls — that debugging tools
+and the ``examples/timeline.py`` walkthrough can replay.  It doubles
+as an event-bus *sink*: passed to the engine (via ``tracer=`` or
+``bus.attach``), it adapts the typed :mod:`repro.obs.events` stream
+back into its flat :class:`TraceEvent` list.
+
+:func:`render_timeline` draws the per-core occupancy of a region as
+ASCII art: each row is a core; each segment is one epoch run,
+committed (``=``) or squashed (``x``), with synchronization-stalled
+stretches overdrawn as ``~``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+import math
 
 
 @dataclass
@@ -20,6 +28,7 @@ class TraceEvent:
 
     kind: str          # 'region_start' | 'region_end' | 'epoch_start'
     #                  # | 'squash' | 'commit' | 'violation'
+    #                  # | 'stall_start' | 'stall_end'
     time: float
     epoch: int = -1
     generation: int = 0
@@ -33,7 +42,60 @@ class Tracer:
     def __init__(self):
         self.events: List[TraceEvent] = []
 
-    # -- engine hook points -------------------------------------------------
+    # -- event-bus sink ------------------------------------------------------
+
+    def on_event(self, event) -> None:
+        """Adapt a :class:`repro.obs.events.Event` into the flat list.
+
+        Epoch-lifecycle kinds keep their legacy names; stall/unblock
+        pairs (both forwarding and until-oldest synchronization) map
+        onto ``stall_start``/``stall_end`` so the timeline can shade
+        them.  Everything else (cache misses, forwarding sends, ...)
+        is out of scope for the timeline and ignored.
+        """
+        kind = event.kind
+        if kind == "region_start":
+            self.region_start(
+                event.fields.get("function", "?"),
+                event.fields.get("header", "?"),
+                event.time,
+            )
+        elif kind == "region_end":
+            self.region_end(event.time)
+        elif kind == "epoch_start":
+            self.epoch_start(
+                event.epoch, event.generation, event.core, event.time
+            )
+        elif kind == "squash":
+            self.squash(
+                event.epoch, event.generation, event.core, event.time,
+                str(event.fields.get("reason", "")),
+            )
+        elif kind == "commit":
+            self.commit(event.epoch, event.generation, event.core, event.time)
+        elif kind == "violation":
+            self.violation(
+                event.epoch, event.time, str(event.fields.get("reason", ""))
+            )
+        elif kind in ("fwd_stall", "sync_stall"):
+            detail = str(
+                event.fields.get("channel") or event.fields.get("cause", "")
+            )
+            self.events.append(
+                TraceEvent(
+                    "stall_start", event.time, event.epoch,
+                    event.generation, event.core, detail,
+                )
+            )
+        elif kind in ("fwd_unblock", "sync_unblock"):
+            self.events.append(
+                TraceEvent(
+                    "stall_end", event.time, event.epoch,
+                    event.generation, event.core,
+                )
+            )
+
+    # -- direct hook points (legacy engine API) ------------------------------
 
     def region_start(self, function: str, header: str, time: float) -> None:
         self.events.append(
@@ -90,6 +152,35 @@ class Tracer:
                 )
         return finished
 
+    def stalls(self) -> List[Tuple[int, int, int, float, Optional[float]]]:
+        """(epoch, generation, core, start, end) per stall.
+
+        ``end`` is None for a stall still open when the run ended (the
+        run was squashed mid-stall); the renderer clips such stalls to
+        the run's own extent.
+        """
+        open_stalls: Dict[Tuple[int, int], TraceEvent] = {}
+        finished: List[Tuple[int, int, int, float, Optional[float]]] = []
+        for event in self.events:
+            key = (event.epoch, event.generation)
+            if event.kind == "stall_start":
+                open_stalls[key] = event
+            elif event.kind == "stall_end" and key in open_stalls:
+                start = open_stalls.pop(key)
+                finished.append(
+                    (event.epoch, event.generation, start.core,
+                     start.time, event.time)
+                )
+            elif event.kind in ("squash", "commit") and key in open_stalls:
+                start = open_stalls.pop(key)
+                finished.append(
+                    (event.epoch, event.generation, start.core,
+                     start.time, None)
+                )
+        for key, start in open_stalls.items():
+            finished.append((key[0], key[1], start.core, start.time, None))
+        return finished
+
 
 def render_timeline(
     tracer: Tracer,
@@ -100,10 +191,14 @@ def render_timeline(
     """ASCII per-core occupancy of the first traced region.
 
     Committed runs render as ``[nn====]``, squashed ones as ``[nnxxxx]``
-    (nn = epoch index modulo 100); idle time is blank.  The scale is
-    linear from region start to region end.
+    (nn = epoch index modulo 100); stretches where the run was stalled
+    on synchronization are overdrawn as ``~``; idle time is blank.  The
+    scale is linear from region start to region end.  Regions with zero
+    committed epochs (all runs squashed, or a trace cut short) render
+    the squashed runs rather than erroring; a trace with no finished
+    epoch runs at all yields a placeholder line.
     """
-    runs = tracer.runs()
+    runs = [r for r in tracer.runs() if math.isfinite(r[3]) and math.isfinite(r[4])]
     if max_epoch is not None:
         runs = [r for r in runs if r[0] <= max_epoch]
     if not runs:
@@ -111,21 +206,41 @@ def render_timeline(
     start = min(r[3] for r in runs)
     end = max(r[4] for r in runs)
     span = max(end - start, 1e-9)
-    cores = num_cores or (max(r[2] for r in runs) + 1)
+    cores = num_cores if num_cores and num_cores > 0 else (
+        max(r[2] for r in runs) + 1
+    )
 
     def column(time: float) -> int:
         return min(width - 1, max(0, int((time - start) / span * width)))
 
+    #: (epoch, generation) -> run extent, for clipping stall segments
+    extents = {(r[0], r[1]): (r[3], r[4]) for r in runs}
+    stalls_by_run: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+    for epoch, gen, _core, s_start, s_end in tracer.stalls():
+        extent = extents.get((epoch, gen))
+        if extent is None:
+            continue
+        clipped_end = extent[1] if s_end is None else min(s_end, extent[1])
+        clipped_start = max(s_start, extent[0])
+        if clipped_end > clipped_start:
+            stalls_by_run.setdefault((epoch, gen), []).append(
+                (clipped_start, clipped_end)
+            )
+
     rows = []
     for core in range(cores):
         line = [" "] * width
-        for epoch, _gen, run_core, run_start, run_end, committed in runs:
+        for epoch, gen, run_core, run_start, run_end, committed in runs:
             if run_core != core:
                 continue
             left, right = column(run_start), column(run_end)
             fill = "=" if committed else "x"
             for position in range(left, max(right, left + 1)):
                 line[position] = fill
+            for s_start, s_end in stalls_by_run.get((epoch, gen), ()):
+                s_left, s_right = column(s_start), column(s_end)
+                for position in range(s_left, max(s_right, s_left + 1)):
+                    line[position] = "~"
             label = f"{epoch % 100:02d}"
             if right - left >= 3:
                 line[left] = label[0]

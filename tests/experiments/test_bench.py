@@ -5,7 +5,12 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments.bench import SCHEMA_FIELDS, summarize
+from repro.experiments.bench import (
+    SCHEMA_FIELDS,
+    compare_bench,
+    format_compare,
+    summarize,
+)
 
 
 class TestParser:
@@ -104,3 +109,106 @@ class TestSummarize:
         )
         assert summary["speedups"] == []
         assert summary["largest_workload"] is None
+
+
+def _speedup_cell(workload, scheme, fast_ips):
+    return {
+        "workload": workload,
+        "scheme": scheme,
+        "instructions": 1000,
+        "fast_instrs_per_sec": fast_ips,
+        "slow_instrs_per_sec": fast_ips / 3.0,
+        "speedup": 3.0,
+    }
+
+
+class TestCompare:
+    def test_all_within_tolerance(self):
+        baseline = {"speedups": [_speedup_cell("go", "U", 1000.0)]}
+        current = {"speedups": [_speedup_cell("go", "U", 950.0)]}
+        comparison = compare_bench(current, baseline, tolerance=0.2)
+        assert comparison["regressions"] == 0
+        [cell] = comparison["cells"]
+        assert cell["status"] == "ok"
+        assert cell["ratio"] == pytest.approx(0.95)
+
+    def test_regression_flagged(self):
+        baseline = {"speedups": [_speedup_cell("go", "U", 1000.0)]}
+        current = {"speedups": [_speedup_cell("go", "U", 700.0)]}
+        comparison = compare_bench(current, baseline, tolerance=0.2)
+        assert comparison["regressions"] == 1
+        assert comparison["cells"][0]["status"] == "regressed"
+
+    def test_boundary_exactly_at_tolerance_passes(self):
+        baseline = {"speedups": [_speedup_cell("go", "U", 1000.0)]}
+        current = {"speedups": [_speedup_cell("go", "U", 800.0)]}
+        comparison = compare_bench(current, baseline, tolerance=0.2)
+        assert comparison["regressions"] == 0
+
+    def test_subset_run_skips_baseline_cells(self):
+        baseline = {
+            "speedups": [
+                _speedup_cell("go", "U", 1000.0),
+                _speedup_cell("mcf", "C", 500.0),
+            ]
+        }
+        current = {"speedups": [_speedup_cell("go", "U", 1000.0)]}
+        comparison = compare_bench(current, baseline, tolerance=0.2)
+        assert comparison["regressions"] == 0
+        statuses = {
+            (c["workload"], c["scheme"]): c["status"]
+            for c in comparison["cells"]
+        }
+        assert statuses == {("go", "U"): "ok", ("mcf", "C"): "skipped"}
+
+    def test_new_cell_reported_not_failed(self):
+        baseline = {"speedups": []}
+        current = {"speedups": [_speedup_cell("go", "U", 1000.0)]}
+        comparison = compare_bench(current, baseline)
+        assert comparison["regressions"] == 0
+        assert comparison["cells"][0]["status"] == "new"
+
+    def test_format_compare_report(self):
+        baseline = {
+            "speedups": [
+                _speedup_cell("go", "U", 1000.0),
+                _speedup_cell("mcf", "C", 500.0),
+            ]
+        }
+        current = {
+            "speedups": [
+                _speedup_cell("go", "U", 700.0),
+            ]
+        }
+        report = format_compare(compare_bench(current, baseline))
+        assert "regressed" in report
+        assert "1 regression(s)" in report
+        assert "not benchmarked" in report
+
+    def test_cli_compare_gate(self, tmp_path):
+        """`repro bench --compare` exits 1 only on real regressions."""
+        out = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--workloads", "go", "--schemes", "U",
+             "--repeat", "1", "-o", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+
+        relaxed = dict(payload)
+        baseline_ok = tmp_path / "baseline_ok.json"
+        baseline_ok.write_text(json.dumps(relaxed))
+        assert main(
+            ["bench", "--workloads", "go", "--schemes", "U", "--repeat", "1",
+             "-o", str(out), "--compare", str(baseline_ok),
+             "--compare-tolerance", "0.9"]
+        ) == 0
+
+        inflated = json.loads(out.read_text())
+        for cell in inflated["speedups"]:
+            cell["fast_instrs_per_sec"] *= 100.0
+        baseline_bad = tmp_path / "baseline_bad.json"
+        baseline_bad.write_text(json.dumps(inflated))
+        assert main(
+            ["bench", "--workloads", "go", "--schemes", "U", "--repeat", "1",
+             "-o", str(out), "--compare", str(baseline_bad)]
+        ) == 1

@@ -1,0 +1,128 @@
+"""Metrics registry: counters, gauges, histograms, bus aggregation."""
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        counter = Counter("hits", {})
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("hits", {}).inc(-1)
+
+    def test_gauge_set_and_max(self):
+        gauge = Gauge("depth", {})
+        gauge.set(4)
+        gauge.max(2)
+        assert gauge.value == 4
+        gauge.max(9)
+        assert gauge.value == 9
+
+    def test_histogram_buckets(self):
+        hist = Histogram("lat", {}, buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]
+        assert hist.overflow == 1
+        assert hist.count == 4
+        assert hist.mean() == pytest.approx(555.5 / 4)
+
+    def test_histogram_requires_sorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", {}, buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", level="l1")
+        b = registry.counter("hits", level="l1")
+        assert a is b
+        assert registry.counter("hits", level="l2") is not a
+        assert len(registry) == 2
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_flat_names_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", level="l1", scheme="C").inc(3)
+        registry.gauge("depth").set(7)
+        flat = registry.flat()
+        assert flat == {"hits{level=l1,scheme=C}": 3.0, "depth": 7.0}
+
+    def test_to_dict_includes_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        dump = registry.to_dict()
+        assert dump["counters"] == [] and dump["gauges"] == []
+        (hist,) = dump["histograms"]
+        assert hist["buckets"] == [1.0, 2.0]
+        assert hist["counts"] == [0, 1]
+        assert hist["count"] == 1
+
+
+class TestMetricsSink:
+    def make(self, scheme=None):
+        bus = EventBus()
+        registry = MetricsRegistry()
+        bus.attach(MetricsSink(registry, scheme=scheme))
+        return bus, registry
+
+    def test_counts_events_by_kind(self):
+        bus, registry = self.make()
+        bus.emit("region_start", 0.0, function="main", header="loop")
+        bus.emit("epoch_start", 1.0, epoch=0)
+        bus.emit("commit", 5.0, epoch=0)
+        flat = registry.flat()
+        assert flat["events{kind=epoch_start,region=0}"] == 1.0
+        assert flat["events{kind=commit,region=0}"] == 1.0
+
+    def test_epoch_cycles_histogram(self):
+        bus, registry = self.make(scheme="C")
+        bus.emit("region_start", 0.0, function="main", header="loop")
+        bus.emit("epoch_start", 10.0, epoch=0)
+        bus.emit("commit", 35.0, epoch=0)
+        hists = registry.to_dict()["histograms"]
+        (epoch_hist,) = [h for h in hists if h["name"] == "epoch_cycles"]
+        assert epoch_hist["labels"]["outcome"] == "commit"
+        assert epoch_hist["labels"]["scheme"] == "C"
+        assert epoch_hist["sum"] == 25.0
+
+    def test_violation_reasons_counted(self):
+        bus, registry = self.make()
+        bus.emit("violation", 1.0, epoch=2, reason="store", load_iid=4)
+        bus.emit("violation", 2.0, epoch=3, reason="store", load_iid=4)
+        bus.emit("violation", 3.0, epoch=4, reason="commit", load_iid=5)
+        flat = registry.flat()
+        assert flat["violations{reason=store}"] == 2.0
+        assert flat["violations{reason=commit}"] == 1.0
+
+    def test_stall_cycles_by_cause(self):
+        bus, registry = self.make()
+        bus.emit("fwd_unblock", 5.0, epoch=1, channel="ch", msg_kind="value",
+                 stall=4.0)
+        bus.emit("sync_unblock", 9.0, epoch=2, stall=2.0)
+        hists = {
+            h["labels"]["cause"]: h
+            for h in registry.to_dict()["histograms"]
+            if h["name"] == "stall_cycles"
+        }
+        assert hists["fwd"]["sum"] == 4.0
+        assert hists["sync"]["sum"] == 2.0

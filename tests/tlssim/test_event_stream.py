@@ -1,0 +1,75 @@
+"""Fast/slow path event-stream equivalence (the obs acceptance gate).
+
+The observability bus must not break the fast path's invisibility:
+with a collector attached, the slow path (object-walking scheduler)
+and the fast path (decoded dispatch + event heap) must emit identical
+event streams for the same program and config.  These tests pin that
+for every workload under every bar label — the epoch-lifecycle subset
+byte-identical as the hard acceptance criterion, and in fact the full
+stream (forwarding, cache, hwsync, prediction events included), which
+currently holds and is asserted too so any future reordering is loud.
+
+Same matrix rationale as ``test_fastpath.py``: each scheme family
+exercises a different engine subsystem and therefore different
+emission sites.
+"""
+
+import pytest
+
+from repro.experiments.runner import BAR_PROGRAM, bundle_for, config_for
+from repro.obs.bus import CollectorSink, EventBus
+from repro.obs.events import EPOCH_KINDS
+from repro.tlssim.engine import TLSEngine
+from repro.workloads import all_workloads
+
+BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+WORKLOADS = tuple(w.name for w in all_workloads())
+
+
+def _stream(program, config, oracle, parallel):
+    bus = EventBus()
+    collector = bus.attach(CollectorSink())
+    result = TLSEngine(
+        program, config=config, oracle=oracle, parallel=parallel, obs=bus
+    ).run()
+    return [e.key() for e in collector.events], result
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_event_streams_identical_on_every_bar(name):
+    bundle = bundle_for(name)
+    for bar in BARS:
+        program = bundle.program(bar)
+        config = config_for(bar)
+        oracle = None
+        if config.oracle_mode != "off":
+            oracle = bundle.oracle_for(BAR_PROGRAM[bar])
+        parallel = bar != "SEQ"
+        fast_stream, fast_result = _stream(
+            program, config.with_mode(fast_path=True), oracle, parallel
+        )
+        slow_stream, slow_result = _stream(
+            program, config.with_mode(fast_path=False), oracle, parallel
+        )
+        fast_epoch = [k for k in fast_stream if k[0] in EPOCH_KINDS]
+        slow_epoch = [k for k in slow_stream if k[0] in EPOCH_KINDS]
+        assert fast_epoch == slow_epoch, (
+            f"{name}/{bar}: epoch-level event streams diverged"
+        )
+        assert fast_stream == slow_stream, (
+            f"{name}/{bar}: full event streams diverged"
+        )
+        # attaching the bus must not perturb the simulation itself
+        assert fast_result.to_state() == slow_result.to_state(), (
+            f"{name}/{bar}: results diverged with the bus attached"
+        )
+
+
+def test_bus_does_not_change_results():
+    """A collector-observed run equals an unobserved run bit for bit."""
+    bundle = bundle_for("go")
+    program = bundle.program("C")
+    config = config_for("C")
+    _, observed = _stream(program, config, None, True)
+    plain = TLSEngine(program, config=config, parallel=True).run()
+    assert observed.to_state() == plain.to_state()

@@ -1,7 +1,7 @@
 """Engine tracing and timeline rendering."""
 
 from repro.tlssim.engine import TLSEngine
-from repro.tlssim.tracing import Tracer, render_timeline
+from repro.tlssim.tracing import TraceEvent, Tracer, render_timeline
 
 from tests.tlssim.conftest import make_counted_loop
 
@@ -87,3 +87,104 @@ class TestTimeline:
         tracer, _ = traced_run(module)
         art = render_timeline(tracer, width=70)
         assert "x" in art and "=" in art
+
+
+def hand_tracer(runs, stalls=()):
+    """A Tracer built directly from (epoch, gen, core, start, end,
+    committed) run tuples and (epoch, gen, core, start, end) stalls —
+    no engine involved, so renderer behaviour is pinned exactly."""
+    tracer = Tracer()
+    for epoch, gen, core, start, end, committed in runs:
+        tracer.epoch_start(epoch, gen, core, start)
+        if committed:
+            tracer.commit(epoch, gen, core, end)
+        else:
+            tracer.squash(epoch, gen, core, end, "store")
+    for epoch, gen, core, start, end in stalls:
+        tracer.events.append(
+            TraceEvent("stall_start", start, epoch, gen, core)
+        )
+        if end is not None:
+            tracer.events.append(
+                TraceEvent("stall_end", end, epoch, gen, core)
+            )
+    return tracer
+
+
+class TestTimelineDirect:
+    """Renderer unit tests over hand-built traces."""
+
+    def test_stall_overdrawn_as_tilde(self):
+        tracer = hand_tracer(
+            runs=[(0, 0, 0, 0.0, 100.0, True)],
+            stalls=[(0, 0, 0, 25.0, 75.0)],
+        )
+        art = render_timeline(tracer, width=40, num_cores=1)
+        row = art.splitlines()[1]
+        assert "~" in row and "=" in row
+        # the stall sits strictly inside the run, not at its edges
+        fill = row.split("|")[1]
+        assert fill.strip()[0] != "~" and fill.strip()[-1] != "~"
+
+    def test_open_stall_clipped_to_run_end(self):
+        tracer = hand_tracer(
+            runs=[(0, 0, 0, 0.0, 50.0, False)],
+            stalls=[(0, 0, 0, 40.0, None)],  # squashed mid-stall
+        )
+        art = render_timeline(tracer, width=40, num_cores=1)
+        assert "~" in art
+
+    def test_stall_outside_run_extent_ignored(self):
+        tracer = hand_tracer(
+            runs=[(0, 0, 0, 0.0, 50.0, True)],
+            stalls=[(9, 0, 0, 10.0, 20.0)],  # no such run
+        )
+        assert "~" not in render_timeline(tracer, width=40, num_cores=1)
+
+    def test_zero_committed_epochs_tolerated(self):
+        tracer = hand_tracer(
+            runs=[(0, 0, 0, 0.0, 30.0, False), (1, 0, 1, 5.0, 30.0, False)]
+        )
+        art = render_timeline(tracer, width=40, num_cores=2)
+        body = "\n".join(art.splitlines()[1:])
+        assert "x" in body and "=" not in body
+
+    def test_non_finite_runs_filtered(self):
+        tracer = hand_tracer(runs=[(0, 0, 0, 0.0, 60.0, True)])
+        tracer.epoch_start(1, 0, 1, float("-inf"))
+        tracer.commit(1, 0, 1, 10.0)
+        art = render_timeline(tracer, width=40, num_cores=2)
+        assert art.splitlines()[0].startswith("t=0")
+
+    def test_all_runs_non_finite_yields_placeholder(self):
+        tracer = Tracer()
+        tracer.epoch_start(0, 0, 0, float("-inf"))
+        tracer.commit(0, 0, 0, float("inf"))
+        assert "no epoch runs" in render_timeline(tracer)
+
+    def test_num_cores_overrides_row_count(self):
+        tracer = hand_tracer(runs=[(0, 0, 0, 0.0, 10.0, True)])
+        art = render_timeline(tracer, width=40, num_cores=3)
+        assert len(art.splitlines()) == 4  # header + 3 cores
+
+
+class TestStallQuery:
+    def test_closed_pair(self):
+        tracer = hand_tracer(
+            runs=[(0, 0, 0, 0.0, 100.0, True)],
+            stalls=[(0, 0, 0, 10.0, 30.0)],
+        )
+        assert tracer.stalls() == [(0, 0, 0, 10.0, 30.0)]
+
+    def test_run_end_closes_open_stall_with_none(self):
+        tracer = Tracer()
+        tracer.epoch_start(0, 0, 0, 0.0)
+        tracer.events.append(TraceEvent("stall_start", 10.0, 0, 0, 0))
+        tracer.squash(0, 0, 0, 40.0, "store")
+        assert tracer.stalls() == [(0, 0, 0, 10.0, None)]
+
+    def test_trailing_open_stall_reported(self):
+        tracer = Tracer()
+        tracer.epoch_start(0, 0, 0, 0.0)
+        tracer.events.append(TraceEvent("stall_start", 5.0, 0, 0, 0))
+        assert tracer.stalls() == [(0, 0, 0, 5.0, None)]
