@@ -33,6 +33,15 @@ Commands
     attached and export the event stream: ``--format chrome`` (open in
     Perfetto), ``jsonl``, ``html`` or ``timeline`` (ASCII).  See
     ``docs/observability.md``.
+``analyze``
+    Cycle accounting and stall attribution: split every graduation
+    slot of a run into named causes (the accounting identity), rank
+    the stall-causing sync pairs (``--top``, ``--by
+    pair|epoch|address``), extract the cross-epoch critical path, and
+    explain run-vs-run regressions (``--diff A B``).  Targets are
+    ``WORKLOAD[:BAR]`` specs (live simulation) or JSONL event logs
+    from ``repro trace --format jsonl``.  ``--format ascii|json|html``.
+    See ``docs/analysis.md``.
 
 Experiment commands memoize results under ``.repro_cache/`` (override
 with ``--cache-dir`` or ``REPRO_CACHE_DIR``); ``--no-cache`` disables
@@ -269,6 +278,110 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _load_analysis(spec: str, args):
+    """Resolve an analyze target: JSONL event log or WORKLOAD[:BAR]."""
+    import os
+
+    from repro.experiments import trace as trace_mod
+    from repro.obs.analysis import attribute_events
+    from repro.obs.export import read_jsonl
+
+    if os.path.exists(spec) or spec.endswith(".jsonl"):
+        header, events = read_jsonl(spec)
+        meta = {
+            key: header[key]
+            for key in ("workload", "bar", "num_cores", "issue_width")
+            if key in header
+        }
+        meta["source"] = spec
+        return attribute_events(
+            events,
+            num_cores=header.get("num_cores"),
+            issue_width=header.get("issue_width"),
+            meta=meta,
+        )
+    workload, _, bar = spec.partition(":")
+    bar = (bar or args.bar).upper()
+    run = trace_mod.run_traced(
+        workload,
+        bar=bar,
+        threshold=args.threshold,
+        base=SimConfig(num_cores=args.cores) if args.cores != 4 else None,
+    )
+    meta = {
+        "workload": workload,
+        "bar": bar,
+        "num_cores": run.num_cores,
+        "issue_width": run.issue_width,
+    }
+    if args.cores == 4:
+        # oracle upper bound (the O bar) for the critical-path slack
+        # comparison; served from the result cache when warm
+        oracle = bundle_for(workload, threshold=args.threshold).simulate("O")
+        meta["oracle_cycles"] = oracle.region_cycles()
+    return attribute_events(run.events, meta=meta)
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.obs import analysis as analysis_mod
+
+    _setup_run(args)
+    if args.diff:
+        run_a = _load_analysis(args.diff[0], args)
+        run_b = _load_analysis(args.diff[1], args)
+        delta = analysis_mod.diff_analyses(
+            run_a, run_b, label_a=args.diff[0], label_b=args.diff[1]
+        )
+        if args.format == "json":
+            text = json.dumps(delta, indent=2, sort_keys=True) + "\n"
+        else:
+            text = analysis_mod.diff_report(delta, top=args.top)
+    else:
+        if not args.target:
+            print("analyze: a target (or --diff A B) is required",
+                  file=sys.stderr)
+            return 2
+        run = _load_analysis(args.target, args)
+        if args.format == "json":
+            text = json.dumps(
+                analysis_mod.json_report(run, by=args.by, top=args.top),
+                indent=2, sort_keys=True,
+            ) + "\n"
+        elif args.format == "html":
+            text = analysis_mod.render_html(
+                run, by=args.by, top=args.top,
+                title=f"slot attribution — {args.target}",
+            )
+        else:
+            text = analysis_mod.ascii_report(run, by=args.by, top=args.top)
+            oracle_cycles = run.meta.get("oracle_cycles")
+            if oracle_cycles:
+                bound = sum(
+                    r.critical_path()["bound_cycles"] for r in run.regions
+                )
+                cycles = sum(r.cycles for r in run.regions)
+                text += (
+                    f"\noracle bound: {oracle_cycles:.1f} cycles   "
+                    f"observed {cycles:.1f}   "
+                    f"signal-slack-free {bound:.1f}\n"
+                )
+        if run.identity_error != 0.0:
+            print(
+                f"WARNING: accounting identity violated by "
+                f"{run.identity_error:g} slots",
+                file=sys.stderr,
+            )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
 
@@ -436,6 +549,40 @@ def build_parser() -> argparse.ArgumentParser:
         "prints to stdout)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="cycle accounting, stall attribution, critical path"
+    )
+    analyze_parser.add_argument(
+        "target", nargs="?", default=None,
+        help="WORKLOAD[:BAR] to simulate, or a JSONL event log from "
+        "`repro trace --format jsonl`",
+    )
+    analyze_parser.add_argument("--bar", choices=BARS, default="C")
+    analyze_parser.add_argument("--cores", type=int, default=4)
+    analyze_parser.add_argument("--threshold", type=float, default=0.05)
+    analyze_parser.add_argument(
+        "--top", type=int, default=10,
+        help="stall groups / diff movers to show (default 10)",
+    )
+    analyze_parser.add_argument(
+        "--by", choices=("pair", "epoch", "address"), default="pair",
+        help="stall grouping: static sync pair, (producer, consumer) "
+        "epoch pair, or forwarded address",
+    )
+    analyze_parser.add_argument(
+        "--diff", nargs=2, metavar=("RUN_A", "RUN_B"), default=None,
+        help="explain how RUN_B regressed vs RUN_A (same target grammar)",
+    )
+    analyze_parser.add_argument(
+        "--format", choices=("ascii", "json", "html"), default="ascii",
+    )
+    analyze_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    _add_run_options(analyze_parser, jobs=False)
+    analyze_parser.set_defaults(func=_cmd_analyze)
 
     bench_parser = sub.add_parser(
         "bench", help="engine throughput benchmark (fast vs slow path)"

@@ -34,7 +34,10 @@ def run(workloads: Optional[Sequence[str]] = None) -> List[Dict]:
         bundle = bundle_for(name)
         for bar in BARS:
             time, segments = bundle.normalized_region(bar)
-            rows.append(bar_row(name, bar, time, segments))
+            rows.append(bar_row(
+                name, bar, time, segments,
+                attribution=bundle.normalized_attribution(bar),
+            ))
     return rows
 
 

@@ -129,14 +129,20 @@ class RunMetrics:
         """Simulator counters summed across every recorded job.
 
         Cache hit/miss totals, violations by reason, epoch commit and
-        squash counts — the sum of each job's ``SimResult.counters``
-        snapshot.  Jobs without counters (compiles, profiles, stale
-        cache entries) contribute nothing.
+        squash counts, slot-attribution gauges — the sum of each job's
+        ``SimResult.counters`` snapshot.  Percentile gauges
+        (``*_p50``/``*_p95``/``*_p99``) are not summable across jobs
+        and aggregate by max (the worst job) instead.  Jobs without
+        counters (compiles, profiles, stale cache entries) contribute
+        nothing.
         """
         totals: Dict[str, float] = {}
         for job in self.jobs:
             for name, value in job.counters.items():
-                totals[name] = totals.get(name, 0.0) + value
+                if name.endswith(("_p50", "_p95", "_p99")):
+                    totals[name] = max(totals.get(name, 0.0), value)
+                else:
+                    totals[name] = totals.get(name, 0.0) + value
         return dict(sorted(totals.items()))
 
     # -- output ----------------------------------------------------------

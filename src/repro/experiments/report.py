@@ -28,7 +28,11 @@ from repro.experiments import (
     table1_config,
     table2_speedups,
 )
-from repro.experiments.reporting import BAR_COLUMNS, format_table
+from repro.experiments.reporting import (
+    BAR_COLUMNS,
+    BAR_SPLIT_COLUMNS,
+    format_table,
+)
 from repro.experiments.runner import JobSpec, execute_plan
 from repro.workloads import all_workloads
 
@@ -40,8 +44,8 @@ SECTIONS = (
     ("Figure 6 (threshold sweep)", fig06_threshold.run, BAR_COLUMNS, True),
     ("Figure 7 (dependence distance)", fig07_distance.run, fig07_distance.COLUMNS, True),
     ("Figure 8 (U / T / C)", fig08_compiler_sync.run, BAR_COLUMNS, True),
-    ("Figure 9 (E / C / L)", fig09_sync_cost.run, BAR_COLUMNS, True),
-    ("Figure 10 (U / P / H / C / B)", fig10_comparison.run, BAR_COLUMNS, True),
+    ("Figure 9 (E / C / L)", fig09_sync_cost.run, BAR_SPLIT_COLUMNS, True),
+    ("Figure 10 (U / P / H / C / B)", fig10_comparison.run, BAR_SPLIT_COLUMNS, True),
     ("Figure 11 (violating-load overlap)", fig11_overlap.run, fig11_overlap.COLUMNS, True),
     ("Figure 12 (whole-program time)", fig12_program.run, fig12_program.COLUMNS, True),
     ("Table 2 (coverage and speedups)", table2_speedups.run, table2_speedups.COLUMNS, True),

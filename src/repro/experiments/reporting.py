@@ -36,9 +36,21 @@ def format_table(
     return "\n".join(out)
 
 
-def bar_row(workload: str, bar: str, time: float, segments: Dict[str, float]) -> Dict:
-    """One stacked bar: normalized time plus its four segments."""
-    return {
+def bar_row(
+    workload: str,
+    bar: str,
+    time: float,
+    segments: Dict[str, float],
+    attribution: Dict[str, float] = None,
+) -> Dict:
+    """One stacked bar: normalized time plus its four segments.
+
+    When fine-grained ``attribution`` heights are given (see
+    ``repro.tlssim.stats.normalized_attribution``), the row also
+    carries the sync split by cause — the named decomposition of the
+    bar's ``sync`` segment.
+    """
+    row = {
         "workload": workload,
         "bar": bar,
         "time": time,
@@ -47,6 +59,21 @@ def bar_row(workload: str, bar: str, time: float, segments: Dict[str, float]) ->
         "sync": segments["sync"],
         "other": segments["other"],
     }
+    if attribution is not None:
+        for cause, column in SYNC_SPLIT_CAUSES.items():
+            row[column] = attribution.get(cause, 0.0)
+    return row
 
 
 BAR_COLUMNS = ("workload", "bar", "time", "busy", "fail", "sync", "other")
+
+#: attribution cause -> bar-row column for the sync-segment split
+SYNC_SPLIT_CAUSES = {
+    "sync.scalar": "sync_scalar",
+    "sync.mem": "sync_mem",
+    "sync.hw": "sync_hw",
+    "sync.lmode": "sync_lmode",
+}
+
+#: BAR_COLUMNS plus the attributed sync split (figures 9 and 10)
+BAR_SPLIT_COLUMNS = BAR_COLUMNS + tuple(SYNC_SPLIT_CAUSES.values())

@@ -319,6 +319,16 @@ class WorkloadBundle:
 
         return normalized_region_time(self.simulate(bar, base), self.simulate("SEQ"))
 
+    def normalized_attribution(
+        self, bar: str, base: Optional[SimConfig] = None
+    ) -> Dict[str, float]:
+        """Fine-grained cause -> height on the stacked-bar scale."""
+        from repro.tlssim.stats import normalized_attribution
+
+        return normalized_attribution(
+            self.simulate(bar, base), self.simulate("SEQ")
+        )
+
 
 def _pct_key(threshold: float) -> str:
     return str(int(round(threshold * 100)))

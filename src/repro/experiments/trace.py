@@ -41,6 +41,7 @@ class TraceRun:
     workload: str
     bar: str
     num_cores: int
+    issue_width: int
     result: SimResult
     events: List[Event]
     tracer: Tracer
@@ -84,6 +85,7 @@ def run_traced(
         workload=workload,
         bar=bar,
         num_cores=config.num_cores,
+        issue_width=config.issue_width,
         result=result,
         events=collector.events,
         tracer=tracer,
@@ -109,7 +111,8 @@ def export(run: TraceRun, fmt: str, output: str) -> None:
         write_jsonl(
             run.events, output,
             meta={"workload": run.workload, "bar": run.bar,
-                  "num_cores": run.num_cores},
+                  "num_cores": run.num_cores,
+                  "issue_width": run.issue_width},
         )
     elif fmt == "html":
         write_html_report(

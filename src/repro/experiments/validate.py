@@ -180,6 +180,24 @@ def check_figure12_program(names) -> ClaimResult:
     )
 
 
+def check_accounting_identity(names) -> ClaimResult:
+    worst = 0.0
+    cells = 0
+    for name in names:
+        bundle = bundle_for(name)
+        for bar in ("U", "C", "H", "B"):
+            for region in bundle.simulate(bar).regions:
+                cells += 1
+                error = region.slots.total - sum(region.attribution.values())
+                worst = max(worst, abs(error))
+    return ClaimResult(
+        "Slot attribution explains 100% of execution time",
+        "§1.2 / repro analyze",
+        worst == 0.0,
+        f"worst |total - sum(attribution)| over {cells} regions: {worst:g}",
+    )
+
+
 def check_twolf_degradation(names) -> ClaimResult:
     bundle = bundle_for("twolf")
     u, _ = bundle.normalized_region("U")
@@ -204,6 +222,7 @@ CHECKS: Tuple[Callable[[Sequence[str]], ClaimResult], ...] = (
     check_figure10_hybrid,
     check_figure11_complementary,
     check_figure12_program,
+    check_accounting_identity,
     check_twolf_degradation,
 )
 

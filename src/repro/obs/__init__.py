@@ -4,9 +4,24 @@ Structured, schema-versioned events (:mod:`repro.obs.events`) flow
 from the engine over an :class:`~repro.obs.bus.EventBus` to attached
 sinks: collectors, the metrics registry, the legacy timeline tracer.
 Exporters turn collected streams into JSONL logs, Chrome/Perfetto
-traces and HTML reports.  See ``docs/observability.md``.
+traces and HTML reports; :mod:`repro.obs.analysis` reconstructs the
+engine's exact slot attribution offline and extracts the cross-epoch
+critical path.  See ``docs/observability.md`` and ``docs/analysis.md``.
 """
 
+from repro.obs.analysis import (
+    AnalysisError,
+    RegionAnalysis,
+    RunAnalysis,
+    StallRecord,
+    ascii_report,
+    attribute_events,
+    diff_analyses,
+    diff_report,
+    group_stalls,
+    json_report,
+    render_html,
+)
 from repro.obs.bus import CollectorSink, EventBus
 from repro.obs.events import EPOCH_KINDS, KINDS, SCHEMA_VERSION, Event
 from repro.obs.export import (
@@ -28,6 +43,7 @@ from repro.obs.registry import (
 )
 
 __all__ = [
+    "AnalysisError",
     "CollectorSink",
     "Counter",
     "EPOCH_KINDS",
@@ -38,11 +54,21 @@ __all__ = [
     "KINDS",
     "MetricsRegistry",
     "MetricsSink",
+    "RegionAnalysis",
+    "RunAnalysis",
     "SCHEMA_VERSION",
+    "StallRecord",
+    "ascii_report",
+    "attribute_events",
     "chrome_trace",
+    "diff_analyses",
+    "diff_report",
     "engine_counters",
+    "group_stalls",
     "html_report",
+    "json_report",
     "read_jsonl",
+    "render_html",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_html_report",

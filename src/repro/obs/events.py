@@ -34,14 +34,23 @@ ENVELOPE_KEYS = ("seq", "kind", "time", "epoch", "generation", "core")
 #: is documentation-plus-validation, not a straitjacket.
 KINDS: Dict[str, tuple] = {
     # -- region / epoch lifecycle --------------------------------------
-    "region_start": ("epoch", ("function", "header"),
+    "region_start": ("epoch", ("function", "header", "num_cores",
+                               "issue_width"),
                      "a parallelized-region instance begins"),
     "region_end": ("epoch", (), "the region's exit epoch finished committing"),
     "epoch_start": ("epoch", (), "an epoch run starts on its core"),
-    "commit": ("epoch", ("dirty_lines",), "an epoch run commits"),
+    "commit": ("epoch", ("dirty_lines", "busy", "done_clock", "sync_scalar",
+                         "sync_mem", "sync_hw", "sync_lmode", "mem_stall"),
+               "an epoch run commits; carries the run's accumulated "
+               "busy slots, per-cause sync stall cycles, cache-miss "
+               "slots and the clock it finished executing at, so "
+               "offline attribution reproduces the engine's accounting"),
     "commit_flush": ("epoch", ("lines", "words"),
                      "a committing epoch writes its buffer back"),
-    "squash": ("epoch", ("reason",), "an epoch run is squashed"),
+    "squash": ("epoch", ("reason", "cause", "clock"),
+               "an epoch run is squashed; 'reason' is restart/control, "
+               "'cause' the violation reason that triggered it, 'clock' "
+               "the run's (rolled-back) clock at the squash"),
     "restart": ("epoch", ("penalty",),
                 "a squashed epoch is re-spawned after the violation penalty"),
     "epoch_park": ("epoch", ("reason",),
@@ -57,9 +66,12 @@ KINDS: Dict[str, tuple] = {
                         "epoch end auto-flushes a NULL address message"),
     "fwd_wait": ("fwd", ("channel", "msg_kind", "payload"),
                  "a wait consumes a forwarded message"),
-    "fwd_stall": ("fwd", ("channel", "msg_kind"),
-                  "a wait blocks on a message not yet arrived"),
-    "fwd_unblock": ("fwd", ("channel", "msg_kind", "stall"),
+    "fwd_stall": ("fwd", ("channel", "msg_kind", "cause", "wait_iid"),
+                  "a wait blocks on a message not yet arrived; 'cause' "
+                  "is the channel class (scalar/mem), 'wait_iid' the "
+                  "static wait instruction (the sync-pair id)"),
+    "fwd_unblock": ("fwd", ("channel", "msg_kind", "stall", "cause",
+                            "wait_iid"),
                     "a blocked wait's message arrives"),
     # -- signal address buffer -----------------------------------------
     "sab_hit": ("sab", ("addr", "channel"),
@@ -70,8 +82,9 @@ KINDS: Dict[str, tuple] = {
     "sync_stall": ("hwsync", ("cause", "load_iid"),
                    "a load (hw) or synchronized wait (lmode) stalls "
                    "until the epoch is oldest"),
-    "sync_unblock": ("hwsync", ("stall",),
-                     "a stalled-until-oldest run resumes"),
+    "sync_unblock": ("hwsync", ("stall", "cause", "load_iid"),
+                     "a stalled-until-oldest run resumes; 'cause' "
+                     "mirrors the matching sync_stall (hw/lmode)"),
     "hwsync_insert": ("hwsync", ("load_iid", "count"),
                       "the violating-load table records a violation"),
     "hwsync_reset": ("hwsync", ("kept",),

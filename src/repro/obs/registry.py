@@ -116,6 +116,37 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0..100).
+
+        Linear interpolation inside the containing bucket, the standard
+        fixed-bucket estimate; observations past the last bound report
+        the last finite bound (the histogram records no maximum).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            if n:
+                if cumulative + n >= target:
+                    fraction = max(0.0, min(1.0, (target - cumulative) / n))
+                    return lower + (bound - lower) * fraction
+                cumulative += n
+            lower = bound
+        return self.buckets[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """The p50/p95/p99 summary reported alongside sum/count."""
+        return {
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
 
 class MetricsRegistry:
     """Registers and holds metrics; get-or-create semantics."""
@@ -184,6 +215,7 @@ class MetricsRegistry:
                     overflow=metric.overflow,
                     sum=metric.total,
                     count=metric.count,
+                    **metric.summary(),
                 )
                 histograms.append(entry)
         return {
@@ -287,4 +319,33 @@ def engine_counters(engine) -> Dict[str, float]:
         engine.predictor.predictions_used
     )
     registry.counter("mispredictions").inc(engine.predictor.mispredictions)
+    # Fine-grained slot attribution (cause -> slots) summed over regions,
+    # plus the accounting-identity health signals: 'slots_unattributed'
+    # is the residual total - sum(attribution) (exactly 0.0 when the
+    # identity holds) and 'slots_imbalance' the magnitude by which the
+    # coarse busy/fail/sync categories overshoot a region total (the
+    # condition strict accounting warns about).
+    attribution: Dict[str, float] = {}
+    unattributed = 0.0
+    imbalance = 0.0
+    for region in engine.regions:
+        attributed = 0.0
+        for cause, slots in region.attribution.items():
+            attribution[cause] = attribution.get(cause, 0.0) + slots
+            attributed += slots
+        unattributed += region.slots.total - attributed
+        imbalance += region.slots.imbalance
+    for cause in sorted(attribution):
+        registry.gauge("slots", cause=cause).set(attribution[cause])
+    registry.gauge("slots_unattributed").set(unattributed)
+    registry.gauge("slots_imbalance").set(imbalance)
+    # Exact stall-length percentiles via the registry's fixed-bucket
+    # estimate, so the --metrics-out sim section carries them even for
+    # runs without a bus attached.
+    if engine._stall_samples:
+        stalls = Histogram("stall_cycles", {})
+        for sample in engine._stall_samples:
+            stalls.observe(sample)
+        for name, value in stalls.summary().items():
+            registry.gauge(f"stall_cycles_{name}").set(value)
     return registry.flat()

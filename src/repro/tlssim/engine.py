@@ -118,8 +118,10 @@ class EpochRun:
     __slots__ = (
         "logical", "generation", "core", "clock", "start_clock", "frames",
         "state", "wait_channel", "wait_kind", "wait_started",
+        "wait_cause", "wait_iid",
         "write_buffer", "dirty_lines", "exposed_lines", "exposed_loads",
-        "busy_slots", "sync_scalar", "sync_mem", "sync_hw",
+        "busy_slots", "sync_scalar", "sync_mem", "sync_hw", "sync_lmode",
+        "mem_stall",
         "cursors", "received", "signal_counts", "sab",
         "fwd_flag", "fwd_addr", "last_mem_channel", "exited", "exit_target",
         "steps", "predictions", "load_values", "oracle_occ",
@@ -145,6 +147,10 @@ class EpochRun:
         self.wait_channel: Optional[str] = None
         self.wait_kind: Optional[str] = None
         self.wait_started: float = clock
+        #: why the run is stalled ('scalar'/'mem'/'hw'/'lmode') and the
+        #: iid of the stalling wait/load — attribution metadata only.
+        self.wait_cause: Optional[str] = None
+        self.wait_iid: Optional[int] = None
         self.write_buffer: Dict[int, int] = {}
         self.dirty_lines: Set[int] = set()
         self.exposed_lines: Set[int] = set()
@@ -153,6 +159,10 @@ class EpochRun:
         self.sync_scalar = 0.0
         self.sync_mem = 0.0
         self.sync_hw = 0.0
+        #: portion of sync_hw caused by l-mode synchronized waits
+        self.sync_lmode = 0.0
+        #: extra cache latency beyond an L1 hit, in slots
+        self.mem_stall = 0.0
         self.cursors: Dict[Tuple[str, str], int] = {}
         self.received: Dict[Tuple[str, str], int] = {}
         self.signal_counts: Dict[Tuple[str, str], int] = {}
@@ -238,6 +248,10 @@ class TLSEngine:
         #: dynamic instructions executed (sequential + epoch steps);
         #: benchmark-only, deliberately kept out of SimResult.
         self.instructions = 0
+        #: every positive synchronization stall length (cycles), for the
+        #: p50/p95/p99 gauges engine_counters derives; stalls are rare
+        #: events, so the list stays small and off the hot path.
+        self._stall_samples: List[float] = []
         self.fast = bool(self.config.fast_path)
         self._decoded: Optional[DecodedProgram] = (
             DecodedProgram(module, self.memory.addr_of, self._dt_of)
@@ -363,6 +377,9 @@ class TLSEngine:
         )
         cycles = max(0.0, self.clock - start)
         stats.slots.total = cycles * self.config.issue_width
+        if stats.slots.total:
+            # Single category: the whole region ran sequentially.
+            stats.attribution = {"seq": stats.slots.total}
         self.regions.append(stats)
         self._seq_region = None
 
@@ -728,6 +745,17 @@ class _RegionExecution:
         #: event time of the shared-state operation currently being
         #: performed; squash rollbacks compare run traces against it.
         self._now = self.start_time
+        #: fine-grained slot attribution (cause -> slots).  Each core's
+        #: timeline is partitioned exactly: run occupancy intervals are
+        #: decomposed at release (commit or squash) and the gaps between
+        #: them attributed by what the core was waiting for, so the
+        #: categories sum to ``slots.total`` with no remainder (all
+        #: times are dyadic rationals, so float sums are exact).
+        self.attr: Dict[str, float] = {}
+        cores = self.config.num_cores
+        self.core_cursor = [self.start_time] * cores
+        self.core_gap = ["ramp"] * cores
+        self.core_used = [False] * cores
         if engine.obs is not None:
             engine.obs.now = self.start_time
             engine.obs.emit(
@@ -735,6 +763,8 @@ class _RegionExecution:
                 self.start_time,
                 function=frame.function_name,
                 header=info.annotation.header,
+                num_cores=cores,
+                issue_width=self.config.issue_width,
             )
         self._seed_channels()
 
@@ -749,6 +779,89 @@ class _RegionExecution:
         for channel in annotation.mem_channels:
             self.channels.seed(channel, 0, "addr", 0)
             self.channels.seed(channel, 0, "value", 0)
+
+    # -- slot attribution ---------------------------------------------------
+
+    def _attr_add(self, cause: str, slots: float) -> None:
+        if slots:
+            self.attr[cause] = self.attr.get(cause, 0.0) + slots
+
+    def _attr_gap(self, core: int, occ_start: float) -> None:
+        """Attribute the idle gap preceding a run's occupancy interval."""
+        gap = occ_start - self.core_cursor[core]
+        self._attr_add(
+            "idle." + self.core_gap[core], gap * self.config.issue_width
+        )
+
+    def _attr_commit(self, run: EpochRun, eff: float, commit_end: float) -> None:
+        """Decompose a committed run's core occupancy into causes.
+
+        ``[start_clock, commit_end]`` splits into busy slots, per-cause
+        sync stalls, cache-miss latency, residual execution latency,
+        the in-order commit-token wait and the write-back flush.
+        """
+        width = self.config.issue_width
+        core = run.core
+        self._attr_gap(core, run.start_clock)
+        done = run.clock
+        self._attr_add("busy", run.busy_slots)
+        self._attr_add("sync.scalar", run.sync_scalar * width)
+        self._attr_add("sync.mem", run.sync_mem * width)
+        self._attr_add("sync.hw", (run.sync_hw - run.sync_lmode) * width)
+        self._attr_add("sync.lmode", run.sync_lmode * width)
+        self._attr_add("mem_stall", run.mem_stall)
+        self._attr_add(
+            "exec_latency",
+            (done - run.start_clock) * width
+            - run.busy_slots
+            - run.sync_cycles * width
+            - run.mem_stall,
+        )
+        self._attr_add("commit_token", (eff - done) * width)
+        self._attr_add("commit_flush", (commit_end - eff) * width)
+        self.core_cursor[core] = commit_end
+        self.core_gap[core] = "spawn"
+        self.core_used[core] = True
+
+    def _attr_squash(
+        self, run: EpochRun, time: float, consumed: float, cause: str
+    ) -> None:
+        """Decompose a squashed run's core occupancy: the consumed part
+        (== the slots added to ``fail_slots``) by violation cause, plus
+        the time the doomed run sat stalled before the squash.
+
+        The interval is clamped to the core cursor: a violating store
+        can execute before the previous occupant's commit flush
+        completes, squashing a just-spawned successor at a time that
+        precedes its own start — the clamp keeps per-core intervals
+        non-overlapping so the partition stays exact.
+        """
+        width = self.config.issue_width
+        core = run.core
+        cursor = self.core_cursor[core]
+        occ_start = max(cursor, min(run.start_clock, time))
+        release = max(cursor, time)
+        self._attr_gap(core, occ_start)
+        self._attr_add("fail." + cause, consumed)
+        self._attr_add(
+            "squash_stall", (release - occ_start) * width - consumed
+        )
+        self.core_cursor[core] = release
+        self.core_gap[core] = "recovery"
+        self.core_used[core] = True
+
+    def _attr_finalize(self) -> None:
+        end = self.stats.end_time
+        width = self.config.issue_width
+        for core in range(self.config.num_cores):
+            tail = (end - self.core_cursor[core]) * width
+            self._attr_add(
+                "idle.drain" if self.core_used[core] else "idle.no_thread",
+                tail,
+            )
+        self.stats.attribution = {
+            cause: self.attr[cause] for cause in sorted(self.attr)
+        }
 
     # -- spawning -----------------------------------------------------------
 
@@ -810,6 +923,7 @@ class _RegionExecution:
         slots = self.stats.slots
         slots.total = cycles * self.config.issue_width * self.config.num_cores
         slots.fail = self.fail_slots
+        self._attr_finalize()
         self.engine.regions.append(self.stats)
         self.engine.instructions += self.total_steps
 
@@ -980,12 +1094,18 @@ class _RegionExecution:
                     channel=run.wait_channel,
                     msg_kind=run.wait_kind,
                     stall=max(0.0, stall),
+                    cause=run.wait_cause,
+                    wait_iid=run.wait_iid,
                 )
             run.clock = eff
             run.state = "ready"  # re-executes the wait; message now local
         elif action == "unblock_oldest":
             stall = max(0.0, eff - run.wait_started)
             run.sync_hw += stall
+            if run.wait_cause == "lmode":
+                run.sync_lmode += stall
+            if stall > 0:
+                self.engine._stall_samples.append(stall)
             if self.engine.obs is not None:
                 self.engine.obs.emit(
                     "sync_unblock",
@@ -994,6 +1114,8 @@ class _RegionExecution:
                     generation=run.generation,
                     core=run.core,
                     stall=stall,
+                    cause=run.wait_cause,
+                    load_iid=run.wait_iid,
                 )
             run.clock = eff
             run.state = "ready"
@@ -1016,6 +1138,7 @@ class _RegionExecution:
             run.sync_mem += stall
         else:
             run.sync_scalar += stall
+        self.engine._stall_samples.append(stall)
 
     # -- violations -----------------------------------------------------------
 
@@ -1062,9 +1185,11 @@ class _RegionExecution:
                 self.engine.hw_table.record_violation(load_iid)
         for logical in sorted(k for k in self.active if k >= victim):
             run = self.active[logical]
-            self._squash(run, time, restart=True)
+            self._squash(run, time, restart=True, cause=reason)
 
-    def _squash(self, run: EpochRun, time: float, restart: bool) -> None:
+    def _squash(
+        self, run: EpochRun, time: float, restart: bool, cause: str
+    ) -> None:
         width = self.config.issue_width
         trace = run.trace
         if trace:
@@ -1090,8 +1215,12 @@ class _RegionExecution:
                 generation=run.generation,
                 core=run.core,
                 reason="restart" if restart else "control",
+                cause=cause,
+                clock=run.clock,
             )
-        self.fail_slots += run.consumed_slots(time, width)
+        consumed = run.consumed_slots(time, width)
+        self.fail_slots += consumed
+        self._attr_squash(run, time, consumed, cause)
         self.stats.epochs_squashed += 1
         self.stats.max_signal_buffer = max(
             self.stats.max_signal_buffer, run.sab.high_water
@@ -1191,6 +1320,10 @@ class _RegionExecution:
         if config.prediction:
             for load_iid, value in run.load_values.items():
                 self.engine.predictor.train(load_iid, value)
+        # The scheduler's effective commit time (commit-token grant):
+        # identical to the eff _event_for derived for this commit.
+        eff = max(run.clock, self.last_commit_end)
+        self._attr_commit(run, eff, commit_end)
         self.stats.slots.busy += run.busy_slots
         self.stats.slots.sync += run.sync_cycles * width
         self.stats.sync_scalar += run.sync_scalar * width
@@ -1212,6 +1345,13 @@ class _RegionExecution:
                 generation=run.generation,
                 core=run.core,
                 dirty_lines=len(run.dirty_lines),
+                busy=run.busy_slots,
+                done_clock=run.clock,
+                sync_scalar=run.sync_scalar,
+                sync_mem=run.sync_mem,
+                sync_hw=run.sync_hw,
+                sync_lmode=run.sync_lmode,
+                mem_stall=run.mem_stall,
             )
         del self.active[run.logical]
         self.committed_upto = run.logical
@@ -1225,7 +1365,10 @@ class _RegionExecution:
             self.stats.end_time = commit_end
             self.finished = True
             for logical in sorted(self.active):
-                self._squash(self.active[logical], commit_end, restart=False)
+                self._squash(
+                    self.active[logical], commit_end,
+                    restart=False, cause="control",
+                )
             self.active.clear()
             if obs is not None:
                 obs.emit("region_end", commit_end)
@@ -1931,6 +2074,8 @@ class _RegionExecution:
         ):
             run.state = "wait_oldest"
             run.wait_started = run.clock
+            run.wait_cause = "hw"
+            run.wait_iid = load_id
             if obs is not None:
                 obs.emit(
                     "sync_stall",
@@ -1979,7 +2124,9 @@ class _RegionExecution:
             loads = run.exposed_loads[unit]
             if load_id not in loads:
                 loads.append(load_id)
-        self._charge(run, engine.caches.access(run.core, line))
+        latency = engine.caches.access(run.core, line)
+        run.mem_stall += latency - config.lat_l1
+        self._charge(run, latency)
         frame.index += 1
 
     def _exec_store(
@@ -1994,6 +2141,7 @@ class _RegionExecution:
         line = engine.caches.line_of(addr)
         unit = line if config.violation_granularity == "line" else addr
         latency = engine.caches.access(run.core, line)
+        run.mem_stall += latency - config.lat_l1
 
         # Signal address buffer: correcting a forwarded value.
         channel = run.sab.channel_for(addr)
@@ -2087,6 +2235,8 @@ class _RegionExecution:
         ):
             run.state = "wait_oldest"
             run.wait_started = run.clock
+            run.wait_cause = "lmode"
+            run.wait_iid = instr.iid
             if obs is not None:
                 obs.emit(
                     "sync_stall",
@@ -2128,6 +2278,8 @@ class _RegionExecution:
             run.wait_channel = channel
             run.wait_kind = kind
             run.wait_started = run.clock
+            run.wait_cause = "mem" if is_mem else "scalar"
+            run.wait_iid = instr.iid
             if obs is not None:
                 obs.emit(
                     "fwd_stall",
@@ -2137,6 +2289,8 @@ class _RegionExecution:
                     core=run.core,
                     channel=channel,
                     msg_kind=kind,
+                    cause=run.wait_cause,
+                    wait_iid=instr.iid,
                 )
             return
         if cursor_key in run.received:
@@ -2149,6 +2303,8 @@ class _RegionExecution:
         run.wait_channel = channel
         run.wait_kind = kind
         run.wait_started = run.clock
+        run.wait_cause = "mem" if is_mem else "scalar"
+        run.wait_iid = instr.iid
         if obs is not None:
             obs.emit(
                 "fwd_stall",
@@ -2158,6 +2314,8 @@ class _RegionExecution:
                 core=run.core,
                 channel=channel,
                 msg_kind=kind,
+                cause=run.wait_cause,
+                wait_iid=instr.iid,
             )
 
     def _channel_filtered(self, channel: str) -> bool:

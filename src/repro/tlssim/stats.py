@@ -10,8 +10,30 @@ busy/sync/fail directly and derive *other* as the remainder.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+#: When enabled, a negative ``other`` remainder (more busy/fail/sync
+#: slots than the region had in total — always an accounting bug)
+#: raises an :class:`AccountingWarning` instead of being clamped away.
+#: Toggle with :func:`strict_accounting`; the test suite turns it on.
+_STRICT_ACCOUNTING = False
+
+#: Imbalances smaller than this are float noise, not accounting bugs.
+ACCOUNTING_EPSILON = 1e-6
+
+
+class AccountingWarning(UserWarning):
+    """Slot categories exceed the region total (accounting bug)."""
+
+
+def strict_accounting(enabled: bool = True) -> bool:
+    """Enable/disable strict slot accounting; returns the old setting."""
+    global _STRICT_ACCOUNTING
+    previous = _STRICT_ACCOUNTING
+    _STRICT_ACCOUNTING = enabled
+    return previous
 
 
 @dataclass
@@ -24,8 +46,32 @@ class SlotBreakdown:
     total: float = 0.0
 
     @property
+    def unattributed(self) -> float:
+        """Raw remainder ``total - busy - fail - sync`` (may be negative).
+
+        A negative value means the tracked categories overlap or
+        double-count — use :attr:`imbalance` to measure it.  Rendering
+        code should use :attr:`other`, which clamps at zero.
+        """
+        return self.total - self.busy - self.fail - self.sync
+
+    @property
+    def imbalance(self) -> float:
+        """Magnitude of a negative remainder (0.0 when accounts balance)."""
+        return max(0.0, -self.unattributed)
+
+    @property
     def other(self) -> float:
-        return max(0.0, self.total - self.busy - self.fail - self.sync)
+        remainder = self.unattributed
+        if remainder < -ACCOUNTING_EPSILON and _STRICT_ACCOUNTING:
+            warnings.warn(
+                f"slot categories exceed total by {-remainder:g} "
+                f"(busy={self.busy:g} fail={self.fail:g} "
+                f"sync={self.sync:g} total={self.total:g})",
+                AccountingWarning,
+                stacklevel=2,
+            )
+        return max(0.0, remainder)
 
     def normalized(self, scale: float) -> Dict[str, float]:
         """Segments scaled so they sum to ``scale`` (bar rendering)."""
@@ -83,6 +129,11 @@ class RegionStats:
     sync_memory: float = 0.0
     sync_hw: float = 0.0
     max_signal_buffer: int = 0
+    #: fine-grained slot attribution: named cause -> slots, computed by
+    #: the engine during execution (see docs/analysis.md for the
+    #: category taxonomy).  Sums exactly to ``slots.total`` — the
+    #: accounting identity checked by repro.obs.analysis.
+    attribution: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cycles(self) -> float:
@@ -107,6 +158,7 @@ class RegionStats:
             "sync_memory": self.sync_memory,
             "sync_hw": self.sync_hw,
             "max_signal_buffer": self.max_signal_buffer,
+            "attribution": dict(self.attribution),
         }
 
     @classmethod
@@ -126,6 +178,7 @@ class RegionStats:
             sync_memory=state["sync_memory"],
             sync_hw=state["sync_hw"],
             max_signal_buffer=state["max_signal_buffer"],
+            attribution=dict(state.get("attribution", {})),
         )
 
 
@@ -173,6 +226,7 @@ class SimResult:
                     "sync_memory": r.sync_memory,
                     "sync_hw": r.sync_hw,
                     "max_signal_buffer": r.max_signal_buffer,
+                    "attribution": dict(r.attribution),
                 }
                 for r in self.regions
             ],
@@ -215,6 +269,14 @@ class SimResult:
             merged.total += region.slots.total
         return merged
 
+    def merged_attribution(self) -> Dict[str, float]:
+        """Fine-grained attribution summed over all regions."""
+        merged: Dict[str, float] = {}
+        for region in self.regions:
+            for cause, slots in region.attribution.items():
+                merged[cause] = merged.get(cause, 0.0) + slots
+        return merged
+
     def total_violations(self) -> int:
         return sum(len(r.violations) for r in self.regions)
 
@@ -236,3 +298,26 @@ def normalized_region_time(
     height = 100.0 * par_cycles / seq_cycles
     segments = parallel.merged_region_slots().normalized(height)
     return height, segments
+
+
+def normalized_attribution(
+    parallel: SimResult, sequential: SimResult
+) -> Dict[str, float]:
+    """Fine-grained attribution on the stacked-bar scale.
+
+    Each cause's slots scaled so all causes together sum to the bar's
+    normalized region time — the same scale ``normalized_region_time``
+    puts the coarse busy/fail/sync/other segments on, so e.g. the
+    ``sync.*`` causes decompose a bar's ``sync`` segment in place.
+    """
+    seq_cycles = sequential.region_cycles()
+    if seq_cycles <= 0:
+        raise ValueError("sequential run has no region cycles")
+    height = 100.0 * parallel.region_cycles() / seq_cycles
+    total = sum(r.slots.total for r in parallel.regions)
+    if total <= 0:
+        return {}
+    return {
+        cause: height * slots / total
+        for cause, slots in sorted(parallel.merged_attribution().items())
+    }

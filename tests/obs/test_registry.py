@@ -44,6 +44,44 @@ class TestPrimitives:
         with pytest.raises(ValueError):
             Histogram("lat", {}, buckets=(10.0, 1.0))
 
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("lat", {}, buckets=(10.0, 20.0))
+        for _ in range(10):
+            hist.observe(5.0)
+        # all mass in (0, 10]: p50 lands mid-bucket, p100 at the bound
+        assert hist.percentile(50.0) == 5.0
+        assert hist.percentile(100.0) == 10.0
+
+    def test_percentile_spans_buckets(self):
+        hist = Histogram("lat", {}, buckets=(10.0, 20.0, 40.0))
+        for value in (5.0,) * 5 + (15.0,) * 4 + (30.0,):
+            hist.observe(value)
+        assert hist.percentile(50.0) == 10.0
+        assert 10.0 < hist.percentile(90.0) <= 20.0
+        assert 20.0 < hist.percentile(99.0) <= 40.0
+
+    def test_percentile_overflow_reports_last_bound(self):
+        hist = Histogram("lat", {}, buckets=(1.0,))
+        hist.observe(100.0)
+        assert hist.percentile(99.0) == 1.0
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram("lat", {}).percentile(95.0) == 0.0
+
+    def test_percentile_out_of_range_rejected(self):
+        hist = Histogram("lat", {})
+        with pytest.raises(ValueError):
+            hist.percentile(-1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_summary_keys(self):
+        hist = Histogram("lat", {}, buckets=(10.0,))
+        hist.observe(5.0)
+        summary = hist.summary()
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
 
 class TestRegistry:
     def test_get_or_create(self):
@@ -76,6 +114,7 @@ class TestRegistry:
         assert hist["buckets"] == [1.0, 2.0]
         assert hist["counts"] == [0, 1]
         assert hist["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(hist)
 
 
 class TestMetricsSink:
