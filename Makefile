@@ -22,7 +22,7 @@ ci: lint test
 # Engine throughput: fast path vs slow path, written to BENCH_engine.json
 # (the checked-in baseline; see docs/running_experiments.md).
 bench:
-	PYTHONPATH=src $(PY) -m repro bench -o BENCH_engine.json
+	PYTHONPATH=src $(PY) -m repro bench --pipeline -o BENCH_engine.json
 
 microbench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only

@@ -22,11 +22,14 @@ Commands
 ``scorecard``
     Evaluate every reproduced paper claim (exit code 1 on any failure).
 ``cache``
-    Manage the persistent result cache (``info`` / ``clear``).
+    Manage the persistent stores (``info`` / ``clear``): simulation
+    results and compiled artifacts live side by side under the cache
+    root; ``clear --only results|artifacts`` scopes the wipe.
 ``bench``
     Engine throughput benchmark: fast path vs slow path, per workload
     and scheme, written to ``BENCH_engine.json``; ``--profile FILE``
     additionally dumps cProfile stats of the warm fast-path runs;
+    ``--pipeline`` adds compile/profile/oracle pipeline cells;
     ``--compare BASELINE`` fails on warm fast-path regressions.
 ``trace``
     Simulate one (workload, bar) cell with the observability stack
@@ -43,9 +46,10 @@ Commands
     from ``repro trace --format jsonl``.  ``--format ascii|json|html``.
     See ``docs/analysis.md``.
 
-Experiment commands memoize results under ``.repro_cache/`` (override
-with ``--cache-dir`` or ``REPRO_CACHE_DIR``); ``--no-cache`` disables
-the store for one invocation.
+Experiment commands memoize simulation results *and* compiled
+artifacts under ``.repro_cache/`` (override with ``--cache-dir`` or
+``REPRO_CACHE_DIR``); ``--no-cache`` disables both stores for one
+invocation.
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments import artifacts as artifacts_mod
 from repro.experiments import cache as cache_mod
 from repro.experiments import metrics as metrics_mod
 from repro.experiments import report as report_mod
@@ -67,10 +72,16 @@ BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
 
 
 def _setup_run(args) -> None:
-    """Install the persistent cache and reset the metrics collector."""
-    cache_mod.configure(
-        not getattr(args, "no_cache", False), getattr(args, "cache_dir", None)
-    )
+    """Install the persistent stores and reset the metrics collector.
+
+    ``--no-cache`` disables both the result cache and the compiled-
+    artifact store — a run with it recomputes everything and writes
+    nothing.
+    """
+    enabled = not getattr(args, "no_cache", False)
+    cache_root = getattr(args, "cache_dir", None)
+    cache_mod.configure(enabled, cache_root)
+    artifacts_mod.configure(enabled, cache_root)
     metrics_mod.reset(workers=max(1, getattr(args, "jobs", 1)))
 
 
@@ -104,6 +115,7 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_compile(args) -> int:
+    _setup_run(args)
     bundle = bundle_for(args.workload, threshold=args.threshold)
     compiled = bundle.compiled
     print(f"selected loops : {compiled.selected}")
@@ -233,14 +245,27 @@ def _cmd_scorecard(args) -> int:
 
 def _cmd_cache(args) -> int:
     cache = cache_mod.ResultCache(args.cache_dir)
+    store = artifacts_mod.ArtifactStore(args.cache_dir)
+    only = getattr(args, "only", "all")
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
+        if only in ("all", "results"):
+            removed = cache.clear()
+            print(f"removed {removed} cached result(s) from {cache.root}")
+        if only in ("all", "artifacts"):
+            removed = store.clear()
+            print(f"removed {removed} artifact(s) from {store.root}")
         return 0
     info = cache.info()
-    print(f"root   : {info['root']}")
-    print(f"entries: {info['entries']}")
-    print(f"size   : {info['bytes']} bytes")
+    print("results")
+    print(f"  root   : {info['root']}")
+    print(f"  entries: {info['entries']}")
+    print(f"  size   : {info['bytes']} bytes")
+    artifact_info = store.info()
+    print("artifacts")
+    print(f"  root    : {artifact_info['root']}")
+    print(f"  compiled: {artifact_info['compiled']}")
+    print(f"  oracles : {artifact_info['oracles']}")
+    print(f"  size    : {artifact_info['bytes']} bytes")
     return 0
 
 
@@ -399,6 +424,7 @@ def _cmd_bench(args) -> int:
         repeat=args.repeat,
         threshold=args.threshold,
         profile=args.profile,
+        pipeline=args.pipeline,
     )
     write_bench(payload, args.output)
     print(format_bench(payload))
@@ -478,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("seq", "baseline", "sync_ref", "sync_train"),
         help="dump one binary as textual IR",
     )
+    _add_run_options(compile_parser, jobs=False)
     compile_parser.set_defaults(func=_cmd_compile)
 
     simulate_parser = sub.add_parser("simulate", help="simulate one bar")
@@ -491,13 +518,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("name", help="2, 6, 7, 8, 9, 10, 11 or 12")
     figure_parser.add_argument("--workloads", type=_workload_list, default=None)
-    _add_run_options(figure_parser)
+    _add_run_options(figure_parser, metrics=True)
     figure_parser.set_defaults(func=_cmd_figure)
 
     table_parser = sub.add_parser("table", help="regenerate a paper table")
     table_parser.add_argument("name", help="1 or 2")
     table_parser.add_argument("--workloads", type=_workload_list, default=None)
-    _add_run_options(table_parser)
+    _add_run_options(table_parser, metrics=True)
     table_parser.set_defaults(func=_cmd_table)
 
     report_parser = sub.add_parser("report", help="full measured-results doc")
@@ -508,7 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary_parser = sub.add_parser("summary", help="one line per workload")
     summary_parser.add_argument("--workloads", type=_workload_list, default=None)
-    _add_run_options(summary_parser)
+    _add_run_options(summary_parser, metrics=True)
     summary_parser.set_defaults(func=_cmd_summary)
 
     scorecard_parser = sub.add_parser(
@@ -521,10 +548,17 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard_parser.set_defaults(func=_cmd_scorecard)
 
     cache_parser = sub.add_parser(
-        "cache", help="manage the persistent result cache"
+        "cache", help="manage the persistent result and artifact stores"
     )
     cache_parser.add_argument("action", choices=("info", "clear"))
     cache_parser.add_argument("--cache-dir", default=None)
+    cache_parser.add_argument(
+        "--only",
+        choices=("all", "results", "artifacts"),
+        default="all",
+        help="scope for clear: simulation results, compiled artifacts, "
+        "or both (default)",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
 
     trace_parser = sub.add_parser(
@@ -613,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="dump cProfile stats of the warm fast-path runs to FILE",
+    )
+    bench_parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="also benchmark the compile pipeline's fast paths "
+        "(artifact load vs compile, fast vs reference profiler, "
+        "oracle load vs collection)",
     )
     bench_parser.add_argument(
         "--compare",

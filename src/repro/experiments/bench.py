@@ -23,6 +23,22 @@ throughput per cell, and ``largest_workload`` singles out the cell
 with the most dynamic instructions — the acceptance criterion for the
 fast path is >= 3x there.  See ``docs/running_experiments.md`` for the
 checked-in baseline.
+
+``--pipeline`` additionally benchmarks the *compile* side of the
+system with the same fast-vs-slow discipline, one ``phase ==
+"pipeline"`` record pair per cell (``sim_cycles`` is 0 — nothing is
+simulated):
+
+* ``compile`` — artifact-store deserialization vs a full
+  :func:`compile_workload` run (state-equality checked);
+* ``profile`` — interned-context dependence profiling on the decoded
+  interpreter vs the reference hooks on the object-walking
+  interpreter (profile-dict equality checked);
+* ``oracle`` — stored-oracle deserialization vs sequential oracle
+  collection (state-equality checked).
+
+Pipeline cells flow into ``speedups`` and the ``--compare`` gate like
+engine cells, so compile-path throughput is pinned the same way.
 """
 
 from __future__ import annotations
@@ -32,11 +48,15 @@ import json
 import platform
 import pstats
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.compiler.memdep.profiler import profile_dependences
 from repro.compiler.pipeline import compile_workload
+from repro.experiments import artifacts as artifacts_mod
 from repro.experiments.runner import BAR_PROGRAM, config_for
+from repro.ir.interpreter import Interpreter
 from repro.tlssim.engine import TLSEngine
 from repro.tlssim.oracle import collect_oracle
 from repro.workloads import all_workloads, get_workload
@@ -151,17 +171,123 @@ def bench_workload(
     return records
 
 
+def _pipeline_record(workload, scheme, mode, wall, instructions) -> Dict:
+    return {
+        "workload": workload,
+        "scheme": scheme,
+        "mode": mode,
+        "phase": "pipeline",
+        "sim_cycles": 0.0,
+        "wall_seconds": wall,
+        "instructions": instructions,
+        "instrs_per_sec": instructions / wall if wall > 0 else 0.0,
+    }
+
+
+def _best_of(repeat, fn):
+    """(best wall seconds, last return value) over ``repeat`` calls."""
+    best = None
+    value = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - started
+        if best is None or wall < best:
+            best = wall
+    return best, value
+
+
+def bench_pipeline(
+    name: str, repeat: int = 3, threshold: float = 0.05
+) -> List[Dict]:
+    """Benchmark the compile pipeline's fast paths for one workload.
+
+    Three fast/slow cells (``compile``, ``profile``, ``oracle`` — see
+    the module docstring), every fast result checked for equality with
+    its slow counterpart before the numbers are trusted.
+    ``instructions`` is the sequential dynamic step count of the
+    baseline program, so ``instrs_per_sec`` compares like engine cells:
+    pipeline work per unit of program size.
+    """
+    workload = get_workload(name)
+
+    compile_wall, compiled = _best_of(
+        repeat,
+        lambda: compile_workload(
+            workload.name,
+            workload.build,
+            workload.train_input,
+            workload.ref_input,
+            threshold=threshold,
+        ),
+    )
+    steps = Interpreter(compiled.baseline).run().steps
+    records: List[Dict] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = artifacts_mod.ArtifactStore(tmp)
+
+        store.save_compiled(workload, threshold, compiled)
+        load_wall, loaded = _best_of(
+            repeat, lambda: store.load_compiled(workload, threshold)
+        )
+        if loaded is None or (
+            artifacts_mod.compiled_to_state(loaded)
+            != artifacts_mod.compiled_to_state(compiled)
+        ):
+            raise RuntimeError(
+                f"{name}: artifact round trip diverged from recompilation"
+            )
+        records.append(_pipeline_record(name, "compile", "slow", compile_wall, steps))
+        records.append(_pipeline_record(name, "compile", "fast", load_wall, steps))
+
+        slow_wall, slow_profile = _best_of(
+            repeat, lambda: profile_dependences(compiled.baseline, fast=False)
+        )
+        fast_wall, fast_profile = _best_of(
+            repeat, lambda: profile_dependences(compiled.baseline)
+        )
+        if fast_profile != slow_profile:
+            raise RuntimeError(
+                f"{name}: fast-path dependence profile diverged from reference"
+            )
+        records.append(_pipeline_record(name, "profile", "slow", slow_wall, steps))
+        records.append(_pipeline_record(name, "profile", "fast", fast_wall, steps))
+
+        collect_wall, oracle = _best_of(
+            repeat, lambda: collect_oracle(compiled.baseline)
+        )
+        store.save_oracle(workload, threshold, "baseline", oracle)
+        oracle_wall, loaded_oracle = _best_of(
+            repeat, lambda: store.load_oracle(workload, threshold, "baseline")
+        )
+        if loaded_oracle is None or (
+            artifacts_mod.oracle_to_state(loaded_oracle)
+            != artifacts_mod.oracle_to_state(oracle)
+        ):
+            raise RuntimeError(
+                f"{name}: oracle round trip diverged from collection"
+            )
+        records.append(_pipeline_record(name, "oracle", "slow", collect_wall, steps))
+        records.append(_pipeline_record(name, "oracle", "fast", oracle_wall, steps))
+    return records
+
+
 def summarize(records: Sequence[Dict]) -> Dict:
-    """Per-cell speedups plus the largest-workload headline number."""
+    """Per-cell speedups plus the largest-workload headline number.
+
+    Engine cells (``phase == "warm"``) and pipeline cells (``phase ==
+    "pipeline"``) both land in ``speedups``; ``largest_workload`` — the
+    >= 3x fast-path acceptance headline — considers engine cells only.
+    """
     warm: Dict[tuple, Dict[str, Dict]] = {}
     for record in records:
-        if record["phase"] != "warm":
+        if record["phase"] not in ("warm", "pipeline"):
             continue
-        warm.setdefault((record["workload"], record["scheme"]), {})[
-            record["mode"]
-        ] = record
+        key = (record["workload"], record["scheme"], record["phase"])
+        warm.setdefault(key, {})[record["mode"]] = record
     speedups: List[Dict] = []
-    for (workload, scheme), modes in warm.items():
+    for (workload, scheme, phase), modes in warm.items():
         fast, slow = modes.get("fast"), modes.get("slow")
         if fast is None or slow is None:
             continue
@@ -169,6 +295,7 @@ def summarize(records: Sequence[Dict]) -> Dict:
             {
                 "workload": workload,
                 "scheme": scheme,
+                "phase": phase,
                 "instructions": fast["instructions"],
                 "fast_instrs_per_sec": fast["instrs_per_sec"],
                 "slow_instrs_per_sec": slow["instrs_per_sec"],
@@ -179,7 +306,11 @@ def summarize(records: Sequence[Dict]) -> Dict:
                 ),
             }
         )
-    largest = max(speedups, key=lambda s: s["instructions"], default=None)
+    largest = max(
+        (s for s in speedups if s["phase"] == "warm"),
+        key=lambda s: s["instructions"],
+        default=None,
+    )
     return {"speedups": speedups, "largest_workload": largest}
 
 
@@ -189,6 +320,7 @@ def run_bench(
     repeat: int = 3,
     threshold: float = 0.05,
     profile: Optional[str] = None,
+    pipeline: bool = False,
 ) -> Dict:
     """Run the benchmark matrix and return the ``BENCH_engine`` payload."""
     names = list(workloads) if workloads else [w.name for w in all_workloads()]
@@ -201,6 +333,10 @@ def run_bench(
                 threshold=threshold, profiler=profiler,
             )
         )
+        if pipeline:
+            records.extend(
+                bench_pipeline(name, repeat=repeat, threshold=threshold)
+            )
     payload = {
         "benchmark": "engine-throughput",
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -271,7 +407,7 @@ def format_compare(comparison: Dict) -> str:
     """Human-readable per-cell report for ``repro bench --compare``."""
     tolerance = comparison["tolerance"]
     lines = [
-        f"{'workload':<14} {'scheme':<6} {'baseline i/s':>13} "
+        f"{'workload':<14} {'scheme':<8} {'baseline i/s':>13} "
         f"{'current i/s':>13} {'ratio':>7}  status"
     ]
     skipped = 0
@@ -281,12 +417,12 @@ def format_compare(comparison: Dict) -> str:
             continue
         if cell["ratio"] is None:
             lines.append(
-                f"{cell['workload']:<14} {cell['scheme']:<6} "
+                f"{cell['workload']:<14} {cell['scheme']:<8} "
                 f"{'-':>13} {'-':>13} {'-':>7}  {cell['status']}"
             )
             continue
         lines.append(
-            f"{cell['workload']:<14} {cell['scheme']:<6} "
+            f"{cell['workload']:<14} {cell['scheme']:<8} "
             f"{cell['baseline_instrs_per_sec']:>13.0f} "
             f"{cell['current_instrs_per_sec']:>13.0f} "
             f"{cell['ratio']:>7.2f}  {cell['status']}"
@@ -311,12 +447,12 @@ def write_bench(payload: Dict, path: str) -> None:
 def format_bench(payload: Dict) -> str:
     """Human-readable summary table for the CLI."""
     lines = [
-        f"{'workload':<14} {'scheme':<6} {'instrs':>8} "
+        f"{'workload':<14} {'scheme':<8} {'instrs':>8} "
         f"{'fast i/s':>12} {'slow i/s':>12} {'speedup':>8}"
     ]
     for cell in payload["speedups"]:
         lines.append(
-            f"{cell['workload']:<14} {cell['scheme']:<6} "
+            f"{cell['workload']:<14} {cell['scheme']:<8} "
             f"{cell['instructions']:>8} "
             f"{cell['fast_instrs_per_sec']:>12.0f} "
             f"{cell['slow_instrs_per_sec']:>12.0f} "

@@ -136,6 +136,16 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _entries(self) -> Iterator[Path]:
+        """Every result entry; skips the sibling ``artifacts/`` store
+        (managed by :mod:`repro.experiments.artifacts`)."""
+        if not self.root.exists():
+            return
+        for path in self.root.rglob("*.json"):
+            if "artifacts" in path.relative_to(self.root).parts:
+                continue
+            yield path
+
     def get(self, key: str) -> Optional[Dict]:
         """The stored payload, or None on miss *or* corrupt entry."""
         path = self._path(key)
@@ -177,33 +187,31 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        if not self.root.exists():
-            return 0
-        for path in self.root.rglob("*.json"):
+        for path in self._entries():
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
-        for sub in sorted(self.root.glob("*"), reverse=True):
-            if sub.is_dir():
-                try:
-                    sub.rmdir()
-                except OSError:
-                    pass
+        if self.root.exists():
+            for sub in sorted(self.root.glob("*"), reverse=True):
+                if sub.is_dir() and sub.name != "artifacts":
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
         return removed
 
     def info(self) -> Dict:
         """Entry count and total size, for ``repro cache info``."""
         entries = 0
         size = 0
-        if self.root.exists():
-            for path in self.root.rglob("*.json"):
-                entries += 1
-                try:
-                    size += path.stat().st_size
-                except OSError:
-                    pass
+        for path in self._entries():
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
         return {"root": str(self.root), "entries": entries, "bytes": size}
 
 

@@ -36,7 +36,7 @@ class JobMetric:
 
     workload: str
     label: str               # bar label or experiment-specific tag
-    kind: str                # 'bar' | 'custom' | 'profile' | 'compile'
+    kind: str                # 'bar' | 'custom' | 'profile' | 'compile' | 'oracle'
     source: str              # SOURCE_* above
     wall_s: float
     worker: int = 0          # pid of the process that did the work
@@ -147,6 +147,10 @@ class RunMetrics:
 
     # -- output ----------------------------------------------------------
     def to_dict(self) -> Dict:
+        # Imported lazily: artifacts depends on the compiler pipeline,
+        # which this module must not pull in at import time.
+        from repro.experiments import artifacts as artifacts_mod
+
         return {
             "schema": 1,
             "workers": self.workers,
@@ -161,6 +165,7 @@ class RunMetrics:
                 "misses": self.cache_misses,
                 "hit_rate": self.hit_rate,
             },
+            "artifacts": artifacts_mod.counters(),
             "sim": self.sim_counters(),
             "per_job": [j.to_dict() for j in self.jobs],
         }
@@ -197,6 +202,26 @@ class RunMetrics:
                 "value": f"{100.0 * self.hit_rate:.0f}%",
             },
         ]
+        from repro.experiments import artifacts as artifacts_mod
+
+        stats = artifacts_mod.counters()
+        if any(stats.values()):
+            rows.append(
+                {
+                    "metric": "artifact loads",
+                    "value": f"{stats['hits']} hit(s), {stats['misses']} miss(es)",
+                }
+            )
+            if stats["corrupt"] or stats["version_mismatch"]:
+                rows.append(
+                    {
+                        "metric": "artifact fallbacks",
+                        "value": (
+                            f"{stats['corrupt']} corrupt, "
+                            f"{stats['version_mismatch']} version mismatch"
+                        ),
+                    }
+                )
         sim = self.sim_counters()
         if sim:
             def total(prefix: str) -> float:

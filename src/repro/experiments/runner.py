@@ -23,7 +23,12 @@ sweep matrix is 15 workloads wide, which saturates typical machines.
 
 Compilation is lazy: a bundle only compiles when a simulation misses
 every cache level or when profile/compile artifacts are requested, so
-a warm-cache run never compiles at all.
+a warm-cache run never compiles at all.  When compilation *is* needed,
+the persistent artifact store (:mod:`repro.experiments.artifacts`)
+is consulted first: a stored :class:`CompiledWorkload` (or value
+oracle) deserializes in a fraction of the compile time and is byte-
+identical to recompiling, so each workload is compiled once per
+machine rather than once per process.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.pipeline import CompiledWorkload, compile_workload
+from repro.experiments import artifacts as artifacts_mod
 from repro.experiments import cache as cache_mod
 from repro.experiments import metrics as metrics_mod
 from repro.ir.module import Module
@@ -94,11 +100,36 @@ class WorkloadBundle:
     _results: Dict[Tuple[str, SimConfig], SimResult] = field(default_factory=dict)
     _custom: Dict[Tuple[str, SimConfig], SimResult] = field(default_factory=dict)
     _profile_summary: Optional[Dict] = None
+    #: compile/oracle provenance records, kept so worker processes can
+    #: ship them back to the parent's metrics collector.
+    _pipeline_jobs: List[Dict] = field(default_factory=list)
+
+    def _record_pipeline(
+        self, label: str, kind: str, source: str, wall_s: float
+    ) -> None:
+        self._pipeline_jobs.append(
+            {"label": label, "kind": kind, "source": source, "wall_s": wall_s}
+        )
+        metrics_mod.current().record(
+            self.workload.name, label, kind, source, wall_s
+        )
 
     @property
     def compiled(self) -> CompiledWorkload:
-        """The compiled binaries; compiles on first access."""
+        """The compiled binaries; served from the artifact store when
+        warm, compiled (and stored) on first access otherwise."""
         if self._compiled is None:
+            store = artifacts_mod.active_store()
+            if store is not None:
+                started = time.perf_counter()
+                loaded = store.load_compiled(self.workload, self.threshold)
+                if loaded is not None:
+                    self._compiled = loaded
+                    self._record_pipeline(
+                        "compile", "compile", metrics_mod.SOURCE_CACHE,
+                        time.perf_counter() - started,
+                    )
+                    return self._compiled
             started = time.perf_counter()
             self._compiled = compile_workload(
                 self.workload.name,
@@ -107,13 +138,12 @@ class WorkloadBundle:
                 self.workload.ref_input,
                 threshold=self.threshold,
             )
-            metrics_mod.current().record(
-                self.workload.name,
-                "compile",
-                "compile",
-                metrics_mod.SOURCE_COMPUTED,
+            self._record_pipeline(
+                "compile", "compile", metrics_mod.SOURCE_COMPUTED,
                 time.perf_counter() - started,
             )
+            if store is not None:
+                store.save_compiled(self.workload, self.threshold, self._compiled)
         return self._compiled
 
     @property
@@ -126,8 +156,30 @@ class WorkloadBundle:
     def oracle_for(self, program_attr: str) -> ValueOracle:
         oracle = self._oracles.get(program_attr)
         if oracle is None:
+            store = artifacts_mod.active_store()
+            if store is not None:
+                started = time.perf_counter()
+                oracle = store.load_oracle(
+                    self.workload, self.threshold, program_attr
+                )
+                if oracle is not None:
+                    self._oracles[program_attr] = oracle
+                    self._record_pipeline(
+                        program_attr, "oracle", metrics_mod.SOURCE_CACHE,
+                        time.perf_counter() - started,
+                    )
+                    return oracle
+            started = time.perf_counter()
             oracle = collect_oracle(getattr(self.compiled, program_attr))
             self._oracles[program_attr] = oracle
+            self._record_pipeline(
+                program_attr, "oracle", metrics_mod.SOURCE_COMPUTED,
+                time.perf_counter() - started,
+            )
+            if store is not None:
+                store.save_oracle(
+                    self.workload, self.threshold, program_attr, oracle
+                )
         return oracle
 
     # -- cache plumbing --------------------------------------------------
@@ -570,15 +622,20 @@ def _try_resolve_from_cache(spec: JobSpec, bundle: WorkloadBundle) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _execute_group(payload: Tuple[str, float, List[JobSpec]]) -> Dict:
+def _execute_group(payload: Tuple[str, float, List[JobSpec], Optional[str]]) -> Dict:
     """Worker-side: compile one workload, run its pending simulations.
 
     Runs in a pool worker; the persistent cache and metrics collector
     are parent-side concerns, so results travel back as serialized
-    state and the parent does all bookkeeping.
+    state and the parent does all bookkeeping.  The artifact store *is*
+    enabled worker-side (when the parent has one): loading a compiled
+    workload is cheaper than recompiling it, and a cold worker persists
+    its compile so no other process ever repeats it.
     """
-    name, threshold, specs = payload
+    name, threshold, specs, artifact_root = payload
     cache_mod.configure(False)
+    artifacts_mod.configure(artifact_root is not None, artifact_root)
+    artifacts_mod.reset_counters()  # forked workers inherit parent counts
     metrics_mod.reset()
     bundle = bundle_for(name, threshold)
     out: List[Dict] = []
@@ -613,6 +670,8 @@ def _execute_group(payload: Tuple[str, float, List[JobSpec]]) -> Dict:
         "threshold": threshold,
         "pid": os.getpid(),
         "profile_summary": bundle._profile_summary,
+        "pipeline": bundle._pipeline_jobs,
+        "artifact_counters": artifacts_mod.counters(),
         "jobs": out,
     }
 
@@ -621,6 +680,18 @@ def _merge_group(group: Dict, specs_by_id: Dict[str, JobSpec]) -> None:
     """Parent-side: seed memos, persist to disk, record metrics."""
     bundle = bundle_for(group["workload"], group["threshold"])
     cache = cache_mod.active_cache()
+    artifacts_mod.merge_counters(group.get("artifact_counters", {}))
+    for job in group.get("pipeline", ()):
+        # Compiles/oracle collections the worker actually performed
+        # surface as worker jobs; artifact-store hits keep their cache
+        # provenance so warm runs are visibly compile-free.
+        source = job["source"]
+        if source == metrics_mod.SOURCE_COMPUTED:
+            source = metrics_mod.SOURCE_WORKER
+        metrics_mod.current().record(
+            group["workload"], job["label"], job["kind"], source,
+            job["wall_s"], worker=group["pid"],
+        )
     if group["profile_summary"] is not None and bundle._profile_summary is None:
         bundle._profile_summary = group["profile_summary"]
         if cache is not None:
@@ -689,9 +760,12 @@ def execute_plan(specs: Sequence[JobSpec], jobs: int = 1) -> JobGraph:
                 _run_spec(spec, bundle_for(_name, _threshold))
         return graph
     results: Dict[str, Dict] = {}
+    artifact_root = artifacts_mod.active_root()
     with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
         futures = {
-            pool.submit(_execute_group, (name, threshold, group_specs)): name
+            pool.submit(
+                _execute_group, (name, threshold, group_specs, artifact_root)
+            ): name
             for name, threshold, group_specs in groups
         }
         outstanding = set(futures)

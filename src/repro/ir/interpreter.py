@@ -96,6 +96,9 @@ class Frame:
     block: str
     index: int = 0
     call_instr: Optional[Call] = None
+    #: Interned call-stack context handle (context-handle hooks only):
+    #: index into the interpreter's ``context_table``, 0 = empty stack.
+    ctx: int = 0
 
 
 @dataclass
@@ -123,11 +126,24 @@ class RunResult:
 class Hooks:
     """Optional observation callbacks; subclass and override as needed.
 
-    ``stack`` arguments are tuples of call-site origin iids rooted at
-    the active parallelized loop (empty when no region is active or the
+    ``stack`` arguments are tuples of call-site iids rooted at the
+    active parallelized loop (empty when no region is active or the
     access happens in the loop body itself) — exactly the naming scheme
     of paper Section 2.3.
+
+    Hook classes that set ``context_handles = True`` opt into the fast
+    profiling protocol: instead of a freshly-built tuple, ``on_load``/
+    ``on_store`` receive an **interned integer handle** identifying the
+    call stack.  Handle 0 is the empty stack; equal handles mean equal
+    stacks within one run, and the interpreter's ``context_table``
+    (handle -> tuple of call-site iids) materializes them afterwards.
+    This skips the per-access tuple construction that dominates
+    profiling time and is only available on the decoded fast path.
     """
+
+    #: When True, load/store hooks receive interned int context handles
+    #: instead of call-stack tuples (fast path only).
+    context_handles = False
 
     def on_instruction(self, instr, in_region: bool) -> None:
         pass
@@ -164,6 +180,8 @@ class Interpreter:
         self.fast_path = fast_path
         self.memory = MemoryImage(module)
         self._decoded: Optional[DecodedProgram] = None
+        #: handle -> call-stack tuple, filled by context-handle runs.
+        self.context_table: List[Tuple[int, ...]] = [()]
         self._loop_blocks: Dict[Tuple[str, str], frozenset] = {}
         for loop in module.parallel_loops:
             cfg = CFG(module.function(loop.function))
@@ -198,6 +216,10 @@ class Interpreter:
     def run(self, function: str = "main", args: Tuple[int, ...] = ()) -> RunResult:
         if self.fast_path:
             return self._run_fast(function, args)
+        if getattr(self.hooks, "context_handles", False):
+            raise InterpreterError(
+                "context-handle hooks require the decoded fast path"
+            )
         return self._run_slow(function, args)
 
     def _entry_frames(self, function: str, args: Tuple[int, ...]) -> List[Frame]:
@@ -419,6 +441,13 @@ class Interpreter:
         fire_instr = hooks_cls.on_instruction is not Hooks.on_instruction
         fire_load = hooks_cls.on_load is not Hooks.on_load
         fire_store = hooks_cls.on_store is not Hooks.on_store
+        use_ctx = bool(getattr(hooks, "context_handles", False))
+        # Interned call-stack contexts: a child context is keyed by
+        # (parent handle, call-site iid), so each distinct stack is
+        # built exactly once per run instead of per memory access.
+        ctx_children: Dict[Tuple[int, int], int] = {}
+        ctx_table: List[Tuple[int, ...]] = [()]
+        self.context_table = ctx_table
         if self._decoded is None:
             self._decoded = DecodedProgram(module, memory.addr_of)
         dprog = self._decoded
@@ -515,13 +544,24 @@ class Interpreter:
                         value = memory.load(addr)
                         regs[op[3]] = value
                         if fire_load:
-                            hooks.on_load(
-                                op[2],
-                                context_stack(),
-                                addr,
-                                value,
-                                region.epoch if region is not None else None,
-                            )
+                            if region is None:
+                                hooks.on_load(
+                                    op[2], 0 if use_ctx else (), addr, value, None
+                                )
+                            else:
+                                hooks.on_load(
+                                    op[2],
+                                    (
+                                        frame.ctx
+                                        if len(frames) > region.frame_depth
+                                        else 0
+                                    )
+                                    if use_ctx
+                                    else context_stack(),
+                                    addr,
+                                    value,
+                                    region.epoch,
+                                )
                         i += 1
                     elif code == OP_STORE:
                         a = op[3]
@@ -530,13 +570,24 @@ class Interpreter:
                         value = v if type(v) is int else regs[v]
                         memory.store(addr, value)
                         if fire_store:
-                            hooks.on_store(
-                                op[2],
-                                context_stack(),
-                                addr,
-                                value,
-                                region.epoch if region is not None else None,
-                            )
+                            if region is None:
+                                hooks.on_store(
+                                    op[2], 0 if use_ctx else (), addr, value, None
+                                )
+                            else:
+                                hooks.on_store(
+                                    op[2],
+                                    (
+                                        frame.ctx
+                                        if len(frames) > region.frame_depth
+                                        else 0
+                                    )
+                                    if use_ctx
+                                    else context_stack(),
+                                    addr,
+                                    value,
+                                    region.epoch,
+                                )
                         i += 1
                     elif code == OP_UNOP:
                         s = op[5]
@@ -559,14 +610,28 @@ class Interpreter:
                             a if type(a) is int else regs[a] for a in op[5]
                         ]
                         frame.index = i
-                        frames.append(
-                            Frame(
-                                function_name=op[4],
-                                regs=dict(zip(op[6], values)),
-                                block=op[7],
-                                call_instr=op[2],
-                            )
+                        callee_frame = Frame(
+                            function_name=op[4],
+                            regs=dict(zip(op[6], values)),
+                            block=op[7],
+                            call_instr=op[2],
                         )
+                        if use_ctx and region is not None:
+                            parent = (
+                                frame.ctx
+                                if len(frames) > region.frame_depth
+                                else 0
+                            )
+                            ckey = (parent, op[2].iid)
+                            child = ctx_children.get(ckey)
+                            if child is None:
+                                child = len(ctx_table)
+                                ctx_children[ckey] = child
+                                ctx_table.append(
+                                    ctx_table[parent] + (op[2].iid,)
+                                )
+                            callee_frame.ctx = child
+                        frames.append(callee_frame)
                         break
                     elif code == OP_RET:
                         v = op[3]

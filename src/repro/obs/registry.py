@@ -349,3 +349,21 @@ def engine_counters(engine) -> Dict[str, float]:
         for name, value in stalls.summary().items():
             registry.gauge(f"stall_cycles_{name}").set(value)
     return registry.flat()
+
+
+# ---------------------------------------------------------------------------
+# process-wide registry
+# ---------------------------------------------------------------------------
+
+_PROCESS_REGISTRY = MetricsRegistry()
+
+
+def process_registry() -> MetricsRegistry:
+    """Process-lifetime registry for harness-level metrics.
+
+    Simulation metrics go through per-run registries (see above); this
+    one collects cross-cutting counters that are not tied to a single
+    engine run — e.g. the artifact store's hit/miss/corruption counts
+    (:mod:`repro.experiments.artifacts`).  Workers each have their own.
+    """
+    return _PROCESS_REGISTRY

@@ -302,3 +302,36 @@ class TestSyncInsertion:
         report = insert_memory_sync(module, module.parallel_loops[0], [])
         assert report.groups == 0
         assert module.instruction_count() == before
+
+
+class TestFastProfiler:
+    """The interned-context fast path must match the reference hooks."""
+
+    def test_equal_profiles_on_freelist(self):
+        module = freelist_module()
+        fast = profile_dependences(module)
+        slow = profile_dependences(module, fast=False)
+        assert fast == slow
+
+    def test_equal_profiles_with_rare_contexts(self):
+        module = freelist_module(iters=90, use_rate=3)
+        fast = profile_dependences(module)
+        slow = profile_dependences(module, fast=False)
+        assert fast == slow
+
+    def test_equal_profiles_on_real_workload(self):
+        from repro.experiments.runner import bundle_for
+
+        module = bundle_for("go").compiled.baseline
+        assert profile_dependences(module) == profile_dependences(
+            module, fast=False
+        )
+
+    def test_context_handle_hooks_need_fast_path(self):
+        from repro.compiler.memdep.profiler import _FastDependenceHooks
+        from repro.ir.interpreter import Interpreter, InterpreterError
+
+        module = freelist_module()
+        hooks = _FastDependenceHooks({})
+        with pytest.raises(InterpreterError, match="fast path"):
+            Interpreter(module, hooks=hooks, fast_path=False).run()

@@ -60,6 +60,46 @@ class TestBenchCommand:
         console = capsys.readouterr().out
         assert "speedup" in console and str(out) in console
 
+    def test_pipeline_cells(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(
+            [
+                "bench",
+                "--workloads", "go",
+                "--schemes", "U",
+                "--repeat", "1",
+                "--pipeline",
+                "-o", str(out),
+            ]
+        ) == 0
+        payload = json.loads(out.read_text())
+        pipeline = [
+            r for r in payload["results"] if r["phase"] == "pipeline"
+        ]
+        # three cells (compile/profile/oracle), each fast + slow
+        assert len(pipeline) == 6
+        cells = {(r["scheme"], r["mode"]) for r in pipeline}
+        assert cells == {
+            (scheme, mode)
+            for scheme in ("compile", "profile", "oracle")
+            for mode in ("fast", "slow")
+        }
+        for record in pipeline:
+            assert set(SCHEMA_FIELDS) <= set(record)
+            assert record["sim_cycles"] == 0.0
+            assert record["wall_seconds"] > 0
+            assert record["instrs_per_sec"] > 0
+        by_scheme = {
+            s["scheme"]: s for s in payload["speedups"]
+            if s.get("phase") == "pipeline"
+        }
+        assert set(by_scheme) == {"compile", "profile", "oracle"}
+        for cell in by_scheme.values():
+            assert cell["speedup"] > 0
+        # the headline number stays an engine cell
+        assert payload["largest_workload"]["scheme"] == "U"
+        assert "compile" in capsys.readouterr().out
+
     def test_profile_dump(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
         stats = tmp_path / "bench.pstats"

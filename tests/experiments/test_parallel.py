@@ -61,7 +61,12 @@ class TestDeterminism:
         run = metrics_mod.current()
         sources = {job.source for job in run.jobs}
         assert sources == {metrics_mod.SOURCE_WORKER}
-        assert len(run.jobs) == len(specs)
+        # one metric per sim spec, plus one compile record per workload
+        # (the artifact store was disabled, so every compile really ran)
+        sims = [job for job in run.jobs if job.kind not in ("compile", "oracle")]
+        compiles = [job for job in run.jobs if job.kind == "compile"]
+        assert len(sims) == len(specs)
+        assert {job.workload for job in compiles} == set(WORKLOADS)
 
 
 class TestExecuteMetrics:
