@@ -4,7 +4,7 @@ PY ?= python
 #: worker processes for the report simulation matrix (0 = all cores)
 JOBS ?= 0
 
-.PHONY: install test lint ci bench microbench report scorecard examples clean
+.PHONY: install test lint ci bench microbench serve loadgen report scorecard examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,18 @@ bench:
 
 microbench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Simulation-as-a-service daemon (docs/serving.md).
+PORT ?= 8765
+WORKERS ?= 2
+serve:
+	PYTHONPATH=src $(PY) -m repro serve --port $(PORT) --workers $(WORKERS)
+
+# Serving-latency baseline: warm p50/p95/p99 against an embedded
+# daemon, written to BENCH_serve.json (the checked-in baseline).
+loadgen:
+	PYTHONPATH=src $(PY) -m repro loadgen --workloads go,mcf --bars U,C \
+		--duration 10s --workers $(WORKERS) -o BENCH_serve.json --check
 
 report:
 	PYTHONPATH=src $(PY) -m repro report --jobs $(JOBS) \

@@ -31,6 +31,17 @@ Commands
     additionally dumps cProfile stats of the warm fast-path runs;
     ``--pipeline`` adds compile/profile/oracle pipeline cells;
     ``--compare BASELINE`` fails on warm fast-path regressions.
+``serve``
+    Run the simulation-as-a-service daemon: an HTTP/JSON API backed by
+    persistent warm workers (compiled artifacts and decoded programs
+    stay loaded between jobs), with admission control, same-workload
+    batching, single-flight compilation and graceful drain on SIGTERM.
+    See ``docs/serving.md``.
+``loadgen``
+    Drive a serve daemon (embedded by default, or ``--url``) at a
+    target rate and report p50/p95/p99 submit-to-done latency; ``-o``
+    writes the ``BENCH_serve.json`` payload and ``--compare`` gates it
+    against a checked-in baseline like ``bench --compare``.
 ``trace``
     Simulate one (workload, bar) cell with the observability stack
     attached and export the event stream: ``--format chrome`` (open in
@@ -441,6 +452,82 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.daemon import Daemon, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        batch_limit=args.batch_limit,
+        cache_enabled=not args.no_cache,
+        cache_root=args.cache_dir,
+    )
+    try:
+        asyncio.run(Daemon(config).run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.experiments.bench import compare_bench, format_compare
+    from repro.serve.loadgen import (
+        LoadgenConfig,
+        format_loadgen,
+        parse_duration,
+        run_loadgen,
+        write_loadgen,
+    )
+
+    config = LoadgenConfig(
+        workloads=args.workloads or list(LoadgenConfig.workloads),
+        bars=args.bars,
+        threshold=args.threshold,
+        duration_s=parse_duration(args.duration),
+        concurrency=args.concurrency,
+        rate=args.rate,
+        url=args.url or "",
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_enabled=not args.no_cache,
+        cache_root=args.cache_dir,
+    )
+    payload = run_loadgen(config)
+    print(format_loadgen(payload))
+    if args.output:
+        write_loadgen(payload, args.output)
+        print(f"wrote {args.output}")
+    status = 0
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        comparison = compare_bench(
+            payload, baseline, tolerance=args.compare_tolerance
+        )
+        print(format_compare(comparison))
+        if comparison["regressions"]:
+            status = 1
+    if args.check and not payload["acceptance"]["warm_p50_below_cold"]:
+        print(
+            "loadgen: acceptance FAILED (warm p50 not below cold wall time)",
+            file=sys.stderr,
+        )
+        status = 1
+    if payload["warm"]["errors"]:
+        print(
+            f"loadgen: {payload['warm']['errors']} request error(s)",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
 def _workload_list(value: str) -> List[str]:
     return [name.strip() for name in value.split(",") if name.strip()]
 
@@ -669,6 +756,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional throughput drop per cell (default 0.2)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the simulation-as-a-service HTTP daemon"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks a free one (default 8765)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent worker processes; 0 runs jobs on daemon "
+        "threads (default 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission-control bound on queued jobs -> HTTP 429 "
+        "(default 64)",
+    )
+    serve_parser.add_argument(
+        "--batch-limit", type=int, default=8,
+        help="max same-workload jobs handed to a worker at once "
+        "(default 8)",
+    )
+    _add_run_options(serve_parser, jobs=False)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen", help="drive a serve daemon and report latency percentiles"
+    )
+    loadgen_parser.add_argument(
+        "--workloads", type=_workload_list, default=None,
+        help="comma-separated workload names (default go,gzip_comp)",
+    )
+    loadgen_parser.add_argument(
+        "--bars", type=_scheme_list, default=["U", "C"],
+        help="comma-separated bar labels to request (default U,C)",
+    )
+    loadgen_parser.add_argument("--threshold", type=float, default=0.05)
+    loadgen_parser.add_argument(
+        "--duration", default="10s",
+        help="warm-phase length, e.g. 10s / 2m (default 10s)",
+    )
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="client threads (default 4)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=0.0,
+        help="target total requests/second; 0 = open throttle (default)",
+    )
+    loadgen_parser.add_argument(
+        "--url", default=None,
+        help="existing daemon base URL; default boots an embedded daemon",
+    )
+    loadgen_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="embedded-daemon worker processes (default 2; ignored "
+        "with --url)",
+    )
+    loadgen_parser.add_argument(
+        "--queue-size", type=int, default=256,
+        help="embedded-daemon queue bound (default 256; ignored with --url)",
+    )
+    loadgen_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write the BENCH_serve.json payload to FILE",
+    )
+    loadgen_parser.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against a checked-in BENCH_serve.json; exit 1 on "
+        "warm-throughput regressions",
+    )
+    loadgen_parser.add_argument(
+        "--compare-tolerance", type=float, default=0.5,
+        help="allowed fractional throughput drop per cell (default 0.5 "
+        "— serving latency is noisier than engine throughput)",
+    )
+    loadgen_parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless warm p50 latency beats one cold request",
+    )
+    _add_run_options(loadgen_parser, jobs=False)
+    loadgen_parser.set_defaults(func=_cmd_loadgen)
 
     return parser
 

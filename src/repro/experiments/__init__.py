@@ -12,17 +12,16 @@ from repro.experiments import (  # noqa: F401
     table1_config,
     table2_speedups,
 )
-from repro.experiments import cache, metrics, report, validate  # noqa: F401
+from repro.experiments import cache, metrics, report, scheduler, validate  # noqa: F401
 from repro.experiments.reporting import BAR_COLUMNS, bar_row, format_table
 from repro.experiments.runner import (
-    JobGraph,
-    JobSpec,
     WorkloadBundle,
     bundle_for,
     clear_cache,
     execute_plan,
     plan_bar_jobs,
 )
+from repro.experiments.scheduler import JobGraph, JobSpec
 
 __all__ = [
     "BAR_COLUMNS",
@@ -46,6 +45,7 @@ __all__ = [
     "fig12_program",
     "format_table",
     "report",
+    "scheduler",
     "table1_config",
     "table2_speedups",
     "validate",

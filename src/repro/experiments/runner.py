@@ -43,6 +43,7 @@ from repro.compiler.pipeline import CompiledWorkload, compile_workload
 from repro.experiments import artifacts as artifacts_mod
 from repro.experiments import cache as cache_mod
 from repro.experiments import metrics as metrics_mod
+from repro.experiments.scheduler import JobGraph, JobNode, JobSpec, spec_id
 from repro.ir.module import Module
 from repro.tlssim.config import SimConfig
 from repro.tlssim.engine import TLSEngine
@@ -407,108 +408,12 @@ def clear_cache() -> None:
 # ---------------------------------------------------------------------------
 # the job DAG
 # ---------------------------------------------------------------------------
+#
+# JobSpec / JobNode / JobGraph moved to repro.experiments.scheduler so
+# the serve daemon can plan work with the same vocabulary; re-exported
+# here (and from repro.experiments) for existing callers.
 
-
-@dataclass(frozen=True)
-class JobSpec:
-    """One schedulable simulation (or profile) job.
-
-    ``kind`` selects the execution recipe:
-
-    * ``'bar'`` — ``bundle.simulate(label)``; ``overrides`` replace
-      fields of the base :class:`SimConfig` before bar resolution.
-    * ``'custom'`` — ``bundle.simulate_custom(program, config)`` with
-      ``config = SimConfig().with_mode(**overrides)``.
-    * ``'fig06'`` — perfect prediction of the loads above ``param``
-      dependence frequency (the oracle set is derived from the
-      workload's dependence profile).
-    * ``'profile'`` — compile-only: produce the profile summary.
-
-    Specs are immutable, hashable, and picklable; the oracle set of a
-    ``fig06`` job is deliberately *not* part of the spec — it is a
-    deterministic function of the sources, which the cache key's code
-    fingerprint already covers.
-    """
-
-    workload: str
-    kind: str = "bar"
-    label: str = "C"
-    program: str = ""
-    threshold: float = 0.05
-    overrides: Tuple[Tuple[str, object], ...] = ()
-    param: float = 0.0
-    oracle_needed: bool = False
-
-
-@dataclass
-class JobNode:
-    """A DAG node: a spec plus the node ids it depends on."""
-
-    node_id: str
-    spec: JobSpec
-    deps: Tuple[str, ...] = ()
-
-
-@dataclass
-class JobGraph:
-    """Explicit dependence graph for one sweep.
-
-    One ``compile`` node per (workload, threshold); every simulation
-    node depends on its workload's compile node.  ``profile`` jobs are
-    folded into the compile node's payload.
-    """
-
-    nodes: Dict[str, JobNode] = field(default_factory=dict)
-    order: List[str] = field(default_factory=list)
-
-    @staticmethod
-    def build(specs: Sequence[JobSpec]) -> "JobGraph":
-        graph = JobGraph()
-        for spec in specs:
-            compile_id = f"compile:{spec.workload}@{spec.threshold}"
-            if compile_id not in graph.nodes:
-                compile_spec = JobSpec(
-                    workload=spec.workload,
-                    kind="compile",
-                    label="compile",
-                    threshold=spec.threshold,
-                )
-                graph.nodes[compile_id] = JobNode(compile_id, compile_spec)
-                graph.order.append(compile_id)
-            node_id = _spec_id(spec)
-            if node_id not in graph.nodes:
-                graph.nodes[node_id] = JobNode(node_id, spec, deps=(compile_id,))
-                graph.order.append(node_id)
-        return graph
-
-    def sim_nodes(self) -> List[JobNode]:
-        return [
-            self.nodes[i] for i in self.order if self.nodes[i].spec.kind != "compile"
-        ]
-
-    def groups(self, pending: Sequence[JobSpec]) -> List[Tuple[str, float, List[JobSpec]]]:
-        """Pending sim specs grouped under their compile dependency.
-
-        Each group is one worker task: the compile node runs once,
-        then every dependent simulation.  Groups are ordered by first
-        appearance so scheduling is deterministic.
-        """
-        grouped: Dict[Tuple[str, float], List[JobSpec]] = {}
-        keys: List[Tuple[str, float]] = []
-        for spec in pending:
-            key = (spec.workload, spec.threshold)
-            if key not in grouped:
-                grouped[key] = []
-                keys.append(key)
-            grouped[key].append(spec)
-        return [(w, t, grouped[(w, t)]) for (w, t) in keys]
-
-
-def _spec_id(spec: JobSpec) -> str:
-    return (
-        f"{spec.kind}:{spec.workload}@{spec.threshold}"
-        f":{spec.label}:{spec.program}:{spec.param}:{spec.overrides}"
-    )
+_spec_id = spec_id
 
 
 def _base_config(spec: JobSpec) -> Optional[SimConfig]:
@@ -680,7 +585,6 @@ def _merge_group(group: Dict, specs_by_id: Dict[str, JobSpec]) -> None:
     """Parent-side: seed memos, persist to disk, record metrics."""
     bundle = bundle_for(group["workload"], group["threshold"])
     cache = cache_mod.active_cache()
-    artifacts_mod.merge_counters(group.get("artifact_counters", {}))
     for job in group.get("pipeline", ()):
         # Compiles/oracle collections the worker actually performed
         # surface as worker jobs; artifact-store hits keep their cache
@@ -774,6 +678,14 @@ def execute_plan(specs: Sequence[JobSpec], jobs: int = 1) -> JobGraph:
             for future in done:
                 group = future.result()
                 results[futures[future]] = group
+                # Fold the worker's artifact-store counters in as soon
+                # as its group lands (not at pool shutdown): commutative
+                # sums, and a long-lived parent — the serve daemon uses
+                # the same discipline — reports accurate hit/fallback
+                # counts while other groups are still running.
+                artifacts_mod.merge_counters(
+                    group.get("artifact_counters", {})
+                )
     # Deterministic merge: group submission order, spec order within.
     for name, _threshold, _group_specs in groups:
         _merge_group(results[name], specs_by_id)

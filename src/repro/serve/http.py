@@ -1,0 +1,191 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+Just enough of the protocol for the serve API: request-line + header
+parsing, ``Content-Length`` bodies, keep-alive, and JSON/byte
+responses.  Deliberately not a framework — the daemon owns routing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+#: Upper bounds that keep a misbehaving client from ballooning memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(ValueError):
+    """The peer sent something that is not valid HTTP for this server."""
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HTTPRequest]:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise BadRequest(f"malformed request line: {line!r}")
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(f"unsupported HTTP version {version!r}")
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise BadRequest("connection closed inside headers")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise BadRequest(f"bad Content-Length {length!r}")
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise BadRequest(f"Content-Length {n} out of range")
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("connection closed inside body")
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("chunked request bodies are not supported")
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    return HTTPRequest(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+@dataclass
+class HTTPResponse:
+    """One response about to be written."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload, status: int = 200, **headers) -> "HTTPResponse":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return cls(status=status, body=body, headers=dict(headers))
+
+    @classmethod
+    def bytes(
+        cls, body: bytes, status: int = 200,
+        content_type: str = "application/json", **headers,
+    ) -> "HTTPResponse":
+        return cls(
+            status=status, body=body,
+            content_type=content_type, headers=dict(headers),
+        )
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: HTTPResponse,
+    keep_alive: bool = True,
+) -> None:
+    writer.write(response.encode(keep_alive=keep_alive))
+    await writer.drain()
+
+
+def route_match(path: str, pattern: str) -> Optional[Tuple[str, ...]]:
+    """Match ``/v1/jobs/{id}/result``-style patterns.
+
+    ``{name}`` segments capture one path segment; returns the captured
+    values in order, or ``None`` when the path does not match.
+    """
+    parts = path.strip("/").split("/")
+    pattern_parts = pattern.strip("/").split("/")
+    if len(parts) != len(pattern_parts):
+        return None
+    captured = []
+    for part, pattern_part in zip(parts, pattern_parts):
+        if pattern_part.startswith("{") and pattern_part.endswith("}"):
+            if not part:
+                return None
+            captured.append(part)
+        elif part != pattern_part:
+            return None
+    return tuple(captured)

@@ -1,0 +1,314 @@
+"""Persistent warm workers for the serve daemon.
+
+A worker is a long-lived process (or, for ``workers=0``, a thread in
+the daemon process) that executes batches of jobs for one
+(workload, threshold) key at a time.  Workers keep the
+:mod:`repro.experiments.runner` bundle memo hot: the first job for a
+key loads the compiled artifact (or compiles and stores it) and every
+later job reuses the in-memory modules, decoded programs, and oracle —
+the whole point of serving from a daemon instead of re-spawning the
+batch pipeline.
+
+Counter discipline: artifact-store hit/fallback counters are
+snapshotted around **every job** and the delta ships back in that
+job's outcome message, so the daemon's status/stats endpoints are
+accurate while the pool keeps running — nothing waits for pool
+shutdown.  Run-metrics are reset per job for the same reason (and so a
+soak of thousands of jobs cannot grow the collector without bound).
+
+Message protocol (picklable dicts):
+
+* daemon -> worker: ``{"op": "batch", "batch": id, "jobs": [[job_id,
+  request_dict], ...]}`` or ``{"op": "stop"}``
+* worker -> daemon: ``{"op": "job", "worker": i, "job": job_id,
+  "outcome": {...}}`` per job, then ``{"op": "batch_done", "worker":
+  i, "batch": id}``; ``{"op": "bye", "worker": i}`` on exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import artifacts as artifacts_mod
+from repro.experiments import cache as cache_mod
+from repro.experiments import metrics as metrics_mod
+from repro.experiments.scheduler import ReadThroughCache
+from repro.serve.protocol import JobRequest, canonical_event_lines
+
+#: provenance labels for a job outcome (where the result came from)
+SOURCE_MEMO = "memo"        # served from the worker's warm bundle memo
+SOURCE_CACHE = "cache"      # served from the persistent result cache
+SOURCE_COMPUTED = "computed"  # simulated fresh in the worker
+SOURCE_TRACED = "traced"    # live traced run (events requested)
+
+#: single-flight guard for bundle warm-up in threaded (inline) pools;
+#: process workers each have their own copy, trivially uncontended.
+_WARM_BUNDLES = ReadThroughCache()
+
+
+def _warm_bundle(workload: str, threshold: float):
+    """Get the (lazily compiled) bundle, single-flight per key.
+
+    Concurrent inline-pool threads that race on one cold key coalesce
+    here: exactly one compiles (or loads the artifact), the rest share
+    the warmed bundle.
+    """
+    from repro.experiments.runner import bundle_for
+
+    def _load():
+        bundle = bundle_for(workload, threshold)
+        bundle.compiled  # force the compile/artifact load once
+        return bundle
+
+    return _WARM_BUNDLES.get((workload, threshold), _load)
+
+
+def execute_request(request: JobRequest) -> Dict:
+    """Run one job in this process and return its outcome payload.
+
+    The outcome carries the canonical result state, optional event
+    lines, provenance, wall time, and — the per-job counter flush —
+    the artifact-store counter delta this job caused.
+    """
+    started = time.perf_counter()
+    counters_before = artifacts_mod.counters()
+    metrics_mod.reset()
+    try:
+        bundle = _warm_bundle(request.workload, request.threshold)
+        if request.events:
+            from repro.experiments import trace as trace_mod
+
+            run = trace_mod.run_traced(
+                request.workload, bar=request.bar, threshold=request.threshold
+            )
+            result = run.result
+            event_lines: Optional[List[str]] = canonical_event_lines(
+                run.events,
+                meta={
+                    "workload": request.workload,
+                    "bar": request.bar,
+                    "num_cores": run.num_cores,
+                    "issue_width": run.issue_width,
+                },
+            )
+            source = SOURCE_TRACED
+        else:
+            result = bundle.simulate(request.bar)
+            event_lines = None
+            source = SOURCE_MEMO
+            for job in metrics_mod.current().jobs:
+                if job.kind == "bar" and job.label == request.bar:
+                    source = job.source
+        pipeline = [
+            {"label": j.label, "kind": j.kind, "source": j.source,
+             "wall_s": j.wall_s}
+            for j in metrics_mod.current().jobs
+            if j.kind in ("compile", "oracle")
+        ]
+        outcome = {
+            "ok": True,
+            "result": result.to_state(),
+            "events": event_lines,
+            "source": source,
+            "pipeline": pipeline,
+        }
+    except Exception:
+        outcome = {"ok": False, "error": traceback.format_exc()}
+    counters_after = artifacts_mod.counters()
+    outcome.update(
+        wall_s=time.perf_counter() - started,
+        pid=os.getpid(),
+        artifact_delta={
+            name: counters_after[name] - counters_before.get(name, 0)
+            for name in counters_after
+        },
+    )
+    return outcome
+
+
+def _run_batch(worker_id: int, message: Dict, emit: Callable[[Dict], None]) -> None:
+    """Execute one batch message, emitting per-job outcomes."""
+    for job_id, request_state in message["jobs"]:
+        outcome = execute_request(JobRequest.from_dict(request_state))
+        emit({"op": "job", "worker": worker_id, "job": job_id,
+              "outcome": outcome})
+    emit({"op": "batch_done", "worker": worker_id, "batch": message["batch"]})
+
+
+def _worker_main(
+    worker_id: int,
+    tasks,
+    results,
+    cache_enabled: bool,
+    cache_root: Optional[str],
+) -> None:
+    """Process-worker entry point: serve batches until told to stop."""
+    cache_mod.configure(cache_enabled, cache_root)
+    artifacts_mod.configure(cache_enabled, cache_root)
+    artifacts_mod.reset_counters()  # forked workers inherit parent counts
+    metrics_mod.reset()
+    while True:
+        message = tasks.get()
+        if message is None or message.get("op") == "stop":
+            break
+        _run_batch(worker_id, message, results.put)
+    results.put({"op": "bye", "worker": worker_id})
+
+
+class ProcessPool:
+    """N persistent worker processes with per-worker task queues.
+
+    ``on_message`` is invoked from a collector thread for every
+    worker-to-daemon message — callers must make it thread-safe
+    (the daemon wraps it in ``loop.call_soon_threadsafe``).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        on_message: Callable[[Dict], None],
+        cache_enabled: bool = True,
+        cache_root: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("ProcessPool needs at least one worker")
+        #: worker state (artifact counters) lives outside the daemon
+        #: process, so per-job deltas must be merged into it.
+        self.external_state = True
+        self.size = workers
+        self._on_message = on_message
+        self._cache_enabled = cache_enabled
+        self._cache_root = cache_root
+        self._ctx = multiprocessing.get_context()
+        self._tasks: List = []
+        self._processes: List = []
+        self._results = self._ctx.Queue()
+        self._collector: Optional[threading.Thread] = None
+        self._stopping = False
+
+    def start(self) -> None:
+        for worker_id in range(self.size):
+            tasks = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id, tasks, self._results,
+                    self._cache_enabled, self._cache_root,
+                ),
+                daemon=True,
+                name=f"repro-serve-worker-{worker_id}",
+            )
+            process.start()
+            self._tasks.append(tasks)
+            self._processes.append(process)
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+
+    def _collect(self) -> None:
+        pending_byes = self.size
+        while pending_byes:
+            message = self._results.get()
+            if message.get("op") == "bye":
+                pending_byes -= 1
+                continue
+            self._on_message(message)
+
+    def submit(self, worker_id: int, message: Dict) -> None:
+        self._tasks[worker_id].put(message)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop every worker (queued batches finish first) and join."""
+        if self._stopping:
+            return
+        self._stopping = True
+        for tasks in self._tasks:
+            tasks.put({"op": "stop"})
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        if self._collector is not None:
+            self._collector.join(timeout=timeout)
+
+
+class InlinePool:
+    """Thread-based pool executing jobs in the daemon process.
+
+    Used by ``--workers 0`` (tests, tiny deployments): same message
+    protocol as :class:`ProcessPool`, but jobs run on daemon-process
+    threads, sharing its bundle memo and persistent stores directly.
+    The single-flight bundle warm-up (:func:`_warm_bundle`) keeps
+    concurrent threads from compiling one key twice.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        on_message: Callable[[Dict], None],
+        cache_enabled: bool = True,
+        cache_root: Optional[str] = None,
+    ):
+        #: jobs bump the daemon's own artifact counters directly — the
+        #: daemon must not merge the per-job deltas a second time.
+        self.external_state = False
+        self.size = max(1, workers)
+        self._on_message = on_message
+        self._cache_enabled = cache_enabled
+        self._cache_root = cache_root
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        cache_mod.configure(self._cache_enabled, self._cache_root)
+        artifacts_mod.configure(self._cache_enabled, self._cache_root)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.size, thread_name_prefix="repro-serve-inline"
+        )
+
+    def submit(self, worker_id: int, message: Dict) -> None:
+        if self._executor is None:
+            raise RuntimeError("pool is not started")
+        self._executor.submit(
+            _run_batch, worker_id, message, self._on_message
+        )
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def make_pool(
+    workers: int,
+    on_message: Callable[[Dict], None],
+    cache_enabled: bool = True,
+    cache_root: Optional[str] = None,
+    inline_threads: int = 2,
+):
+    """``workers >= 1`` -> process pool; ``workers == 0`` -> inline."""
+    if workers >= 1:
+        return ProcessPool(
+            workers, on_message,
+            cache_enabled=cache_enabled, cache_root=cache_root,
+        )
+    return InlinePool(
+        inline_threads, on_message,
+        cache_enabled=cache_enabled, cache_root=cache_root,
+    )
+
+
+def batch_message(
+    batch_id: int, jobs: Sequence[Tuple[str, Dict]]
+) -> Dict:
+    """Build the daemon->worker batch message."""
+    return {"op": "batch", "batch": batch_id,
+            "jobs": [[job_id, request] for job_id, request in jobs]}

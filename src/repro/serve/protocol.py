@@ -1,0 +1,133 @@
+"""The serve API schema and its byte-identical payload encodings.
+
+The daemon's contract with the batch pipeline is *byte identity*: the
+result payload for a (workload, bar, threshold) job is exactly the
+canonical JSON encoding of the same :class:`~repro.tlssim.stats.SimResult`
+state the batch runner produces, and the events payload is exactly the
+JSONL stream ``repro trace --format jsonl`` writes.  Keeping both
+encodings here — and nowhere else — is what lets the serve-smoke CI
+job ``cmp`` daemon output against batch output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import Event
+from repro.obs.export import jsonl_lines
+
+#: Version segment of every endpoint path (``/v1/...``).
+API_VERSION = 1
+
+#: Bar labels a job may request (mirrors ``repro.cli.BARS``).
+SERVE_BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+
+#: Job lifecycle states reported by the status endpoint.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+class ProtocolError(ValueError):
+    """A request payload failed validation (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One simulation job as submitted over HTTP.
+
+    ``events`` requests the typed event stream alongside the result;
+    event streams are produced by a live engine (never cached), so
+    they cost a real simulation even when the result itself is warm.
+    """
+
+    workload: str
+    bar: str = "C"
+    threshold: float = 0.05
+    events: bool = False
+
+    @property
+    def key(self):
+        """The compile-sharing key (same shape as ``JobSpec.key``)."""
+        return (self.workload, self.threshold)
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "bar": self.bar,
+            "threshold": self.threshold,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JobRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("job request must be a JSON object")
+        unknown = set(payload) - {"workload", "bar", "threshold", "events"}
+        if unknown:
+            raise ProtocolError(f"unknown field(s): {', '.join(sorted(unknown))}")
+        workload = payload.get("workload")
+        if not isinstance(workload, str) or not workload:
+            raise ProtocolError("'workload' (string) is required")
+        from repro.workloads import all_workloads
+
+        if workload not in {w.name for w in all_workloads()}:
+            raise ProtocolError(f"unknown workload {workload!r}")
+        bar = payload.get("bar", "C")
+        if not isinstance(bar, str) or bar.upper() not in SERVE_BARS:
+            raise ProtocolError(
+                f"unknown bar {bar!r} (choose from {', '.join(SERVE_BARS)})"
+            )
+        threshold = payload.get("threshold", 0.05)
+        if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+            raise ProtocolError("'threshold' must be a number")
+        if not 0.0 < float(threshold) <= 1.0:
+            raise ProtocolError("'threshold' must be in (0, 1]")
+        events = payload.get("events", False)
+        if not isinstance(events, bool):
+            raise ProtocolError("'events' must be a boolean")
+        return cls(
+            workload=workload,
+            bar=bar.upper(),
+            threshold=float(threshold),
+            events=events,
+        )
+
+
+# ---------------------------------------------------------------------------
+# canonical payload encodings (the byte-identity contract)
+# ---------------------------------------------------------------------------
+
+
+def canonical_result_bytes(result_state: Dict) -> bytes:
+    """The byte-exact encoding of a ``SimResult.to_state()`` payload.
+
+    Sorted keys, compact separators, trailing newline — any process
+    that encodes the same state produces the same bytes, which is the
+    invariant serve-smoke pins with ``cmp``.
+    """
+    return (
+        json.dumps(result_state, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def canonical_event_lines(
+    events: Iterable[Event], meta: Optional[Dict] = None
+) -> List[str]:
+    """The exact JSONL lines ``repro trace --format jsonl`` writes."""
+    return list(jsonl_lines(events, meta))
+
+
+def canonical_events_bytes(lines: Iterable[str]) -> bytes:
+    """Encode pre-rendered JSONL lines as the events payload."""
+    return ("\n".join(lines) + "\n").encode()
+
+
+def error_body(message: str, **extra) -> Dict:
+    payload = {"error": message}
+    payload.update(extra)
+    return payload

@@ -1,0 +1,27 @@
+"""Suite-wide pytest configuration.
+
+The ``stability`` marker gates the soak tier (``tests/stability/``):
+those tests run repeated warm submits through a live serve daemon and
+take minutes, so the tier-1 suite skips them unless ``--run-stability``
+is passed (the nightly workflow does).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-stability",
+        action="store_true",
+        default=False,
+        help="run soak tests marked @pytest.mark.stability",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-stability"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-stability")
+    for item in items:
+        if "stability" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,261 @@
+"""Tests for repro.experiments.scheduler.
+
+Covers the DAG extracted from the batch runner (ordering, compile
+sharing, grouping) and the service layer the daemon builds on:
+admission control, same-key batching, single-flight key leases,
+drain-with-inflight-jobs, and the SingleFlight/ReadThroughCache
+concurrency primitives.
+"""
+
+import threading
+
+import pytest
+
+from repro.experiments.scheduler import (
+    JobGraph,
+    JobScheduler,
+    JobSpec,
+    QueueFull,
+    ReadThroughCache,
+    SchedulerDrained,
+    SingleFlight,
+    spec_id,
+)
+
+# ---------------------------------------------------------------------------
+# the job DAG
+# ---------------------------------------------------------------------------
+
+
+def test_graph_orders_compile_before_dependents():
+    specs = [
+        JobSpec(workload="go", label="U", program="baseline"),
+        JobSpec(workload="go", label="C", program="sync_ref"),
+        JobSpec(workload="compress", label="U", program="baseline"),
+    ]
+    graph = JobGraph.build(specs)
+    order = graph.order
+    for node_id in order:
+        node = graph.nodes[node_id]
+        for dep in node.deps:
+            assert order.index(dep) < order.index(node_id)
+    # One compile node per (workload, threshold), ahead of its sims.
+    compiles = [i for i in order if graph.nodes[i].spec.kind == "compile"]
+    assert len(compiles) == 2
+    assert order.index("compile:go@0.05") < order.index(spec_id(specs[0]))
+
+
+def test_graph_shares_compile_node_per_threshold():
+    specs = [
+        JobSpec(workload="go", label="U", program="baseline"),
+        JobSpec(workload="go", label="C", program="sync_ref"),
+        JobSpec(workload="go", label="U", program="baseline", threshold=0.2),
+    ]
+    graph = JobGraph.build(specs)
+    compiles = {
+        i for i in graph.order if graph.nodes[i].spec.kind == "compile"
+    }
+    assert compiles == {"compile:go@0.05", "compile:go@0.2"}
+    assert graph.nodes[spec_id(specs[0])].deps == ("compile:go@0.05",)
+    assert graph.nodes[spec_id(specs[2])].deps == ("compile:go@0.2",)
+    assert len(graph.sim_nodes()) == 3
+
+
+def test_graph_groups_by_compile_key_in_first_appearance_order():
+    specs = [
+        JobSpec(workload="go", label="U"),
+        JobSpec(workload="compress", label="U"),
+        JobSpec(workload="go", label="C"),
+    ]
+    groups = JobGraph.build(specs).groups(specs)
+    assert [(w, t, [s.label for s in batch]) for w, t, batch in groups] == [
+        ("go", 0.05, ["U", "C"]),
+        ("compress", 0.05, ["U"]),
+    ]
+
+
+def test_spec_id_distinguishes_every_field():
+    base = JobSpec(workload="go")
+    variants = [
+        JobSpec(workload="go", label="U"),
+        JobSpec(workload="go", threshold=0.1),
+        JobSpec(workload="go", kind="custom"),
+        JobSpec(workload="go", param=0.2),
+        JobSpec(workload="go", overrides=(("num_cores", 8),)),
+    ]
+    ids = {spec_id(s) for s in [base] + variants}
+    assert len(ids) == len(variants) + 1
+
+
+# ---------------------------------------------------------------------------
+# JobScheduler: admission, batching, leases, drain
+# ---------------------------------------------------------------------------
+
+
+def test_scheduler_batches_same_key_fifo():
+    scheduler = JobScheduler(capacity=10, batch_limit=2)
+    scheduler.submit(("go", 0.05), "a")
+    scheduler.submit(("go", 0.05), "b")
+    scheduler.submit(("go", 0.05), "c")
+    key, batch = scheduler.next_batch()
+    assert key == ("go", 0.05)
+    assert batch == ["a", "b"]  # FIFO, capped at batch_limit
+    assert scheduler.queued == 1
+    assert scheduler.inflight == 2
+
+
+def test_scheduler_single_flight_lease_per_key():
+    scheduler = JobScheduler(capacity=10, batch_limit=16)
+    scheduler.submit(("go", 0.05), "a")
+    key, batch = scheduler.next_batch()
+    assert batch == ["a"]
+    # A token arriving while the key is leased must NOT be handed out:
+    # the cold compile for the key is already running.
+    scheduler.submit(("go", 0.05), "b")
+    assert scheduler.next_batch() is None
+    scheduler.complete(key)
+    key2, batch2 = scheduler.next_batch()
+    assert (key2, batch2) == (key, ["b"])
+
+
+def test_scheduler_leases_other_keys_while_one_is_busy():
+    scheduler = JobScheduler(capacity=10)
+    scheduler.submit(("go", 0.05), "a")
+    scheduler.submit(("compress", 0.05), "b")
+    key1, _ = scheduler.next_batch()
+    key2, _ = scheduler.next_batch()
+    assert {key1, key2} == {("go", 0.05), ("compress", 0.05)}
+    assert scheduler.next_batch() is None
+    assert set(scheduler.leased_keys) == {key1, key2}
+
+
+def test_scheduler_queue_full_counts_only_unleased():
+    scheduler = JobScheduler(capacity=2)
+    scheduler.submit("k", 1)
+    scheduler.submit("k", 2)
+    with pytest.raises(QueueFull):
+        scheduler.submit("k", 3)
+    # Leasing frees queue capacity (the tokens became in-flight).
+    scheduler.next_batch()
+    scheduler.submit("k", 3)
+    assert scheduler.queued == 1
+    assert scheduler.inflight == 2
+
+
+def test_scheduler_drain_with_inflight_jobs():
+    scheduler = JobScheduler(capacity=10)
+    scheduler.submit("k", 1)
+    scheduler.submit("k", 2)
+    key, batch = scheduler.next_batch()
+    assert batch == [1, 2]
+    scheduler.drain()
+    with pytest.raises(SchedulerDrained):
+        scheduler.submit("k", 3)
+    # In-flight work keeps the scheduler busy until completed.
+    assert not scheduler.idle()
+    scheduler.complete(key)
+    assert scheduler.idle()
+
+
+def test_scheduler_drain_flushes_queued_work():
+    scheduler = JobScheduler(capacity=10)
+    scheduler.submit("a", 1)
+    scheduler.submit("b", 2)
+    scheduler.drain()
+    served = []
+    while True:
+        leased = scheduler.next_batch()
+        if leased is None:
+            break
+        served.extend(leased[1])
+        scheduler.complete(leased[0])
+    assert served == [1, 2]
+    assert scheduler.idle()
+
+
+def test_scheduler_complete_requires_lease():
+    scheduler = JobScheduler()
+    with pytest.raises(KeyError):
+        scheduler.complete("nope")
+
+
+# ---------------------------------------------------------------------------
+# SingleFlight / ReadThroughCache
+# ---------------------------------------------------------------------------
+
+
+def test_single_flight_coalesces_concurrent_calls():
+    flight = SingleFlight()
+    gate = threading.Event()
+    started = threading.Event()
+    calls = []
+    results = []
+
+    def loader():
+        calls.append(1)
+        started.set()
+        gate.wait(5.0)
+        return "value"
+
+    def worker():
+        results.append(flight.do("key", loader))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    threads[0].start()
+    assert started.wait(5.0)  # the leader is inside loader
+    for thread in threads[1:]:
+        thread.start()
+    gate.set()
+    for thread in threads:
+        thread.join(5.0)
+    assert len(calls) == 1  # exactly one compile for 8 racers
+    assert results == ["value"] * 8
+
+
+def test_single_flight_propagates_leader_error_then_retries():
+    flight = SingleFlight()
+
+    def boom():
+        raise RuntimeError("compile failed")
+
+    with pytest.raises(RuntimeError):
+        flight.do("key", boom)
+    # Flights are not memoized: the next call runs fresh.
+    assert flight.do("key", lambda: 42) == 42
+
+
+def test_read_through_cache_single_flight_then_memo():
+    cache = ReadThroughCache()
+    gate = threading.Event()
+    calls = []
+    results = []
+
+    def loader():
+        calls.append(1)
+        gate.wait(5.0)
+        return "bundle"
+
+    def worker():
+        results.append(cache.get("key", loader))
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    gate.set()
+    for thread in threads:
+        thread.join(5.0)
+    assert len(calls) == 1
+    assert results == ["bundle"] * 6
+    assert "key" in cache and len(cache) == 1
+    # Memoized: later calls never invoke the loader again.
+    assert cache.get("key", lambda: "other") == "bundle"
+    cache.clear()
+    assert cache.get("key", lambda: "other") == "other"
+
+
+def test_read_through_cache_retries_after_loader_failure():
+    cache = ReadThroughCache()
+    with pytest.raises(ValueError):
+        cache.get("k", lambda: (_ for _ in ()).throw(ValueError("nope")))
+    assert "k" not in cache
+    assert cache.get("k", lambda: 7) == 7

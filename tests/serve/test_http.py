@@ -1,0 +1,118 @@
+"""Unit tests for the minimal HTTP layer and the API schema."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import http as http_mod
+from repro.serve.protocol import JobRequest, ProtocolError
+
+
+def _parse(raw: bytes):
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await http_mod.read_request(reader)
+
+    return asyncio.run(_run())
+
+
+def test_read_request_parses_line_headers_and_body():
+    body = json.dumps({"workload": "go"}).encode()
+    raw = (
+        b"POST /v1/jobs?debug=1 HTTP/1.1\r\n"
+        b"Content-Type: application/json\r\n"
+        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+        + body
+    )
+    request = _parse(raw)
+    assert request.method == "POST"
+    assert request.path == "/v1/jobs"
+    assert request.query == {"debug": "1"}
+    assert request.headers["content-type"] == "application/json"
+    assert request.json() == {"workload": "go"}
+    assert request.keep_alive
+
+
+def test_read_request_eof_returns_none():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"NOT-HTTP\r\n\r\n",                       # malformed request line
+        b"GET / SPDY/3\r\n\r\n",                   # bad version
+        b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",  # header w/o colon
+        b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n",  # bad length
+        b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    ],
+)
+def test_read_request_rejects_malformed(raw):
+    with pytest.raises(http_mod.BadRequest):
+        _parse(raw)
+
+
+def test_read_request_rejects_oversized_body():
+    raw = (
+        b"POST / HTTP/1.1\r\n"
+        + f"Content-Length: {http_mod.MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+    )
+    with pytest.raises(http_mod.BadRequest):
+        _parse(raw)
+
+
+def test_response_encoding_round_trips():
+    response = http_mod.HTTPResponse.json({"ok": True}, status=202)
+    encoded = response.encode(keep_alive=False)
+    head, _, body = encoded.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 202 Accepted")
+    assert b"Connection: close" in head
+    assert json.loads(body) == {"ok": True}
+    assert f"Content-Length: {len(body)}".encode() in head
+
+
+def test_route_match_captures_segments():
+    assert http_mod.route_match("/v1/jobs/j42", "/v1/jobs/{id}") == ("j42",)
+    assert http_mod.route_match(
+        "/v1/jobs/j42/result", "/v1/jobs/{id}/result"
+    ) == ("j42",)
+    assert http_mod.route_match("/v1/jobs", "/v1/jobs/{id}") is None
+    assert http_mod.route_match("/v1/jobs/j42/other", "/v1/jobs/{id}") is None
+
+
+# ---------------------------------------------------------------------------
+# JobRequest validation
+# ---------------------------------------------------------------------------
+
+
+def test_job_request_round_trip_and_normalization():
+    request = JobRequest.from_dict(
+        {"workload": "go", "bar": "u", "threshold": 0.1, "events": True}
+    )
+    assert request == JobRequest(
+        workload="go", bar="U", threshold=0.1, events=True
+    )
+    assert JobRequest.from_dict(request.to_dict()) == request
+    assert request.key == ("go", 0.1)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        [],                                        # not an object
+        {},                                        # missing workload
+        {"workload": "no-such-workload"},
+        {"workload": "go", "bar": "Z"},
+        {"workload": "go", "threshold": 0.0},
+        {"workload": "go", "threshold": "high"},
+        {"workload": "go", "threshold": True},
+        {"workload": "go", "events": "yes"},
+        {"workload": "go", "extra": 1},            # unknown field
+    ],
+)
+def test_job_request_rejects_invalid(payload):
+    with pytest.raises(ProtocolError):
+        JobRequest.from_dict(payload)

@@ -1,0 +1,80 @@
+"""Tests for the load generator and its bench-gate payload."""
+
+import pytest
+
+from repro.experiments.bench import compare_bench
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    format_loadgen,
+    parse_duration,
+    run_loadgen,
+)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("10s", 10.0),
+        ("2m", 120.0),
+        ("500ms", 0.5),
+        ("1.5h", 5400.0),
+        ("3", 3.0),
+        (" 0.25s ", 0.25),
+    ],
+)
+def test_parse_duration(text, expected):
+    assert parse_duration(text) == expected
+
+
+def test_parse_duration_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_duration("fast")
+
+
+def test_loadgen_payload_shape_and_acceptance(tmp_path):
+    payload = run_loadgen(
+        LoadgenConfig(
+            workloads=("go",),
+            bars=("U",),
+            duration_s=1.0,
+            concurrency=2,
+            workers=0,
+            cache_root=str(tmp_path / "loadgen-cache"),
+        )
+    )
+    assert payload["benchmark"] == "serve-loadgen"
+    assert len(payload["cold"]) == 1
+    assert payload["cold"][0]["source"] == "computed"
+    warm = payload["warm"]
+    assert warm["completed"] > 0 and warm["errors"] == 0
+    assert warm["sources"].get("memo", 0) > 0
+    latency = payload["latency"]
+    assert set(latency) >= {"p50", "p95", "p99", "mean", "count"}
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    # The acceptance criterion: warm p50 beats one cold request.
+    acceptance = payload["acceptance"]
+    assert acceptance["warm_p50_below_cold"] is True
+    assert acceptance["warm_p50_s"] < acceptance["cold_wall_s"]
+
+    # speedups cells are shaped for the existing bench compare gate.
+    [cell] = payload["speedups"]
+    assert cell["workload"] == "go" and cell["scheme"] == "serve-U"
+    assert cell["fast_instrs_per_sec"] > cell["slow_instrs_per_sec"]
+
+    comparison = compare_bench(payload, payload, tolerance=0.2)
+    assert comparison["regressions"] == 0
+    statuses = {c["status"] for c in comparison["cells"]}
+    assert statuses == {"ok"}
+
+    # A baseline 10x faster flags a regression through the same gate.
+    inflated = {
+        "speedups": [
+            dict(cell, fast_instrs_per_sec=cell["fast_instrs_per_sec"] * 10)
+        ]
+    }
+    comparison = compare_bench(payload, inflated, tolerance=0.2)
+    assert comparison["regressions"] == 1
+
+    report = format_loadgen(payload)
+    assert "p50=" in report and "acceptance:" in report
