@@ -436,9 +436,14 @@ def _cmd_bench(args) -> int:
         threshold=args.threshold,
         profile=args.profile,
         pipeline=args.pipeline,
+        opstats=args.opstats,
     )
     write_bench(payload, args.output)
     print(format_bench(payload))
+    if args.opstats:
+        from repro.experiments.bench import format_opstats
+
+        print(format_opstats(payload))
     print(f"wrote {args.output}")
     if args.compare:
         with open(args.compare) as handle:
@@ -741,6 +746,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also benchmark the compile pipeline's fast paths "
         "(artifact load vs compile, fast vs reference profiler, "
         "oracle load vs collection)",
+    )
+    bench_parser.add_argument(
+        "--opstats",
+        action="store_true",
+        help="report per-cell opcode frequencies, fused-region length "
+        "histograms and dynamic fused coverage (vector backend)",
     )
     bench_parser.add_argument(
         "--compare",

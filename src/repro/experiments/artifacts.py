@@ -50,7 +50,12 @@ from repro.compiler.scalar_sync import ScalarSyncReport
 from repro.compiler.scheduling import SchedulingReport
 from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.ir.module import ParallelLoop
-from repro.ir.serialize import SerializeError, module_from_state, module_to_state
+from repro.ir.serialize import (
+    SerializeError,
+    module_content_hash,
+    module_from_state,
+    module_to_state,
+)
 from repro.obs.registry import process_registry
 from repro.tlssim.oracle import ValueOracle
 
@@ -60,6 +65,7 @@ ARTIFACT_SCHEMA_VERSION = 1
 #: Artifact kinds (the filename suffix).
 KIND_COMPILED = "compiled"
 KIND_ORACLE = "oracle"
+KIND_LOWERED = "lowered"
 
 
 # ---------------------------------------------------------------------------
@@ -542,6 +548,38 @@ class ArtifactStore:
             oracle_to_state(oracle),
         )
 
+    def lowered_key(self, module, cost_sig) -> str:
+        """Key for a vector-backend region table.
+
+        Keyed on the exact module content (iids included — regions
+        carry instruction indices) and the engine cost signature the
+        clock-offset tables were generated under.
+        """
+        return artifact_key(
+            KIND_LOWERED, module.name, 0.0, "", "",
+            extra={
+                "module": module_content_hash(module),
+                "cost": list(cost_sig),
+            },
+        )
+
+    def load_lowered(self, module, cost_sig) -> Optional[Dict]:
+        """Stored lowered-region state, or None (counts hit/miss).
+
+        Returns the raw state dict: revalidation against the decoded
+        program (and the stale-table fallback) happens in
+        ``repro.ir.lower.lowered_for``.
+        """
+        payload = self._get(self.lowered_key(module, cost_sig), KIND_LOWERED)
+        if payload is None:
+            _bump("misses")
+            return None
+        _bump("hits")
+        return payload
+
+    def save_lowered(self, module, cost_sig, state: Dict) -> None:
+        self._put(self.lowered_key(module, cost_sig), KIND_LOWERED, state)
+
     # -- management ----------------------------------------------------
     def info(self) -> Dict:
         """Entry counts and total size, for ``repro cache info``."""
@@ -601,7 +639,23 @@ def configure(enabled: bool, root: Optional[str] = None) -> Optional[ArtifactSto
     """Install (or remove) the process-wide store and return it."""
     global _active
     _active = ArtifactStore(root) if enabled else None
+    _install_lowered_hooks()
     return _active
+
+
+def _install_lowered_hooks() -> None:
+    """Point repro.ir.lower's persistence seam at the active store.
+
+    With the store off, lowering still works — region tables are just
+    rebuilt per process instead of loaded.
+    """
+    from repro.ir import lower
+
+    store = _active
+    if store is None:
+        lower.set_persistence(None, None)
+    else:
+        lower.set_persistence(store.load_lowered, store.save_lowered)
 
 
 def active_store() -> Optional[ArtifactStore]:

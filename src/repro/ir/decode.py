@@ -65,6 +65,14 @@ from repro.ir.operands import GlobalRef, Imm, Reg
 # instructions the TLS scheduler must order globally.  The engine's
 # free-running turn loop relies on this layout: ``code <= OP_CONDBR``
 # means "no other epoch can observe this instruction".
+# Negative opcode reserved for the vector backend's fused superops
+# (see repro.ir.lower): ``code < 0`` dispatches before every ordinary
+# comparison, and the superop tuple carries the original head op so the
+# engines can fall back to per-op execution mid-region.  Layout:
+# ``(OP_FUSED, total_dt, head_op, fn_trace, fn_clock, n, fn_plain,
+# region)``.
+OP_FUSED = -1
+
 OP_CONST = 0
 OP_MOVE = 1
 OP_BINOP = 2
@@ -91,6 +99,14 @@ PURE_OPCODES = frozenset(
 #: Largest opcode that touches no shared state (registers, clock,
 #: frames and branch targets only) — see the layout comment above.
 MAX_PRIVATE_OPCODE = OP_CONDBR
+
+#: Opcodes the vector backend may fuse into straight-line superops:
+#: pure, non-faulting, and independent of the forwarding flag.
+#: OP_SELECT and OP_RESUME (read or clear the forwarding flag) break
+#: regions even though they are pure; OP_DIVMOD (zero-divisor fault)
+#: is not in this set but fuses when its divisor is a nonzero
+#: constant (operand-dependent — see repro.ir.lower._fusible_op).
+FUSIBLE_OPCODES = frozenset((OP_CONST, OP_MOVE, OP_BINOP, OP_UNOP))
 
 
 class DecodeError(Exception):

@@ -1,0 +1,150 @@
+"""Array kernels behind the ``vector`` execution backend.
+
+The lowering pass (:mod:`repro.ir.lower`) works on *columns*: for each
+candidate region it builds column-major numpy arrays of opcodes and
+per-instruction clock charges, segments them into maximal fusible runs,
+and folds constants — all array operations that run once per static
+program.  This module holds those kernels plus the availability gate.
+
+Everything here must stay importable (and the public helpers usable)
+when numpy is missing: the backend then reports itself unavailable and
+the engine falls back to the ``tuples`` path (see
+``SimConfig.backend``), bumping the ``backend_fallback`` counter
+instead of failing.
+
+Exactness
+---------
+
+The fused superops emitted by the lowering pass precompute per-region
+clock-offset tables so one float add replaces a chain of sequential
+adds.  That is only byte-identical to the tuple path when every
+per-instruction charge is a *dyadic rational* on a fixed grid: charges
+are ``latency / issue_width``, so the gate below demands an integral
+latency and a power-of-two issue width.  Then every charge — and every
+partial sum of charges — is an integer multiple of ``2**-k`` (``k =
+log2(issue_width)``), float addition over the grid is exact while
+magnitudes stay far below ``2**53 / issue_width`` (step limits keep
+simulated clocks under ``~2**40``), and *any* association order yields
+the same bits.  The association-freedom is what lets
+:func:`clock_offsets` use ``numpy.cumsum`` without caring about numpy's
+pairwise summation order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY both ways in tests
+    import numpy as _np
+except Exception:  # pragma: no cover - ImportError on minimal installs
+    _np = None
+
+#: True when the vector backend's array dependency is importable.
+HAVE_NUMPY = _np is not None
+
+
+def numpy_or_none():
+    """The numpy module, or None when the backend must fall back."""
+    return _np
+
+
+def dyadic_exact(issue_width: int, latencies: Sequence[float]) -> bool:
+    """Whether precomputed clock-offset sums are bit-exact.
+
+    True iff ``issue_width`` is a power of two and every latency is an
+    integral float — the condition under which all clock charges live
+    on the ``2**-log2(issue_width)`` grid (see module docstring).
+    """
+    if issue_width < 1 or issue_width & (issue_width - 1):
+        return False
+    return all(float(lat).is_integer() for lat in latencies)
+
+
+def fusible_runs(
+    codes: Sequence[int], fusible: frozenset, min_len: int
+) -> List[Tuple[int, int]]:
+    """Maximal runs ``[start, end)`` of fusible opcodes, length >= min_len.
+
+    The column of opcodes is segmented with a boolean mask and its
+    boundary differences; the pure-python fallback scans linearly.
+    """
+    n = len(codes)
+    if n == 0:
+        return []
+    if _np is not None:
+        col = _np.fromiter(codes, dtype=_np.int64, count=n)
+        mask = _np.isin(col, _np.fromiter(sorted(fusible), dtype=_np.int64))
+        edged = _np.diff(mask.astype(_np.int8), prepend=0, append=0)
+        starts = _np.flatnonzero(edged == 1)
+        ends = _np.flatnonzero(edged == -1)
+        return [
+            (int(s), int(e)) for s, e in zip(starts, ends) if e - s >= min_len
+        ]
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for i, code in enumerate(codes):
+        if code in fusible:
+            if start is None:
+                start = i
+        elif start is not None:
+            if i - start >= min_len:
+                runs.append((start, i))
+            start = None
+    if start is not None and n - start >= min_len:
+        runs.append((start, n))
+    return runs
+
+
+def clock_offsets(dts: Sequence[float]) -> Tuple[List[float], float]:
+    """Per-op clock offsets and the region total for a run of charges.
+
+    ``offsets[k]`` is the clock of op ``k`` relative to the region
+    entry clock (op 0 starts at offset 0.0); the total is the whole
+    region's charge.  Callers must have passed the :func:`dyadic_exact`
+    gate — on-grid sums are exact under any association, so the numpy
+    cumulative sum matches the tuple path's sequential accumulation
+    bit for bit.
+    """
+    n = len(dts)
+    if n == 0:
+        return [], 0.0
+    if _np is not None:
+        col = _np.fromiter(dts, dtype=_np.float64, count=n)
+        summed = _np.cumsum(col)
+        offsets = [0.0]
+        offsets.extend(float(v) for v in summed[:-1])
+        return offsets, float(summed[-1])
+    total = 0.0
+    offsets = []
+    for dt in dts:
+        offsets.append(total)
+        total += dt
+    return offsets, total
+
+
+def fold_constants(values: Sequence[int]):
+    """Column view of compile-time-known operand values.
+
+    Values outside the signed 64-bit range (never produced by the
+    wrapping evaluators, but allowed in source immediates) fall back to
+    a plain list so the fold stays exact.
+    """
+    if _np is not None:
+        try:
+            return _np.fromiter(values, dtype=_np.int64, count=len(values))
+        except OverflowError:
+            pass
+    return list(values)
+
+
+def opcode_histogram(codes: Sequence[int], num_opcodes: int) -> List[int]:
+    """Counts per opcode for a column of opcodes (opstats support)."""
+    if _np is not None and len(codes):
+        col = _np.fromiter(codes, dtype=_np.int64, count=len(codes))
+        col = col[(col >= 0) & (col < num_opcodes)]
+        return [int(v) for v in _np.bincount(col, minlength=num_opcodes)]
+    counts = [0] * num_opcodes
+    for code in codes:
+        if 0 <= code < num_opcodes:
+            counts[code] += 1
+    return counts

@@ -1,0 +1,723 @@
+"""Region lowering for the ``vector`` execution backend.
+
+The decoded fast path still dispatches one flat tuple per dynamic
+instruction; profiling shows that per-op loop — tuple indexing, dict
+reads, an evalops call, a trace append and a float add per instruction
+— is the remaining wall.  This pass runs once per compiled program: it
+segments each decoded block's opcode column into maximal straight-line
+*private* regions (no loads/stores, no synchronization, no side exits,
+no faulting ops), and lowers every region to one **fused superop**
+executed by a generated, compiled kernel.
+
+Lowering rules
+--------------
+
+* ``OP_CONST``/``OP_MOVE``/``OP_BINOP``/``OP_UNOP`` fuse: they touch
+  nothing but the run's own registers and clock.  ``OP_DIVMOD`` fuses
+  *only* with a nonzero constant divisor (then it cannot fault or
+  park); with a register divisor it breaks a region, as do
+  ``OP_SELECT``/``OP_RESUME`` (read or clear the forwarding flag) and
+  every control-flow or shared-state opcode.
+* A region reads all its live-in registers *before mutating anything*,
+  so an undefined register raises ``KeyError`` with the machine state
+  untouched; the engine then re-executes the region through the
+  ordinary tuple ops to reproduce the tuple path's exact per-op
+  behaviour (partial application, horizon deferral, error text).
+* Per-op clock charges are pre-summed into an offset table so the
+  kernel extends the rollback trace and advances the clock with one
+  float add per op.  This is bit-identical to sequential accumulation
+  only on a dyadic cost grid — :func:`cost_signature` /
+  :func:`signature_exact` gate lowering on an integral-latency,
+  power-of-two-issue-width configuration and the backend falls back to
+  ``tuples`` otherwise.
+* Constant subexpressions fold at lower time (with the *same*
+  ``evalops`` callables, so wrapping semantics match exactly); folded
+  ops still charge their clock slots — timing never changes.
+* In the lowered ops list the superop replaces only the region *head*;
+  interior indices keep their original tuples.  Squash rollback needs
+  no special casing: a squashed epoch restarts from scratch and the
+  per-op trace entries the kernel appended roll the clock back exactly
+  as the tuple path does, while parks and faults resume *inside* a
+  region at an ordinary tuple op.
+
+The per-region :class:`Region` record keeps the register-delta
+footprint (live-ins read, live-outs written), the generated source and
+fold statistics — used for fallback execution, artifact persistence
+(see :mod:`repro.ir.serialize`) and ``repro bench --opstats``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import kernels
+from repro.ir.decode import (
+    FUSIBLE_OPCODES,
+    OP_BINOP,
+    OP_CONST,
+    OP_DIVMOD,
+    OP_FUSED,
+    OP_MOVE,
+    OP_UNOP,
+    DecodedProgram,
+)
+from repro.ir.evalops import BINOP_FUNCS, UNOP_FUNCS
+
+#: Bump when the generated-kernel ABI or state layout changes.
+LOWER_SCHEMA_VERSION = 1
+
+#: Shortest run worth fusing: a superop costs one dispatch plus one
+#: kernel call, which beats per-op dispatch from two ops up (measured;
+#: even a two-op kernel skips two full trips around the turn loop).
+MIN_REGION_LEN = 2
+
+#: Valid ``SimConfig.backend`` values (referenced by config validation).
+BACKENDS = ("tuples", "vector")
+
+
+class LowerError(Exception):
+    """A region the lowering pass cannot handle (internal invariant)."""
+
+
+# ---------------------------------------------------------------------------
+# codegen templates (must mirror repro.ir.evalops bit for bit)
+# ---------------------------------------------------------------------------
+
+_SIGN = 1 << 63
+_MODULUS_MASK = (1 << 64) - 1
+
+
+def _wrap_expr(expr: str) -> str:
+    # ((v + 2**63) & (2**64 - 1)) - 2**63 == evalops._wrap(v) for every
+    # int v (two's-complement signed wrap, verified by tests).
+    return f"((({expr}) + {_SIGN}) & {_MODULUS_MASK}) - {_SIGN}"
+
+
+_BINOP_TEMPLATES: Dict[str, Callable[[str, str], str]] = {
+    "add": lambda a, b: _wrap_expr(f"{a} + {b}"),
+    "sub": lambda a, b: _wrap_expr(f"{a} - {b}"),
+    "mul": lambda a, b: _wrap_expr(f"{a} * {b}"),
+    "and": lambda a, b: _wrap_expr(f"{a} & {b}"),
+    "or": lambda a, b: _wrap_expr(f"{a} | {b}"),
+    "xor": lambda a, b: _wrap_expr(f"{a} ^ {b}"),
+    "shl": lambda a, b: _wrap_expr(f"{a} << ({b} & 63)"),
+    "shr": lambda a, b: _wrap_expr(f"{a} >> ({b} & 63)"),
+    "eq": lambda a, b: f"1 if {a} == {b} else 0",
+    "ne": lambda a, b: f"1 if {a} != {b} else 0",
+    "lt": lambda a, b: f"1 if {a} < {b} else 0",
+    "le": lambda a, b: f"1 if {a} <= {b} else 0",
+    "gt": lambda a, b: f"1 if {a} > {b} else 0",
+    "ge": lambda a, b: f"1 if {a} >= {b} else 0",
+    # builtins min/max return the first argument on ties.
+    "min": lambda a, b: f"{a} if {a} <= {b} else {b}",
+    "max": lambda a, b: f"{a} if {a} >= {b} else {b}",
+}
+
+_UNOP_TEMPLATES: Dict[str, Callable[[str], str]] = {
+    "neg": lambda a: _wrap_expr(f"-{a}"),
+    "not": lambda a: f"0 if {a} else 1",
+}
+
+
+def _atom(value) -> str:
+    """Render a const operand (parenthesized when negative)."""
+    return f"({value!r})" if value < 0 else repr(value)
+
+
+def _trunc_div_expr(a: str, c: int) -> str:
+    """Truncating ``a`` / nonzero-constant ``c``, matching evalops.
+
+    ``evalops._trunc_div`` computes ``abs(lhs) // abs(rhs)`` negated
+    when the signs differ; Python's floor division over exact ints
+    reproduces that case by case (no ``abs`` — the kernel namespace
+    has no builtins).
+    """
+    if c > 0:
+        return f"({a} // {c} if {a} >= 0 else -((-{a}) // {c}))"
+    return f"(-({a} // {-c}) if {a} >= 0 else (-{a}) // {-c})"
+
+
+def _fusible_op(op: tuple) -> bool:
+    """Whether one decoded tuple may live inside a fused region.
+
+    Extends the code-only :data:`FUSIBLE_OPCODES` set with the
+    operand-dependent case: a ``div``/``mod`` whose divisor is a
+    nonzero *constant* cannot fault or park, so it is as pure as any
+    ``OP_BINOP``.
+    """
+    code = op[0]
+    if code in FUSIBLE_OPCODES:
+        return True
+    return code == OP_DIVMOD and type(op[6]) is int and op[6] != 0
+
+
+# ---------------------------------------------------------------------------
+# one region: analysis + codegen
+# ---------------------------------------------------------------------------
+
+
+class Region:
+    """Metadata for one fused superop (register-delta record)."""
+
+    __slots__ = ("start", "length", "live_ins", "live_outs", "folded",
+                 "name", "source")
+
+    def __init__(self, start: int, length: int, live_ins: List[str],
+                 live_outs: List[str], folded: int, name: str, source: str):
+        self.start = start
+        self.length = length
+        self.live_ins = live_ins
+        self.live_outs = live_outs
+        self.folded = folded
+        self.name = name
+        self.source = source
+
+    def to_state(self) -> Dict:
+        return {
+            "start": self.start,
+            "n": self.length,
+            "live_ins": list(self.live_ins),
+            "live_outs": list(self.live_outs),
+            "folded": self.folded,
+            "name": self.name,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "Region":
+        return cls(
+            start=state["start"],
+            length=state["n"],
+            live_ins=list(state["live_ins"]),
+            live_outs=list(state["live_outs"]),
+            folded=state["folded"],
+            name=state["name"],
+            source=state["source"],
+        )
+
+
+def _generate_region(
+    ops: Sequence[tuple], start: int, end: int, name: str
+) -> Region:
+    """Analyze ops[start:end] and emit the three kernel variants.
+
+    The generated module defines ``{name}_trace(regs, trace, clock)``
+    (epoch path: appends per-op trace entries), ``{name}_clock(regs,
+    clock)`` (sequential path) and ``{name}_plain(regs)`` (untimed
+    interpreter path); the timed variants return the advanced clock.
+    """
+    env: Dict[str, tuple] = {}        # reg -> ("const", v) | ("var", local)
+    live_ins: Dict[str, str] = {}     # reg -> live-in local (ordered)
+    nodes: List[Tuple[str, str, Tuple[str, ...]]] = []
+    folded = 0
+
+    def read(operand) -> tuple:
+        if type(operand) is int:
+            return ("const", operand)
+        cached = env.get(operand)
+        if cached is not None:
+            return cached
+        local = live_ins.get(operand)
+        if local is None:
+            local = f"_i{len(live_ins)}"
+            live_ins[operand] = local
+        return ("var", local)
+
+    def render(node: tuple) -> str:
+        return _atom(node[1]) if node[0] == "const" else node[1]
+
+    for k in range(start, end):
+        op = ops[k]
+        code = op[0]
+        if code == OP_CONST:
+            env[op[3]] = ("const", op[4])
+        elif code == OP_MOVE:
+            env[op[3]] = read(op[4])
+        elif code == OP_BINOP:
+            opname = op[2].op
+            lhs, rhs = read(op[5]), read(op[6])
+            if lhs[0] == "const" and rhs[0] == "const":
+                env[op[3]] = ("const", BINOP_FUNCS[opname](lhs[1], rhs[1]))
+                folded += 1
+                continue
+            local = f"_v{len(nodes)}"
+            deps = tuple(n[1] for n in (lhs, rhs) if n[0] == "var")
+            nodes.append(
+                (local, _BINOP_TEMPLATES[opname](render(lhs), render(rhs)),
+                 deps)
+            )
+            env[op[3]] = ("var", local)
+        elif code == OP_DIVMOD:
+            # In a region only with a nonzero constant divisor (see
+            # _fusible_op) — pure truncating division, never faults.
+            opname = op[2].op
+            lhs = read(op[5])
+            c = op[6]
+            if lhs[0] == "const":
+                env[op[3]] = ("const", BINOP_FUNCS[opname](lhs[1], c))
+                folded += 1
+                continue
+            local = f"_v{len(nodes)}"
+            a = lhs[1]
+            q = _trunc_div_expr(a, c)
+            if opname == "div":
+                expr = _wrap_expr(q)
+            else:  # mod: lhs - trunc_div(lhs, c) * c
+                expr = _wrap_expr(f"{a} - {q} * {_atom(c)}")
+            nodes.append((local, expr, (a,)))
+            env[op[3]] = ("var", local)
+        elif code == OP_UNOP:
+            opname = op[2].op
+            src = read(op[5])
+            if src[0] == "const":
+                env[op[3]] = ("const", UNOP_FUNCS[opname](src[1]))
+                folded += 1
+                continue
+            local = f"_v{len(nodes)}"
+            deps = (src[1],) if src[0] == "var" else ()
+            nodes.append((local, _UNOP_TEMPLATES[opname](render(src)), deps))
+            env[op[3]] = ("var", local)
+        else:  # pragma: no cover - fusible_runs filters opcodes
+            raise LowerError(f"opcode {code} is not fusible")
+
+    # Dead-node elimination: only values feeding a live-out (directly
+    # or transitively) execute; timing is precomputed, so skipping an
+    # unread intermediate is unobservable.
+    needed = {node[1] for node in env.values() if node[0] == "var"}
+    emitted: List[Tuple[str, str]] = []
+    for local, expr, deps in reversed(nodes):
+        if local in needed:
+            needed.update(deps)
+            emitted.append((local, expr))
+    emitted.reverse()
+
+    offsets, total = kernels.clock_offsets(
+        [ops[k][1] for k in range(start, end)]
+    )
+    # The rollback trace gets one *chunk* — (base clock, offset table) —
+    # instead of n flat entries: only a squash ever reads the trace, so
+    # the engine flattens chunks lazily (base + off, the exact floats a
+    # per-op append would have produced) and committed work never pays
+    # the per-op trace cost at all.
+    off_lit = "(" + ", ".join(repr(off) for off in offsets) + ")"
+    ret = "clock" if total == 0.0 else f"clock + {total!r}"
+
+    reads = [f"    {local} = regs[{reg!r}]" for reg, local in live_ins.items()]
+    body = [f"    {local} = {expr}" for local, expr in emitted]
+    writes = [
+        f"    regs[{reg!r}] = {render(node)}" for reg, node in env.items()
+    ]
+    if not (reads or body or writes):
+        reads = ["    pass"]
+
+    lines: List[str] = []
+    lines.append(f"def {name}_trace(regs, trace, clock):")
+    lines.extend(reads)
+    lines.append(f"    trace.append((clock, {off_lit}))")
+    lines.extend(body)
+    lines.extend(writes)
+    lines.append(f"    return {ret}")
+    lines.append("")
+    lines.append(f"def {name}_clock(regs, clock):")
+    lines.extend(reads)
+    lines.extend(body)
+    lines.extend(writes)
+    lines.append(f"    return {ret}")
+    lines.append("")
+    lines.append(f"def {name}_plain(regs):")
+    lines.extend(reads)
+    lines.extend(body)
+    lines.extend(writes)
+    lines.append("")
+
+    return Region(
+        start=start,
+        length=end - start,
+        live_ins=list(live_ins),
+        live_outs=list(env),
+        folded=folded,
+        name=name,
+        source="\n".join(lines),
+    )
+
+
+def _compile_regions(
+    regions: Sequence[Region], where: str
+) -> Dict[str, Callable]:
+    """Exec the regions' generated source into a fresh namespace."""
+    source = "\n".join(region.source for region in regions)
+    namespace: Dict[str, Callable] = {"__builtins__": {}}
+    exec(compile(source, f"<lowered:{where}>", "exec"), namespace)
+    return namespace
+
+
+def _superop(ops: Sequence[tuple], region: Region,
+             namespace: Dict[str, Callable]) -> tuple:
+    """Build the fused dispatch tuple for one compiled region.
+
+    Layout: ``(OP_FUSED, total_dt, head_op, fn_trace, fn_clock, n,
+    fn_plain, region)``.  ``head_op`` is the original tuple at the
+    region head — the engines re-dispatch it (and then continue per-op
+    through the untouched interior tuples) whenever the kernel cannot
+    run atomically (step-limit crossing or missing live-in).
+    """
+    start = region.start
+    _, total = kernels.clock_offsets(
+        [ops[k][1] for k in range(start, start + region.length)]
+    )
+    return (
+        OP_FUSED,
+        total,
+        ops[start],
+        namespace[f"{region.name}_trace"],
+        namespace[f"{region.name}_clock"],
+        region.length,
+        namespace[f"{region.name}_plain"],
+        region,
+    )
+
+
+# ---------------------------------------------------------------------------
+# lowered program containers
+# ---------------------------------------------------------------------------
+
+
+class LoweredBlock:
+    """A decoded block with fused superops at region heads."""
+
+    __slots__ = ("ops", "chunk_end", "regions")
+
+    def __init__(self, ops: List[tuple], chunk_end: List[int],
+                 regions: List[Region]):
+        self.ops = ops
+        self.chunk_end = chunk_end
+        self.regions = regions
+
+
+class LoweredFunction:
+    """Lowered blocks of one function, keyed by label.
+
+    Blocks with no fusible region stay plain :class:`DecodedBlock`
+    objects (``regions`` reads as empty via :func:`block_regions`).
+    """
+
+    __slots__ = ("blocks",)
+
+    def __init__(self, blocks: Dict[str, object]):
+        self.blocks = blocks
+
+
+def block_regions(block) -> Sequence[Region]:
+    """The fused regions of a (lowered or plain decoded) block."""
+    return getattr(block, "regions", ())
+
+
+class LoweredProgram:
+    """Drop-in for :class:`DecodedProgram` with fused-region blocks.
+
+    Exposes the same ``function()``/``block()`` surface the engines'
+    hot loops use, so selecting the backend is just a matter of which
+    program object the dispatch loop walks.
+    """
+
+    def __init__(self, decoded: DecodedProgram):
+        self.decoded = decoded
+        self.module = decoded.module
+        self._functions: Dict[str, LoweredFunction] = {}
+
+    def function(self, name: str) -> LoweredFunction:
+        lowered = self._functions.get(name)
+        if lowered is None:
+            lowered = self._lower_function(name)
+            self._functions[name] = lowered
+        return lowered
+
+    def block(self, function_name: str, label: str):
+        lowered = self._functions.get(function_name)
+        if lowered is None:
+            lowered = self._lower_function(function_name)
+            self._functions[function_name] = lowered
+        return lowered.blocks[label]
+
+    def lower_all(self) -> "LoweredProgram":
+        """Eagerly lower every function (persistence needs the lot)."""
+        for name in self.module.functions:
+            self.function(name)
+        return self
+
+    # -- stats ---------------------------------------------------------
+
+    def region_table(self) -> List[Tuple[str, str, Region]]:
+        """Every fused region as (function, label, region)."""
+        table = []
+        for name, function in sorted(self._functions.items()):
+            for label, block in sorted(function.blocks.items()):
+                for region in block_regions(block):
+                    table.append((name, label, region))
+        return table
+
+    # -- lowering ------------------------------------------------------
+
+    def _lower_function(self, name: str) -> LoweredFunction:
+        decoded = self.decoded.function(name)
+        blocks: Dict[str, object] = {}
+        counter = 0
+        for label, dblock in decoded.blocks.items():
+            ops = dblock.ops
+            # Operand-dependent fusibility (divmod-by-constant) folds
+            # into the code column before segmentation: map every
+            # fusible op onto a sentinel member of the fusible set.
+            runs = kernels.fusible_runs(
+                [OP_CONST if _fusible_op(op) else -2 for op in ops],
+                FUSIBLE_OPCODES, MIN_REGION_LEN,
+            )
+            if not runs:
+                blocks[label] = dblock
+                continue
+            regions = []
+            for start, end in runs:
+                regions.append(
+                    _generate_region(ops, start, end, f"_r{counter}")
+                )
+                counter += 1
+            namespace = _compile_regions(regions, f"{name}:{label}")
+            new_ops = list(ops)
+            for region in regions:
+                new_ops[region.start] = _superop(ops, region, namespace)
+            blocks[label] = LoweredBlock(new_ops, dblock.chunk_end, regions)
+        return LoweredFunction(blocks)
+
+    # -- persistence ---------------------------------------------------
+
+    def to_state(self) -> Dict:
+        """JSON-able region tables (generated sources + metadata)."""
+        functions: Dict[str, Dict] = {}
+        for name, function in self._functions.items():
+            labels = {}
+            for label, block in function.blocks.items():
+                regions = block_regions(block)
+                if regions:
+                    labels[label] = [r.to_state() for r in regions]
+            if labels:
+                functions[name] = labels
+        return {"version": LOWER_SCHEMA_VERSION, "functions": functions}
+
+    @classmethod
+    def from_state(cls, decoded: DecodedProgram, state: Dict) -> "LoweredProgram":
+        """Rebuild from stored region tables (skips re-analysis).
+
+        Stored sources are re-compiled against the *current* decoded
+        ops; a region whose recorded span no longer matches fusible
+        opcodes raises ``LowerError`` so callers can fall back to a
+        fresh lowering.
+        """
+        if state.get("version") != LOWER_SCHEMA_VERSION:
+            raise LowerError(
+                f"lowered-state version {state.get('version')!r} != "
+                f"{LOWER_SCHEMA_VERSION}"
+            )
+        program = cls(decoded)
+        for name, labels in state["functions"].items():
+            dfunc = decoded.function(name)
+            blocks: Dict[str, object] = dict(dfunc.blocks)
+            for label, region_states in labels.items():
+                dblock = dfunc.blocks[label]
+                ops = dblock.ops
+                regions = [Region.from_state(s) for s in region_states]
+                for region in regions:
+                    span = ops[region.start:region.start + region.length]
+                    if len(span) != region.length or any(
+                        not _fusible_op(op) for op in span
+                    ):
+                        raise LowerError(
+                            f"stored region {name}:{label}@{region.start} "
+                            f"does not match the decoded program"
+                        )
+                namespace = _compile_regions(regions, f"{name}:{label}")
+                new_ops = list(ops)
+                for region in regions:
+                    new_ops[region.start] = _superop(ops, region, namespace)
+                blocks[label] = LoweredBlock(
+                    new_ops, dblock.chunk_end, regions
+                )
+            program._functions[name] = LoweredFunction(blocks)
+        # Functions without any fusible region were not persisted:
+        # lower them lazily (cheap: segmentation finds nothing).
+        return program
+
+
+# ---------------------------------------------------------------------------
+# backend gate + per-module memo + persistence seam
+# ---------------------------------------------------------------------------
+
+#: SimConfig fields whose values enter every clock sum; all must be
+#: integral (and issue_width a power of two) for offset-table exactness.
+_COST_FIELDS = (
+    "issue_width", "lat_int", "lat_mul", "lat_div", "lat_branch",
+    "lat_tls_op", "lat_l1", "lat_l2", "lat_mem", "spawn_cost",
+    "commit_base", "commit_per_line", "violation_penalty",
+    "forward_latency",
+)
+
+
+def cost_signature(config) -> Tuple:
+    """The config fields lowering depends on (also the artifact key)."""
+    return tuple(float(getattr(config, name)) for name in _COST_FIELDS)
+
+
+def signature_exact(cost_sig: Sequence[float]) -> bool:
+    """Whether the cost model lives on a dyadic grid (see kernels)."""
+    return kernels.dyadic_exact(int(cost_sig[0]), cost_sig)
+
+
+def unavailable_reason(config=None) -> Optional[str]:
+    """Why the vector backend cannot run here, or None when it can."""
+    if not kernels.HAVE_NUMPY:
+        return "numpy unavailable"
+    if config is not None and not signature_exact(cost_signature(config)):
+        return (
+            "cost model off the dyadic grid (non-integral latency or "
+            "non-power-of-two issue width)"
+        )
+    return None
+
+
+#: Module attribute holding ``(token, {cost_sig: LoweredProgram})``.
+_MODULE_CACHE_ATTR = "_repro_lowered_cache"
+
+#: Installed by repro.experiments.artifacts: (load, save) callables
+#: keyed on (module, cost_sig) — see artifacts.install_lowered_store().
+_persistence: Optional[Tuple[Callable, Callable]] = None
+
+
+def set_persistence(load: Optional[Callable], save: Optional[Callable]) -> None:
+    """Install (or clear) the lowered-region artifact-store hooks."""
+    global _persistence
+    _persistence = (load, save) if load is not None else None
+
+
+def _module_token(module) -> Tuple[int, int]:
+    """Cheap content token invalidating the memo on module mutation."""
+    count = 0
+    iid_sum = 0
+    for function in module.functions.values():
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                count += 1
+                iid_sum += instr.iid or 0
+    return (count, iid_sum)
+
+
+def lowered_for(decoded: DecodedProgram, config) -> Optional[LoweredProgram]:
+    """The (memoized, persisted) lowered program for an engine.
+
+    Returns None when the backend is unavailable (no numpy, or a cost
+    model the exactness gate rejects) — callers fall back to the tuple
+    path.  Hits come from, in order: the per-module in-process memo
+    (validated by a content token, since compiler passes may mutate
+    modules in place), then the artifact store via the installed
+    persistence hooks; misses lower eagerly and persist.
+
+    ``config=None`` serves untimed callers (the IR interpreter decodes
+    with zero dts): the memo entry lives under a ``None`` key and the
+    artifact store is skipped, since persisted region tables are keyed
+    by an engine cost signature.
+    """
+    if unavailable_reason(config) is not None:
+        return None
+    module = decoded.module
+    cost_sig = None if config is None else cost_signature(config)
+    token = _module_token(module)
+    cached = getattr(module, _MODULE_CACHE_ATTR, None)
+    if cached is not None and cached[0] == token:
+        program = cached[1].get(cost_sig)
+        if program is not None:
+            return program
+    else:
+        cached = (token, {})
+        setattr(module, _MODULE_CACHE_ATTR, cached)
+    program = None
+    if _persistence is not None and cost_sig is not None:
+        state = _persistence[0](module, cost_sig)
+        if state is not None:
+            try:
+                program = LoweredProgram.from_state(decoded, state).lower_all()
+            except (LowerError, KeyError, TypeError, SyntaxError):
+                program = None  # stale/corrupt entry: relower
+    if program is None:
+        program = LoweredProgram(decoded).lower_all()
+        if _persistence is not None and cost_sig is not None:
+            _persistence[1](module, cost_sig, program.to_state())
+    cached[1][cost_sig] = program
+    return program
+
+
+def note_backend_fallback(reason: str) -> None:
+    """Count a vector->tuples fallback in the process metrics registry.
+
+    Deliberately *not* an engine counter: engine counters feed
+    ``SimResult.counters`` and the fallback must not perturb the
+    byte-identity contract between backends.
+    """
+    from repro.obs.registry import process_registry
+
+    process_registry().counter(
+        "backend_fallback", reason=reason.split(" (")[0]
+    ).inc()
+
+
+# ---------------------------------------------------------------------------
+# opstats support
+# ---------------------------------------------------------------------------
+
+#: Opcode index -> mnemonic for opstats reporting (mirrors decode).
+OPCODE_NAMES = (
+    "const", "move", "binop", "divmod", "unop", "select", "resume",
+    "call", "ret", "jump", "condbr", "load", "store", "alloc",
+    "wait", "signal", "check",
+)
+
+
+def program_opstats(program) -> Dict:
+    """Static opcode-frequency and region-length stats for a program.
+
+    ``program`` is a :class:`LoweredProgram` (or a plain
+    :class:`DecodedProgram`, in which case there are no regions).
+    Counts are static (per lowered instruction); dynamic coverage comes
+    from the engines' ``fused_instructions``/``instructions`` counters.
+    """
+    decoded = getattr(program, "decoded", program)
+    codes: List[int] = []
+    region_lengths: List[int] = []
+    fused_static = 0
+    folded = 0
+    for name in decoded.module.functions:
+        function = program.function(name)
+        for label in sorted(function.blocks):
+            block = function.blocks[label]
+            regions = block_regions(block)
+            base = getattr(block, "ops", None)
+            if regions:
+                # Count original opcodes, not the superop placeholder.
+                source = decoded.block(name, label).ops
+            else:
+                source = base
+            codes.extend(op[0] for op in source)
+            for region in regions:
+                region_lengths.append(region.length)
+                fused_static += region.length
+                folded += region.folded
+    return {
+        "opcodes": {
+            OPCODE_NAMES[i]: count
+            for i, count in enumerate(
+                kernels.opcode_histogram(codes, len(OPCODE_NAMES))
+            )
+            if count
+        },
+        "static_instructions": len(codes),
+        "regions": len(region_lengths),
+        "region_lengths": region_lengths,
+        "fused_static": fused_static,
+        "folded_ops": folded,
+    }

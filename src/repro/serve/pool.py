@@ -80,12 +80,23 @@ def execute_request(request: JobRequest) -> Dict:
     counters_before = artifacts_mod.counters()
     metrics_mod.reset()
     try:
+        from repro.tlssim.config import SimConfig
+
         bundle = _warm_bundle(request.workload, request.threshold)
+        # Non-default backends ride in on the base config; results are
+        # byte-identical across backends, but the memo/disk keys keep
+        # them separate so each backend's compute is accounted
+        # honestly.
+        base = (
+            SimConfig(backend=request.backend)
+            if request.backend != "tuples" else None
+        )
         if request.events:
             from repro.experiments import trace as trace_mod
 
             run = trace_mod.run_traced(
-                request.workload, bar=request.bar, threshold=request.threshold
+                request.workload, bar=request.bar,
+                threshold=request.threshold, base=base,
             )
             result = run.result
             event_lines: Optional[List[str]] = canonical_event_lines(
@@ -99,7 +110,7 @@ def execute_request(request: JobRequest) -> Dict:
             )
             source = SOURCE_TRACED
         else:
-            result = bundle.simulate(request.bar)
+            result = bundle.simulate(request.bar, base=base)
             event_lines = None
             source = SOURCE_MEMO
             for job in metrics_mod.current().jobs:

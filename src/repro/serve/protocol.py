@@ -24,6 +24,9 @@ API_VERSION = 1
 #: Bar labels a job may request (mirrors ``repro.cli.BARS``).
 SERVE_BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
 
+#: Simulator backends a job may request (mirrors ``SimConfig.backend``).
+SERVE_BACKENDS = ("tuples", "vector")
+
 #: Job lifecycle states reported by the status endpoint.
 QUEUED = "queued"
 RUNNING = "running"
@@ -43,12 +46,17 @@ class JobRequest:
     ``events`` requests the typed event stream alongside the result;
     event streams are produced by a live engine (never cached), so
     they cost a real simulation even when the result itself is warm.
+
+    ``backend`` selects the simulator execution backend (byte-identical
+    results either way; ``vector`` dispatches fused regions and falls
+    back to ``tuples`` when numpy is unavailable).
     """
 
     workload: str
     bar: str = "C"
     threshold: float = 0.05
     events: bool = False
+    backend: str = "tuples"
 
     @property
     def key(self):
@@ -61,13 +69,16 @@ class JobRequest:
             "bar": self.bar,
             "threshold": self.threshold,
             "events": self.events,
+            "backend": self.backend,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "JobRequest":
         if not isinstance(payload, dict):
             raise ProtocolError("job request must be a JSON object")
-        unknown = set(payload) - {"workload", "bar", "threshold", "events"}
+        unknown = set(payload) - {
+            "workload", "bar", "threshold", "events", "backend"
+        }
         if unknown:
             raise ProtocolError(f"unknown field(s): {', '.join(sorted(unknown))}")
         workload = payload.get("workload")
@@ -90,11 +101,18 @@ class JobRequest:
         events = payload.get("events", False)
         if not isinstance(events, bool):
             raise ProtocolError("'events' must be a boolean")
+        backend = payload.get("backend", "tuples")
+        if not isinstance(backend, str) or backend not in SERVE_BACKENDS:
+            raise ProtocolError(
+                f"unknown backend {backend!r} "
+                f"(choose from {', '.join(SERVE_BACKENDS)})"
+            )
         return cls(
             workload=workload,
             bar=bar.upper(),
             threshold=float(threshold),
             events=events,
+            backend=backend,
         )
 
 

@@ -65,11 +65,16 @@ class CacheHierarchy:
         self.bus = bus
         self.l1 = [LRUCache(config.l1_lines) for _ in range(config.num_cores)]
         self.l2 = LRUCache(config.l2_lines)
+        # Hot-path constants (access/line_of run per memory op).
+        self._lat_l1 = float(config.lat_l1)
+        self._lat_l2 = float(config.lat_l2)
+        self._lat_mem = float(config.lat_mem)
+        self._words_per_line = config.words_per_line
 
     def access(self, core: int, line: int) -> float:
         """Latency in cycles of a load/store to ``line`` from ``core``."""
         if self.l1[core].access(line):
-            return float(self.config.lat_l1)
+            return self._lat_l1
         hit2 = self.l2.access(line)
         if self.bus is not None:
             self.bus.emit(
@@ -77,8 +82,8 @@ class CacheHierarchy:
                 level="l2" if hit2 else "mem", line=line,
             )
         if hit2:
-            return float(self.config.lat_l2)
-        return float(self.config.lat_mem)
+            return self._lat_l2
+        return self._lat_mem
 
     def line_of(self, addr: int) -> int:
-        return addr // self.config.words_per_line
+        return addr // self._words_per_line

@@ -112,6 +112,13 @@ class SimConfig:
     #: layer.  Results are byte-identical to the slow path; this flag
     #: exists so equivalence tests and benchmarks can compare the two.
     fast_path: bool = True
+    #: Execution backend for the decoded fast path: ``"tuples"`` (the
+    #: reference per-op dispatch loop) or ``"vector"`` (region-lowered
+    #: fused superops, see ``repro.ir.lower``; falls back to tuples when
+    #: numpy is missing or the cost model fails the exactness gate).
+    #: Byte-identical results either way; requires ``fast_path=True``
+    #: to have any effect.
+    backend: str = "tuples"
 
     def with_mode(self, **overrides) -> "SimConfig":
         """Return a copy with the given fields replaced."""
@@ -127,6 +134,11 @@ class SimConfig:
         if self.violation_granularity not in ("line", "word"):
             raise ValueError(
                 f"bad violation_granularity {self.violation_granularity!r}"
+            )
+        if self.backend not in ("tuples", "vector"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                "valid backends: 'tuples', 'vector'"
             )
 
 

@@ -258,6 +258,28 @@ class TLSEngine:
             if self.fast
             else None
         )
+        #: resolved execution backend ("tuples" unless the vector
+        #: backend was requested *and* is available here); fused-region
+        #: counters are benchmark/opstats-only, like ``instructions``.
+        self.backend = "tuples"
+        self.fused_instructions = 0
+        self.fused_regions = 0
+        self._program = self._decoded
+        #: function name -> decoded/lowered blocks dict; lazily filled
+        #: flat cache so the hot loops pay one dict lookup per function
+        #: switch instead of a method call per block fetch.
+        self._fn_blocks: Dict[str, Dict] = {}
+        if self.fast and self.config.backend == "vector":
+            from repro.ir import lower as lower_mod
+
+            reason = lower_mod.unavailable_reason(self.config)
+            if reason is None:
+                self._program = lower_mod.lowered_for(
+                    self._decoded, self.config
+                )
+                self.backend = "vector"
+            else:
+                lower_mod.note_backend_fallback(reason)
         self._loop_infos: Dict[Tuple[str, str], _LoopInfo] = {}
         for annotation in module.parallel_loops:
             cfg = CFG(module.function(annotation.function))
@@ -273,6 +295,20 @@ class TLSEngine:
             self._loop_infos[(annotation.function, annotation.header)] = _LoopInfo(
                 annotation=annotation, blocks=frozenset(loop.blocks)
             )
+
+    def opstats(self) -> Dict:
+        """Static opcode/region stats of the program this engine walks.
+
+        Delegates to :func:`repro.ir.lower.program_opstats`; with the
+        tuples backend there are simply no fused regions.  Dynamic
+        coverage is ``fused_instructions / instructions`` after a run.
+        """
+        from repro.ir import lower as lower_mod
+
+        program = self._program
+        if program is None:  # slow path: decode on demand for stats
+            program = DecodedProgram(self.module, self.memory.addr_of, self._dt_of)
+        return lower_mod.program_opstats(program)
 
     def _check_scalar_channels(self, annotation, cfg, loop) -> None:
         """Every loop-carried register must have a scalar channel.
@@ -536,7 +572,7 @@ class TLSEngine:
         exit (including error exits).
         """
         config = self.config
-        dprog = self._decoded
+        dprog = self._program
         memory = self.memory
         caches = self.caches
         access = caches.access
@@ -547,21 +583,57 @@ class TLSEngine:
         loop_infos = self._loop_infos
         return_value: Optional[int] = None
         steps = 0
+        fused_i = 0
+        fused_r = 0
         clock = self.clock
+        fn_blocks = self._fn_blocks
+        fname = None
+        fblocks = None
         try:
             while frames:
                 frame = frames[-1]
-                ops = dprog.block(frame.function_name, frame.block).ops
+                if frame.function_name != fname:
+                    fname = frame.function_name
+                    fblocks = fn_blocks.get(fname)
+                    if fblocks is None:
+                        fblocks = fn_blocks[fname] = dprog.function(
+                            fname
+                        ).blocks
+                ops = fblocks[frame.block].ops
                 regs = frame.regs
                 i = frame.index
                 region_info = None
                 try:
                     while True:
                         op = ops[i]
+                        code = op[0]
+                        if code < 0:
+                            # Fused region head (vector backend).  The
+                            # kernel runs the whole region atomically
+                            # when fuel allows and every live-in is
+                            # defined; otherwise re-dispatch the
+                            # original head op (interior indices hold
+                            # the original tuples) so faults and fuel
+                            # exhaustion replay the tuple path exactly.
+                            n = op[5]
+                            if steps + n <= max_steps:
+                                try:
+                                    clock = op[4](regs, clock)
+                                except KeyError:
+                                    op = op[2]
+                                    code = op[0]
+                                else:
+                                    steps += n
+                                    fused_i += n
+                                    fused_r += 1
+                                    i += n
+                                    continue
+                            else:
+                                op = op[2]
+                                code = op[0]
                         steps += 1
                         if steps > max_steps:
                             raise EngineError("sequential fuel exhausted")
-                        code = op[0]
                         if code == OP_BINOP or code == OP_DIVMOD:
                             a, b = op[5], op[6]
                             regs[op[3]] = op[4](
@@ -705,6 +777,8 @@ class TLSEngine:
         finally:
             self.clock = clock
             self.instructions += steps
+            self.fused_instructions += fused_i
+            self.fused_regions += fused_r
         return return_value
 
 
@@ -738,6 +812,21 @@ class _RegionExecution:
         self.total_steps = 0
         self.fail_slots = 0.0
         self.fast = engine.fast
+        #: hot-path constants (charged per wait/signal instruction)
+        self._lat_tls = float(self.config.lat_tls_op)
+        self._tls_dt = self._lat_tls / self.config.issue_width
+        self._lat_l1 = float(self.config.lat_l1)
+        self._num_cores = self.config.num_cores
+        self._unit_is_line = self.config.violation_granularity == "line"
+        #: committed_upto watermark below which _try_spawn cannot make
+        #: progress; -2 forces the first attempt (see _try_spawn).
+        self._spawn_blocked_at = -2
+        #: channel names declared with kind "mem" (constant per module)
+        self._mem_channels = frozenset(
+            name
+            for name, info in self.module.channels.items()
+            if info.kind == "mem"
+        )
         #: event heap: (eff, logical, seq, run, action) with lazy
         #: deletion — entries are validated against _event_for on pop.
         self._heap: List[Tuple[float, int, int, EpochRun, str]] = []
@@ -866,19 +955,22 @@ class _RegionExecution:
     # -- spawning -----------------------------------------------------------
 
     def _try_spawn(self) -> None:
+        cores = self._num_cores
         while True:
             k = self.next_logical
-            core = k % self.config.num_cores
-            if k > 0 and (k - 1) not in self.first_start:
-                return
+            if k > 0:
+                # The core must be free — its previous occupant
+                # committed.  Cheapest test first: it is the common
+                # early-out on the per-turn call from the drive loop.
+                previous = k - cores
+                if previous >= 0 and previous > self.committed_upto:
+                    break
+                if (k - 1) not in self.first_start:
+                    break
             oldest = self.active.get(self.committed_upto + 1)
             if oldest is not None and oldest.exited:
-                return  # definite loop exit: stop speculating further
-            if k > 0:
-                # the core must be free: its previous occupant committed
-                previous = k - self.config.num_cores
-                if previous >= 0 and previous > self.committed_upto:
-                    return
+                break  # definite loop exit: stop speculating further
+            core = k % cores
             start = max(self.core_free[core], self.start_time)
             if k > 0:
                 start = max(start, self.first_start[k - 1] + self.config.spawn_cost)
@@ -903,6 +995,11 @@ class _RegionExecution:
                 self.engine.obs.emit(
                     "epoch_start", start, epoch=k, generation=0, core=core
                 )
+        # Every blocking condition above can only clear when another
+        # epoch commits (oldest.exited is sticky until its commit, and
+        # a core frees only on commit), so the drive loop may skip the
+        # next attempts until committed_upto moves past this watermark.
+        self._spawn_blocked_at = self.committed_upto
 
     # -- main loop -----------------------------------------------------------
 
@@ -951,6 +1048,8 @@ class _RegionExecution:
         current event.  An exhausted heap with a runnable run left is
         a scheduler bug and reported loudly rather than masked.
         """
+        active = self.active
+        heap = self._heap
         while not self.finished:
             event = self._pop_event()
             if event is None:
@@ -962,15 +1061,31 @@ class _RegionExecution:
                     )
                 raise self._deadlock_error()
             run, eff, action = event
-            if action == "step":
-                self._run_turn(run)
-            else:
-                self._now = eff
-                self._perform(run, eff, action)
-            if self.finished:
-                return
-            self._try_spawn()
-            self._wake(run.logical)
+            while True:
+                if action == "step":
+                    self._run_turn(run)
+                else:
+                    self._now = eff
+                    self._perform(run, eff, action)
+                if self.finished:
+                    return
+                if self.committed_upto != self._spawn_blocked_at:
+                    self._try_spawn()
+                # Self-run fast path: when this run's next event is
+                # strictly earlier than every heap entry, pushing it
+                # and popping it right back is a no-op round trip
+                # (a fresh push always carries the largest seq, so a
+                # strictly smaller (eff, logical) key wins the pop
+                # unconditionally) — keep running it directly.
+                if run.state == "ready" and active.get(run.logical) is run:
+                    if not heap or (
+                        (run.clock, run.logical) < (heap[0][0], heap[0][1])
+                    ):
+                        eff = run.clock
+                        action = "step"
+                        continue
+                self._wake(run.logical)
+                break
 
     def _deadlock_error(self) -> EngineError:
         return EngineError(
@@ -1016,11 +1131,16 @@ class _RegionExecution:
         run = self.active.get(logical)
         if run is None:
             return
-        event = self._event_for(run)
-        if event is None:
-            return
+        if run.state == "ready":  # common case: skip _event_for
+            eff = run.clock
+            action = "step"
+        else:
+            event = self._event_for(run)
+            if event is None:
+                return
+            eff, action = event
         self._heap_seq += 1
-        heappush(self._heap, (event[0], logical, self._heap_seq, run, event[1]))
+        heappush(self._heap, (eff, logical, self._heap_seq, run, action))
 
     def _pop_event(self) -> Optional[Tuple[EpochRun, float, str]]:
         heap = self._heap
@@ -1029,6 +1149,10 @@ class _RegionExecution:
             eff, logical, _seq, run, action = heappop(heap)
             if active.get(logical) is not run:
                 continue  # squashed or committed since the push
+            if action == "step":  # common case: validate without _event_for
+                if run.state == "ready" and run.clock == eff:
+                    return run, eff, action
+                continue
             event = self._event_for(run)
             if event is None or event[0] != eff or event[1] != action:
                 continue  # state moved on; a fresher entry exists
@@ -1047,6 +1171,11 @@ class _RegionExecution:
         while heap:
             eff, logical, _seq, run, action = heap[0]
             if run is current or active.get(logical) is not run:
+                heappop(heap)
+                continue
+            if action == "step":  # common case: validate without _event_for
+                if run.state == "ready" and run.clock == eff:
+                    return eff, logical
                 heappop(heap)
                 continue
             event = self._event_for(run)
@@ -1200,11 +1329,40 @@ class _RegionExecution:
             # (victims are always logically later than the violator,
             # so ties lose), which is where its clock — and therefore
             # the fail-slot accounting below — must stand.
-            k = bisect_left(trace, self._now)
-            overshoot = len(trace) - k
+            #
+            # Fused kernels append (base clock, offset table) *chunks*
+            # instead of flat per-op entries (repro.ir.lower); only
+            # squashes read the trace, so flatten here — base + off is
+            # exactly the float a per-op append would have produced.
+            flat: List[float] = []
+            extend = flat.extend
+            append = flat.append
+            fused_spans: List[Tuple[int, int]] = []
+            for entry in trace:
+                if type(entry) is tuple:
+                    base = entry[0]
+                    start = len(flat)
+                    extend([base + off for off in entry[1]])
+                    fused_spans.append((start, len(flat)))
+                else:
+                    append(entry)
+            k = bisect_left(flat, self._now)
+            overshoot = len(flat) - k
             if overshoot:
-                run.clock = trace[k]
+                run.clock = flat[k]
                 self.total_steps -= overshoot
+                # Keep the fused counter consistent with the step
+                # rollback: discard the chunk entries past the cut so
+                # fused coverage never exceeds the net instruction
+                # count (benchmark/opstats bookkeeping only).
+                if fused_spans:
+                    fused_over = sum(
+                        end - max(start, k)
+                        for start, end in fused_spans
+                        if end > k
+                    )
+                    if fused_over:
+                        self.engine.fused_instructions -= fused_over
         obs = self.engine.obs
         if obs is not None:
             obs.now = time
@@ -1649,7 +1807,7 @@ class _RegionExecution:
         """
         engine = self.engine
         config = self.config
-        dprog = engine._decoded
+        dprog = engine._program
         h_eff, h_log = self._peek_horizon(run)
         if h_eff is None:
             h_eff = float("inf")
@@ -1662,10 +1820,17 @@ class _RegionExecution:
         frames = run.frames
         trace = run.trace
         append = trace.append
+        fn_blocks = engine._fn_blocks
+        fname = None
+        fblocks = None
         while True:
             frame = frames[-1]
-            dblock = dprog.block(frame.function_name, frame.block)
-            ops = dblock.ops
+            if frame.function_name != fname:
+                fname = frame.function_name
+                fblocks = fn_blocks.get(fname)
+                if fblocks is None:
+                    fblocks = fn_blocks[fname] = dprog.function(fname).blocks
+            ops = fblocks[frame.block].ops
             regs = frame.regs
             i = frame.index
             clock = run.clock
@@ -1676,6 +1841,34 @@ class _RegionExecution:
                 while True:
                     op = ops[i]
                     code = op[0]
+                    if code < 0:
+                        # Fused region head (vector backend): all ops
+                        # are pure, so the kernel may run the whole
+                        # region freely when neither step limit can
+                        # trip inside it and every live-in is defined.
+                        # The kernel appends each op's start clock to
+                        # the trace, so squash rollback is unchanged.
+                        # Otherwise re-dispatch the original head op
+                        # (interior indices keep their tuples) and the
+                        # tuple path replays limits/faults exactly.
+                        n = op[5]
+                        if steps + n <= max_epoch and tsteps + n <= max_region:
+                            try:
+                                clock = op[3](regs, trace, clock)
+                            except KeyError:
+                                op = op[2]
+                                code = op[0]
+                            else:
+                                steps += n
+                                tsteps += n
+                                busy += float(n)
+                                engine.fused_instructions += n
+                                engine.fused_regions += 1
+                                i += n
+                                continue
+                        else:
+                            op = op[2]
+                            code = op[0]
                     if code <= OP_CONDBR:  # private: free-running
                         steps += 1
                         tsteps += 1
@@ -1940,7 +2133,7 @@ class _RegionExecution:
                         )
                         if self.stats.epochs_squashed != squashed_before:
                             return  # squashes changed other runs' events
-                        if run.sab.channel_for(addr) is not None:
+                        if run.sab._entries.get(addr) is not None:
                             return  # SAB path may have replaced a message
                     elif code == OP_WAIT:
                         self._exec_wait(run, frame, op[2])
@@ -2021,7 +2214,7 @@ class _RegionExecution:
         line = engine.caches.line_of(addr)
         # Violation-detection unit: whole line (coherence-based, false
         # sharing visible) or single word (ideal per-word access bits).
-        unit = line if config.violation_granularity == "line" else addr
+        unit = line if self._unit_is_line else addr
 
         # Track dynamic occurrences so oracle lookups stay aligned with
         # the sequential trace (which records *every* dynamic load).
@@ -2035,7 +2228,7 @@ class _RegionExecution:
             if run.fwd_flag and addr == run.fwd_addr:
                 run.fwd_flag = False  # value locally overwritten
             frame.regs[instr.dest.name] = run.write_buffer[addr]
-            self._charge(run, float(config.lat_l1))
+            self._charge(run, self._lat_l1)
             frame.index += 1
             return
 
@@ -2053,7 +2246,7 @@ class _RegionExecution:
             )
             if oracle_value is not None:
                 frame.regs[instr.dest.name] = oracle_value
-                self._charge(run, float(config.lat_l1))
+                self._charge(run, self._lat_l1)
                 frame.index += 1
                 return
 
@@ -2061,7 +2254,7 @@ class _RegionExecution:
         # flag accesses only the speculative cache and is not exposed.
         if run.fwd_flag and addr == run.fwd_addr:
             frame.regs[instr.dest.name] = engine.memory.load(addr)
-            self._charge(run, float(config.lat_l1))
+            self._charge(run, self._lat_l1)
             frame.index += 1
             return
 
@@ -2109,7 +2302,7 @@ class _RegionExecution:
                         load_iid=load_id,
                         value=predicted,
                     )
-                self._charge(run, float(config.lat_l1))
+                self._charge(run, self._lat_l1)
                 frame.index += 1
                 return
 
@@ -2125,7 +2318,7 @@ class _RegionExecution:
             if load_id not in loads:
                 loads.append(load_id)
         latency = engine.caches.access(run.core, line)
-        run.mem_stall += latency - config.lat_l1
+        run.mem_stall += latency - self._lat_l1
         self._charge(run, latency)
         frame.index += 1
 
@@ -2141,10 +2334,12 @@ class _RegionExecution:
         line = engine.caches.line_of(addr)
         unit = line if config.violation_granularity == "line" else addr
         latency = engine.caches.access(run.core, line)
-        run.mem_stall += latency - config.lat_l1
+        run.mem_stall += latency - self._lat_l1
 
         # Signal address buffer: correcting a forwarded value.
-        channel = run.sab.channel_for(addr)
+        # (Direct _entries lookup: channel_for is a dict.get wrapper
+        # and this runs once per dynamic store.)
+        channel = run.sab._entries.get(addr)
         if channel is not None and config.compiler_mem_sync:
             if obs is not None:
                 obs.emit(
@@ -2183,17 +2378,20 @@ class _RegionExecution:
         frame.index += 1
 
         # Rule (a): eager cross-epoch violation detection at store time.
-        victims = [
-            other.logical
-            for other in self.active.values()
-            if other.logical > run.logical and unit in other.exposed_lines
-        ]
-        if victims:
-            first = min(victims)
-            loads = self.active[first].exposed_loads.get(unit) or [None]
-            self._violate_from(
-                first, run.clock, reason="store", load_iid=loads[0], unit=unit
-            )
+        # With only this run in flight there can be no victims.
+        active = self.active
+        if len(active) > 1:
+            first = None
+            logical = run.logical
+            for other in active.values():
+                if other.logical > logical and unit in other.exposed_lines:
+                    if first is None or other.logical < first:
+                        first = other.logical
+            if first is not None:
+                loads = active[first].exposed_loads.get(unit) or [None]
+                self._violate_from(
+                    first, run.clock, reason="store", load_iid=loads[0], unit=unit
+                )
 
     # -- synchronization instructions ------------------------------------------
 
@@ -2201,8 +2399,7 @@ class _RegionExecution:
         config = self.config
         channel = instr.channel
         kind = instr.kind
-        info = self.module.channels.get(channel)
-        is_mem = info is not None and info.kind == "mem"
+        is_mem = channel in self._mem_channels
         obs = self.engine.obs
         if obs is not None:
             obs.now = run.clock
@@ -2211,20 +2408,20 @@ class _RegionExecution:
             run.last_mem_channel = channel
         if is_mem and not config.compiler_mem_sync:
             frame.regs[instr.dest.name] = 0
-            self._charge(run, instruction_latency(config, instr))
+            run.clock += self._tls_dt; run.busy_slots += 1.0
             frame.index += 1
             return
         if is_mem and config.hybrid_filter and self._channel_filtered(channel):
             # Refinement (iii): the hardware has learned this channel's
             # forwards rarely check out; stop stalling for it.
             frame.regs[instr.dest.name] = 0
-            self._charge(run, instruction_latency(config, instr))
+            run.clock += self._tls_dt; run.busy_slots += 1.0
             frame.index += 1
             return
         if is_mem and config.oracle_mode == "sync":
             # E bars: synchronized values arrive for free via the oracle.
             frame.regs[instr.dest.name] = 0
-            self._charge(run, instruction_latency(config, instr))
+            run.clock += self._tls_dt; run.busy_slots += 1.0
             frame.index += 1
             return
         if (
@@ -2270,7 +2467,7 @@ class _RegionExecution:
                         msg_kind=kind,
                         payload=message.payload,
                     )
-                self._charge(run, instruction_latency(config, instr))
+                run.clock += self._tls_dt; run.busy_slots += 1.0
                 frame.index += 1
                 return
             # Message in flight: stall until it arrives.
@@ -2296,7 +2493,7 @@ class _RegionExecution:
         if cursor_key in run.received:
             # Re-executed wait within the same epoch: reuse the value.
             frame.regs[instr.dest.name] = run.received[cursor_key]
-            self._charge(run, instruction_latency(config, instr))
+            run.clock += self._tls_dt; run.busy_slots += 1.0
             frame.index += 1
             return
         run.state = "wait_msg"
@@ -2330,9 +2527,8 @@ class _RegionExecution:
         config = self.config
         channel = instr.channel
         kind = instr.kind
-        info = self.module.channels.get(channel)
-        is_mem = info is not None and info.kind == "mem"
-        self._charge(run, instruction_latency(config, instr))
+        is_mem = channel in self._mem_channels
+        run.clock += self._tls_dt; run.busy_slots += 1.0
         frame.index += 1
         obs = self.engine.obs
         if obs is not None:

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One forwarded word."""
 
@@ -51,6 +51,9 @@ class ChannelBank:
         self.bus = bus
         # (channel, consumer_epoch) -> messages in arrival order
         self._queues: Dict[Tuple[str, int], List[Message]] = {}
+        # consumer_epoch -> the queue lists above that deliver to it;
+        # keeps squash-time withdrawal from scanning every channel.
+        self._by_consumer: Dict[int, List[List[Message]]] = {}
 
     # -- producer side ----------------------------------------------------
 
@@ -71,7 +74,11 @@ class ChannelBank:
             producer_epoch=producer_epoch,
             producer_generation=generation,
         )
-        queue = self._queues.setdefault((channel, consumer_epoch), [])
+        key = (channel, consumer_epoch)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = []
+            self._by_consumer.setdefault(consumer_epoch, []).append(queue)
         queue.append(message)
         if self.bus is not None and time != float("-inf"):
             self.bus.emit(
@@ -147,10 +154,7 @@ class ChannelBank:
         (point-to-point forwarding down the epoch chain), so only the
         successor's queues need scanning.
         """
-        successor = producer_epoch + 1
-        for (_channel, consumer_epoch), queue in self._queues.items():
-            if consumer_epoch != successor:
-                continue
+        for queue in self._by_consumer.get(producer_epoch + 1, ()):
             if any(
                 m.producer_epoch == producer_epoch
                 and m.producer_generation == generation

@@ -43,8 +43,8 @@ class TestBenchCommand:
         payload = json.loads(out.read_text())
         assert payload["benchmark"] == "engine-throughput"
         assert payload["schema"] == list(SCHEMA_FIELDS)
-        # one cold + one warm fast + one warm slow record
-        assert len(payload["results"]) == 3
+        # cold + warm fast + warm fast-vector + warm slow records
+        assert len(payload["results"]) == 4
         for record in payload["results"]:
             assert set(SCHEMA_FIELDS) <= set(record)
             assert record["workload"] == "go" and record["scheme"] == "U"
@@ -53,9 +53,14 @@ class TestBenchCommand:
             assert record["instrs_per_sec"] > 0
             assert record["sim_cycles"] > 0
         modes = {(r["mode"], r["phase"]) for r in payload["results"]}
-        assert modes == {("fast", "cold"), ("fast", "warm"), ("slow", "warm")}
+        assert modes == {
+            ("fast", "cold"), ("fast", "warm"),
+            ("fast-vector", "warm"), ("slow", "warm"),
+        }
         [cell] = payload["speedups"]
         assert cell["speedup"] > 0
+        assert cell["vector_instrs_per_sec"] > 0
+        assert 0.0 <= cell["fused_fraction"] <= 1.0
         assert payload["largest_workload"] == cell
         console = capsys.readouterr().out
         assert "speedup" in console and str(out) in console
@@ -200,6 +205,21 @@ class TestCompare:
             for c in comparison["cells"]
         }
         assert statuses == {("go", "U"): "ok", ("mcf", "C"): "skipped"}
+
+    def test_vector_regression_flagged(self):
+        # The fast path holding steady must not mask a vector-backend
+        # regression: both throughput columns ride the gate.
+        base = _speedup_cell("go", "U", 1000.0)
+        base["vector_instrs_per_sec"] = 2000.0
+        cur = _speedup_cell("go", "U", 1000.0)
+        cur["vector_instrs_per_sec"] = 1000.0
+        comparison = compare_bench(
+            {"speedups": [cur]}, {"speedups": [base]}, tolerance=0.2
+        )
+        assert comparison["regressions"] == 1
+        [cell] = comparison["cells"]
+        assert cell["status"] == "regressed"
+        assert cell["vector_ratio"] == pytest.approx(0.5)
 
     def test_new_cell_reported_not_failed(self):
         baseline = {"speedups": []}

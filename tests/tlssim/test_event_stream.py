@@ -35,8 +35,9 @@ def _stream(program, config, oracle, parallel):
     return [e.key() for e in collector.events], result
 
 
+@pytest.mark.parametrize("backend", ("tuples", "vector"))
 @pytest.mark.parametrize("name", WORKLOADS)
-def test_event_streams_identical_on_every_bar(name):
+def test_event_streams_identical_on_every_bar(name, backend):
     bundle = bundle_for(name)
     for bar in BARS:
         program = bundle.program(bar)
@@ -46,7 +47,9 @@ def test_event_streams_identical_on_every_bar(name):
             oracle = bundle.oracle_for(BAR_PROGRAM[bar])
         parallel = bar != "SEQ"
         fast_stream, fast_result = _stream(
-            program, config.with_mode(fast_path=True), oracle, parallel
+            program,
+            config.with_mode(fast_path=True, backend=backend),
+            oracle, parallel,
         )
         slow_stream, slow_result = _stream(
             program, config.with_mode(fast_path=False), oracle, parallel
@@ -54,14 +57,14 @@ def test_event_streams_identical_on_every_bar(name):
         fast_epoch = [k for k in fast_stream if k[0] in EPOCH_KINDS]
         slow_epoch = [k for k in slow_stream if k[0] in EPOCH_KINDS]
         assert fast_epoch == slow_epoch, (
-            f"{name}/{bar}: epoch-level event streams diverged"
+            f"{name}/{bar}: epoch-level event streams diverged ({backend})"
         )
         assert fast_stream == slow_stream, (
-            f"{name}/{bar}: full event streams diverged"
+            f"{name}/{bar}: full event streams diverged ({backend})"
         )
         # attaching the bus must not perturb the simulation itself
         assert fast_result.to_state() == slow_result.to_state(), (
-            f"{name}/{bar}: results diverged with the bus attached"
+            f"{name}/{bar}: results diverged with the bus attached ({backend})"
         )
 
 

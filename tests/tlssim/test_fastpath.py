@@ -2,11 +2,13 @@
 
 The decoded-dispatch / free-running-turn / event-heap execution layer
 (``SimConfig.fast_path``, on by default) is a pure implementation
-optimization.  These tests run every workload under every bar label
-with ``fast_path=True`` and ``fast_path=False`` on the same compiled
-program and require the full serialized :class:`SimResult` — cycles,
-slot breakdowns, violation records, memory checksum — plus the dynamic
-instruction count to match exactly.
+optimization, and so is the fused-region vector backend layered on
+top of it (``SimConfig.backend="vector"``).  These tests run every
+workload under every bar label with each fast backend against
+``fast_path=False`` on the same compiled program and require the full
+serialized :class:`SimResult` — cycles, slot breakdowns, violation
+records, memory checksum — plus the dynamic instruction count to
+match exactly.
 
 The matrix deliberately spans every scheme family because each one
 exercises a different engine subsystem: U/O squash-heavy speculation,
@@ -30,8 +32,9 @@ def _run(program, config, oracle, parallel):
     return result, engine
 
 
+@pytest.mark.parametrize("backend", ("tuples", "vector"))
 @pytest.mark.parametrize("name", WORKLOADS)
-def test_fast_path_equivalent_on_every_bar(name):
+def test_fast_path_equivalent_on_every_bar(name, backend):
     bundle = bundle_for(name)
     for bar in BARS:
         program = bundle.program(bar)
@@ -41,14 +44,16 @@ def test_fast_path_equivalent_on_every_bar(name):
             oracle = bundle.oracle_for(BAR_PROGRAM[bar])
         parallel = bar != "SEQ"
         fast_result, fast_engine = _run(
-            program, config.with_mode(fast_path=True), oracle, parallel
+            program,
+            config.with_mode(fast_path=True, backend=backend),
+            oracle, parallel,
         )
         slow_result, slow_engine = _run(
             program, config.with_mode(fast_path=False), oracle, parallel
         )
         assert fast_result.to_state() == slow_result.to_state(), (
-            f"{name}/{bar}: fast path diverged"
+            f"{name}/{bar}: fast path ({backend}) diverged"
         )
         assert fast_engine.instructions == slow_engine.instructions, (
-            f"{name}/{bar}: dynamic instruction counts differ"
+            f"{name}/{bar}: dynamic instruction counts differ ({backend})"
         )
