@@ -4,7 +4,7 @@ PY ?= python
 #: worker processes for the report simulation matrix (0 = all cores)
 JOBS ?= 0
 
-.PHONY: install test lint ci bench microbench serve loadgen report scorecard examples clean
+.PHONY: install test lint ci bench microbench serve loadgen report scorecard sweep examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +45,13 @@ report:
 
 scorecard:
 	PYTHONPATH=src $(PY) -m repro scorecard
+
+# Machine-model lab (docs/sweeping.md): cores x predictor scaling
+# surface, resumable — rerun to pick up where a killed sweep stopped.
+sweep:
+	PYTHONPATH=src $(PY) -m repro sweep --workloads go,mcf --bars P \
+		--axis num_cores=2,4,8 --axis predictor=last,stride,context \
+		--jobs $(JOBS) -o sweep_out --html sweep_out/surface.html
 
 examples:
 	PYTHONPATH=src $(PY) examples/quickstart.py

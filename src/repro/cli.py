@@ -79,7 +79,7 @@ from repro.tlssim.config import SimConfig
 from repro.tlssim.stats import normalized_region_time
 from repro.workloads import all_workloads
 
-BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+BARS = ("U", "C", "T", "H", "P", "PS", "PC", "B", "E", "L", "O", "SEQ")
 
 
 def _setup_run(args) -> None:
@@ -265,6 +265,12 @@ def _cmd_cache(args) -> int:
         if only in ("all", "artifacts"):
             removed = store.clear()
             print(f"removed {removed} artifact(s) from {store.root}")
+        elif only == "lowered":
+            removed = store.clear(kinds=(artifacts_mod.KIND_LOWERED,))
+            print(
+                f"removed {removed} lowered-region artifact(s) "
+                f"from {store.root}"
+            )
         return 0
     info = cache.info()
     print("results")
@@ -276,6 +282,7 @@ def _cmd_cache(args) -> int:
     print(f"  root    : {artifact_info['root']}")
     print(f"  compiled: {artifact_info['compiled']}")
     print(f"  oracles : {artifact_info['oracles']}")
+    print(f"  lowered : {artifact_info['lowered']}")
     print(f"  size    : {artifact_info['bytes']} bytes")
     return 0
 
@@ -533,6 +540,106 @@ def _cmd_loadgen(args) -> int:
     return status
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep import (
+        GridError,
+        load_grid,
+        parse_axis,
+        render_ascii_surface,
+        render_html_surface,
+        run_sweep,
+    )
+    from repro.sweep.grid import SPECIAL_AXES, build_grid
+    from repro.sweep.surface import pick_axes
+
+    _setup_run(args)
+    try:
+        if args.grid:
+            if args.axis:
+                raise GridError(
+                    "--grid and --axis are mutually exclusive — put the "
+                    "axes in the grid file or drop --grid"
+                )
+            grid = load_grid(args.grid)
+        else:
+            workloads = list(args.workloads or [])
+            bars = list(args.bars or [])
+            axes = []
+            for spec in args.axis or []:
+                name, values = parse_axis(spec)
+                # workload/bar axes fold into the structural lists
+                if name == "workload":
+                    workloads.extend(v for v in values if v not in workloads)
+                elif name == "bar":
+                    bars.extend(v for v in values if v not in bars)
+                else:
+                    axes.append((name, values))
+            if not workloads:
+                print(
+                    "sweep: no workloads — pass --workloads or "
+                    "--axis workload=...",
+                    file=sys.stderr,
+                )
+                return 2
+            grid = build_grid(
+                workloads=workloads,
+                bars=bars or ["P"],
+                threshold=args.threshold,
+                axes=axes,
+            )
+    except GridError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
+    outcome = run_sweep(
+        grid,
+        out_dir=args.out_dir,
+        jobs=args.jobs,
+        fresh=args.fresh,
+        max_points=args.max_points,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    _finish_run(args)
+
+    if outcome.records:
+        try:
+            rows, cols = pick_axes(grid, args.rows, args.cols)
+        except ValueError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        for axis in (rows, cols):
+            if axis not in SPECIAL_AXES and not any(
+                axis == name for name, _v in grid.axes
+            ) and not any(
+                axis in dict(point) for point in grid.points
+            ):
+                print(
+                    f"sweep: surface axis {axis!r} is not swept by this "
+                    "grid",
+                    file=sys.stderr,
+                )
+                return 2
+        print(
+            render_ascii_surface(outcome.records, rows, cols, args.metric)
+        )
+        if args.html:
+            html = render_html_surface(
+                outcome.records, grid, rows, cols, args.metric
+            )
+            with open(args.html, "w") as handle:
+                handle.write(html)
+            print(f"wrote {args.html}", file=sys.stderr)
+    print(
+        f"sweep: {outcome.computed} computed, {outcome.resumed} resumed, "
+        f"{outcome.total} total ({outcome.wall_s:.1f}s); state in "
+        f"{outcome.state_path}",
+        file=sys.stderr,
+    )
+    if not outcome.complete:
+        return 3
+    return 0
+
+
 def _workload_list(value: str) -> List[str]:
     return [name.strip() for name in value.split(",") if name.strip()]
 
@@ -646,10 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--cache-dir", default=None)
     cache_parser.add_argument(
         "--only",
-        choices=("all", "results", "artifacts"),
+        choices=("all", "results", "artifacts", "lowered"),
         default="all",
-        help="scope for clear: simulation results, compiled artifacts, "
-        "or both (default)",
+        help="scope for clear: simulation results, compiled artifacts "
+        "(every kind), only lowered-region tables, or everything "
+        "(default)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
 
@@ -853,6 +961,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(loadgen_parser, jobs=False)
     loadgen_parser.set_defaults(func=_cmd_loadgen)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="fan a machine/scheme config grid through the scheduler "
+        "and render the scaling surface",
+    )
+    sweep_parser.add_argument(
+        "--grid", default=None, metavar="FILE",
+        help="declarative grid JSON (see docs/sweeping.md); mutually "
+        "exclusive with --axis",
+    )
+    sweep_parser.add_argument(
+        "--axis", action="append", default=None, metavar="NAME=V1,V2",
+        help="sweep axis, repeatable (e.g. --axis num_cores=2,4,8 "
+        "--axis predictor=last,stride); 'workload' and 'bar' fold "
+        "into the workload/bar lists",
+    )
+    sweep_parser.add_argument(
+        "--workloads", type=_workload_list, default=None,
+        help="comma-separated workload names",
+    )
+    sweep_parser.add_argument(
+        "--bars", type=_scheme_list, default=None,
+        help="comma-separated bar labels (default P)",
+    )
+    sweep_parser.add_argument("--threshold", type=float, default=0.05)
+    sweep_parser.add_argument(
+        "-o", "--out-dir", default="sweep_out",
+        help="sweep output directory — holds the resumable "
+        "sweep_state.json (default sweep_out)",
+    )
+    sweep_parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore existing sweep state and recompute every point",
+    )
+    sweep_parser.add_argument(
+        "--max-points", type=int, default=None,
+        help="stop after N new points (exit 3 while incomplete); rerun "
+        "to resume",
+    )
+    sweep_parser.add_argument(
+        "--metric", default="region_time",
+        choices=(
+            "region_time", "speedup", "program_cycles", "region_cycles",
+            "epochs_committed", "epochs_squashed", "violations",
+        ),
+        help="surface cell metric (default region_time)",
+    )
+    sweep_parser.add_argument(
+        "--rows", default=None,
+        help="surface row axis (default: first varying axis)",
+    )
+    sweep_parser.add_argument(
+        "--cols", default=None,
+        help="surface column axis (default: second varying axis)",
+    )
+    sweep_parser.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a self-contained HTML scaling surface",
+    )
+    _add_run_options(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     return parser
 

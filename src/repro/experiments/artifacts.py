@@ -39,7 +39,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.compiler.loop_selection import LoopStats
 from repro.compiler.memdep.graph import DependenceGroup
@@ -583,13 +583,14 @@ class ArtifactStore:
     # -- management ----------------------------------------------------
     def info(self) -> Dict:
         """Entry counts and total size, for ``repro cache info``."""
-        compiled = oracles = size = 0
+        counts = {KIND_COMPILED: 0, KIND_ORACLE: 0, KIND_LOWERED: 0}
+        size = 0
         if self.root.exists():
             for path in self.root.rglob("*.json"):
-                if path.name.endswith(f".{KIND_COMPILED}.json"):
-                    compiled += 1
-                elif path.name.endswith(f".{KIND_ORACLE}.json"):
-                    oracles += 1
+                for kind in counts:
+                    if path.name.endswith(f".{kind}.json"):
+                        counts[kind] += 1
+                        break
                 else:
                     continue
                 try:
@@ -598,18 +599,29 @@ class ArtifactStore:
                     pass
         return {
             "root": str(self.root),
-            "compiled": compiled,
-            "oracles": oracles,
-            "entries": compiled + oracles,
+            "compiled": counts[KIND_COMPILED],
+            "oracles": counts[KIND_ORACLE],
+            "lowered": counts[KIND_LOWERED],
+            "entries": sum(counts.values()),
             "bytes": size,
         }
 
-    def clear(self) -> int:
-        """Delete every artifact; returns how many were removed."""
+    def clear(self, kinds: Optional[Sequence[str]] = None) -> int:
+        """Delete artifacts (all kinds, or only ``kinds``); returns count.
+
+        ``kinds`` lets ``repro cache clear --only lowered`` wipe the
+        per-machine lowered-region tables a sweep left behind without
+        discarding compiled workloads and oracles.
+        """
         removed = 0
         if not self.root.exists():
             return 0
+        wanted = None if kinds is None else tuple(
+            f".{kind}.json" for kind in kinds
+        )
         for path in self.root.rglob("*.json"):
+            if wanted is not None and not path.name.endswith(wanted):
+                continue
             try:
                 path.unlink()
                 removed += 1

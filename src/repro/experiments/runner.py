@@ -57,6 +57,8 @@ BAR_PROGRAM = {
     "O": "baseline",
     "H": "baseline",
     "P": "baseline",
+    "PS": "baseline",
+    "PC": "baseline",
     "C": "sync_ref",
     "T": "sync_train",
     "B": "sync_ref",
@@ -84,7 +86,12 @@ def config_for(bar: str, base: Optional[SimConfig] = None) -> SimConfig:
     if bar == "H":
         return config.with_mode(hw_sync=True)
     if bar == "P":
+        # keeps config.predictor, so a swept predictor axis composes
         return config.with_mode(prediction=True)
+    if bar == "PS":
+        return config.with_mode(prediction=True, predictor="stride")
+    if bar == "PC":
+        return config.with_mode(prediction=True, predictor="context")
     if bar == "B":
         return config.with_mode(hw_sync=True)
     raise ValueError(f"unknown bar {bar!r}")

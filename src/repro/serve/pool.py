@@ -83,14 +83,12 @@ def execute_request(request: JobRequest) -> Dict:
         from repro.tlssim.config import SimConfig
 
         bundle = _warm_bundle(request.workload, request.threshold)
-        # Non-default backends ride in on the base config; results are
-        # byte-identical across backends, but the memo/disk keys keep
-        # them separate so each backend's compute is accounted
-        # honestly.
-        base = (
-            SimConfig(backend=request.backend)
-            if request.backend != "tuples" else None
-        )
+        # Non-default backends, machine-model overrides, and predictor
+        # selection all ride in on the base config; the memo/disk keys
+        # keep every distinct configuration separate so each point's
+        # compute is accounted honestly.
+        overrides = request.config_overrides()
+        base = SimConfig(**overrides) if overrides else None
         if request.events:
             from repro.experiments import trace as trace_mod
 

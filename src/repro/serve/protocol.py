@@ -12,8 +12,8 @@ job ``cmp`` daemon output against batch output.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import Event
 from repro.obs.export import jsonl_lines
@@ -22,7 +22,9 @@ from repro.obs.export import jsonl_lines
 API_VERSION = 1
 
 #: Bar labels a job may request (mirrors ``repro.cli.BARS``).
-SERVE_BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+SERVE_BARS = (
+    "U", "C", "T", "H", "P", "PS", "PC", "B", "E", "L", "O", "SEQ"
+)
 
 #: Simulator backends a job may request (mirrors ``SimConfig.backend``).
 SERVE_BACKENDS = ("tuples", "vector")
@@ -50,6 +52,16 @@ class JobRequest:
     ``backend`` selects the simulator execution backend (byte-identical
     results either way; ``vector`` dispatches fused regions and falls
     back to ``tuples`` when numpy is unavailable).
+
+    ``machine`` carries per-job machine-model overrides — a JSON
+    object mapping :data:`repro.tlssim.config.MACHINE_FIELDS` names
+    (``num_cores``, ``issue_width``, ``forward_latency``, ...) to
+    values, validated against :class:`~repro.tlssim.config.MachineConfig`
+    at admission; stored sorted so equal requests stay equal.
+
+    ``predictor`` overrides the value-prediction scheme for the
+    P-family bars (a ``repro.tlssim.prediction.PREDICTORS`` name);
+    None keeps the bar's own default.
     """
 
     workload: str
@@ -57,6 +69,8 @@ class JobRequest:
     threshold: float = 0.05
     events: bool = False
     backend: str = "tuples"
+    machine: Tuple[Tuple[str, object], ...] = field(default=())
+    predictor: Optional[str] = None
 
     @property
     def key(self):
@@ -64,20 +78,35 @@ class JobRequest:
         return (self.workload, self.threshold)
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "workload": self.workload,
             "bar": self.bar,
             "threshold": self.threshold,
             "events": self.events,
             "backend": self.backend,
         }
+        if self.machine:
+            payload["machine"] = dict(self.machine)
+        if self.predictor is not None:
+            payload["predictor"] = self.predictor
+        return payload
+
+    def config_overrides(self) -> Dict:
+        """SimConfig overrides this request asks for (may be empty)."""
+        overrides: Dict = dict(self.machine)
+        if self.predictor is not None:
+            overrides["predictor"] = self.predictor
+        if self.backend != "tuples":
+            overrides["backend"] = self.backend
+        return overrides
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "JobRequest":
         if not isinstance(payload, dict):
             raise ProtocolError("job request must be a JSON object")
         unknown = set(payload) - {
-            "workload", "bar", "threshold", "events", "backend"
+            "workload", "bar", "threshold", "events", "backend",
+            "machine", "predictor",
         }
         if unknown:
             raise ProtocolError(f"unknown field(s): {', '.join(sorted(unknown))}")
@@ -107,12 +136,54 @@ class JobRequest:
                 f"unknown backend {backend!r} "
                 f"(choose from {', '.join(SERVE_BACKENDS)})"
             )
+        machine = payload.get("machine", {})
+        if machine is None:
+            machine = {}
+        if not isinstance(machine, dict):
+            raise ProtocolError("'machine' must be a JSON object")
+        if machine:
+            from repro.tlssim.config import MACHINE_FIELDS, MachineConfig
+
+            unknown_fields = set(machine) - set(MACHINE_FIELDS)
+            if unknown_fields:
+                raise ProtocolError(
+                    "unknown machine field(s): "
+                    + ", ".join(sorted(unknown_fields))
+                    + f" (choose from {', '.join(MACHINE_FIELDS)})"
+                )
+            for name, value in machine.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ProtocolError(
+                        f"machine field {name!r} must be a number"
+                    )
+            try:
+                MachineConfig(**{
+                    name: (int(value) if float(value).is_integer() else value)
+                    for name, value in machine.items()
+                })
+            except ValueError as exc:
+                raise ProtocolError(f"invalid machine config: {exc}") from exc
+        predictor = payload.get("predictor")
+        if predictor is not None:
+            from repro.tlssim.prediction import PREDICTORS
+
+            if not isinstance(predictor, str) or predictor not in PREDICTORS:
+                raise ProtocolError(
+                    f"unknown predictor {predictor!r} "
+                    f"(choose from {', '.join(sorted(PREDICTORS))})"
+                )
         return cls(
             workload=workload,
             bar=bar.upper(),
             threshold=float(threshold),
             events=events,
             backend=backend,
+            machine=tuple(sorted(
+                (name, (int(value) if isinstance(value, float)
+                        and value.is_integer() else value))
+                for name, value in machine.items()
+            )),
+            predictor=predictor,
         )
 
 

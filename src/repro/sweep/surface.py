@@ -1,0 +1,249 @@
+"""Scaling-surface rendering for sweep results (ascii + HTML).
+
+A *surface* projects the per-point records onto two axes — rows x
+columns — with one metric in the cells.  Multiple records landing in
+one cell (e.g. several workloads at the same (cores, predictor)
+coordinate) are aggregated: geometric mean for the ratio-scale
+metrics (``region_time``, ``speedup``), arithmetic mean otherwise.
+
+The ascii table goes through the shared reporting layer
+(:func:`repro.experiments.reporting.format_table`); the HTML render
+is a single self-contained page in the same idiom as the trace and
+analysis exporters (inline CSS, no external assets), with a color
+ramp over the cell values so the scaling surface reads at a glance.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.reporting import format_table
+from repro.sweep.grid import SweepGrid, SweepPoint
+
+#: Metrics aggregated by geometric mean (ratio scale).
+_GEOMEAN_METRICS = ("region_time", "speedup")
+
+#: Lower is better for these metrics (drives the HTML color ramp).
+_LOWER_IS_BETTER = ("region_time", "program_cycles", "region_cycles",
+                    "epochs_squashed", "violations")
+
+
+def _point_of(record: Dict) -> SweepPoint:
+    return SweepPoint(
+        workload=record["workload"],
+        bar=record["bar"],
+        threshold=record["threshold"],
+        overrides=tuple(sorted(record["overrides"].items())),
+    )
+
+
+def _aggregate(metric: str, values: Sequence[float]) -> float:
+    if not values:
+        return float("nan")
+    if metric in _GEOMEAN_METRICS and all(v > 0 for v in values):
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+    return sum(values) / len(values)
+
+
+def pick_axes(
+    grid: SweepGrid,
+    rows: Optional[str] = None,
+    cols: Optional[str] = None,
+) -> Tuple[str, str]:
+    """Choose (rows, cols): explicit choices win, varying axes next.
+
+    Preference order for the defaults: swept config axes first (they
+    are what the sweep is *about*), then bar, then workload.
+    """
+    varying = grid.axis_names()
+    ranked = (
+        [name for name in varying if name not in ("workload", "bar")]
+        + [name for name in ("bar", "workload") if name in varying]
+    )
+    if rows is None:
+        ranked_free = [name for name in ranked if name != cols]
+        rows = ranked_free[0] if ranked_free else "workload"
+    if cols is None:
+        ranked_free = [name for name in ranked if name != rows]
+        cols = ranked_free[0] if ranked_free else "bar"
+    if rows == cols:
+        raise ValueError(f"rows and cols are both {rows!r}")
+    return rows, cols
+
+
+def _surface_cells(
+    records: Sequence[Dict], rows: str, cols: str, metric: str
+) -> Tuple[List, List, Dict[Tuple, List[float]]]:
+    """(row values, col values, cell -> raw metric values)."""
+    row_values: List = []
+    col_values: List = []
+    cells: Dict[Tuple, List[float]] = {}
+    for record in records:
+        point = _point_of(record)
+        row_key = point.axis_value(rows)
+        col_key = point.axis_value(cols)
+        if row_key not in row_values:
+            row_values.append(row_key)
+        if col_key not in col_values:
+            col_values.append(col_key)
+        cells.setdefault((row_key, col_key), []).append(
+            float(record["metrics"][metric])
+        )
+    return row_values, col_values, cells
+
+
+def surface_table(
+    records: Sequence[Dict], rows: str, cols: str, metric: str
+) -> Tuple[List[Dict], List[str]]:
+    """Aggregated surface as reporting-layer rows + column names."""
+    row_values, col_values, cells = _surface_cells(records, rows, cols, metric)
+    columns = [rows] + [str(value) for value in col_values]
+    table_rows = []
+    for row_key in row_values:
+        row: Dict = {rows: str(row_key)}
+        for col_key in col_values:
+            values = cells.get((row_key, col_key))
+            row[str(col_key)] = (
+                _aggregate(metric, values) if values else "-"
+            )
+        table_rows.append(row)
+    return table_rows, columns
+
+
+def render_ascii_surface(
+    records: Sequence[Dict],
+    rows: str,
+    cols: str,
+    metric: str,
+    title: Optional[str] = None,
+) -> str:
+    """The scaling surface as an ascii table (reporting layer)."""
+    table_rows, columns = surface_table(records, rows, cols, metric)
+    # two decimals: one is too coarse for speedup-style ratio cells
+    for row in table_rows:
+        for name, value in row.items():
+            if isinstance(value, float):
+                row[name] = f"{value:.2f}"
+    heading = title or f"scaling surface — {metric} ({rows} x {cols})"
+    return format_table(table_rows, columns, title=heading)
+
+
+# ---------------------------------------------------------------------------
+# HTML
+# ---------------------------------------------------------------------------
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.25em; }
+h2 { font-size: 1.0em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.7em; text-align: right; }
+th { background: #eee; }
+td.axis { text-align: left; background: #f4f4f4; }
+.meta { color: #666; font-size: 0.85em; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p class="meta">__META__</p>
+__SURFACE__
+<h2>points</h2>
+__POINTS__
+</body>
+</html>
+"""
+
+
+def _ramp_color(value: float, low: float, high: float, invert: bool) -> str:
+    """Green-to-red background for a cell value within [low, high]."""
+    if not math.isfinite(value) or high <= low:
+        return "#ffffff"
+    frac = (value - low) / (high - low)
+    if invert:
+        frac = 1.0 - frac
+    # frac 0 -> good (green), 1 -> bad (red)
+    hue = 120.0 * (1.0 - frac)
+    return f"hsl({hue:.0f}, 65%, 82%)"
+
+
+def render_html_surface(
+    records: Sequence[Dict],
+    grid: SweepGrid,
+    rows: str,
+    cols: str,
+    metric: str,
+    title: Optional[str] = None,
+) -> str:
+    """Self-contained HTML page: colored surface + per-point table."""
+    escape = html_mod.escape
+    row_values, col_values, cells = _surface_cells(records, rows, cols, metric)
+    aggregated = {
+        key: _aggregate(metric, values) for key, values in cells.items()
+    }
+    finite = [v for v in aggregated.values() if math.isfinite(v)]
+    low = min(finite) if finite else 0.0
+    high = max(finite) if finite else 0.0
+    invert = metric not in _LOWER_IS_BETTER
+
+    parts = [f"<table><tr><th>{escape(rows)} \\ {escape(cols)}</th>"]
+    for col_key in col_values:
+        parts.append(f"<th>{escape(str(col_key))}</th>")
+    parts.append("</tr>")
+    for row_key in row_values:
+        parts.append(f'<tr><td class="axis">{escape(str(row_key))}</td>')
+        for col_key in col_values:
+            value = aggregated.get((row_key, col_key))
+            if value is None:
+                parts.append("<td>-</td>")
+                continue
+            color = _ramp_color(value, low, high, invert)
+            count = len(cells[(row_key, col_key)])
+            note = f" ({count})" if count > 1 else ""
+            parts.append(
+                f'<td style="background:{color}">{value:.2f}{note}</td>'
+            )
+        parts.append("</tr>")
+    parts.append("</table>")
+    surface = "".join(parts)
+
+    point_cols = ["workload", "bar", "overrides"] + list(
+        records[0]["metrics"] if records else ()
+    )
+    pparts = ["<table><tr>"]
+    for name in point_cols:
+        pparts.append(f"<th>{escape(name)}</th>")
+    pparts.append("</tr>")
+    for record in records:
+        pparts.append("<tr>")
+        overrides = " ".join(
+            f"{k}={v}" for k, v in sorted(record["overrides"].items())
+        ) or "(default)"
+        cells_text = [record["workload"], record["bar"], overrides]
+        for cell in cells_text:
+            pparts.append(f'<td class="axis">{escape(str(cell))}</td>')
+        for name in point_cols[3:]:
+            value = record["metrics"][name]
+            text = f"{value:.2f}" if isinstance(value, float) else str(value)
+            pparts.append(f"<td>{text}</td>")
+        pparts.append("</tr>")
+    pparts.append("</table>")
+
+    heading = title or f"scaling surface — {metric}"
+    meta = (
+        f"{len(records)} point(s) · rows: {rows} · cols: {cols} · "
+        f"metric: {metric} ({'lower' if metric in _LOWER_IS_BETTER else 'higher'}"
+        " is better) · workloads: " + ", ".join(grid.workloads)
+        + " · bars: " + ", ".join(grid.bars)
+    )
+    page = _HTML_TEMPLATE.replace("__TITLE__", escape(heading))
+    page = page.replace("__META__", escape(meta))
+    page = page.replace("__SURFACE__", surface)
+    return page.replace("__POINTS__", "".join(pparts))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.tlssim.config import SimConfig
+from repro.tlssim.config import MachineConfig
 
 
 class LRUCache:
@@ -60,16 +60,19 @@ class CacheHierarchy:
     engine keeps it current at every memory operation).
     """
 
-    def __init__(self, config: SimConfig, bus=None):
-        self.config = config
+    def __init__(self, machine: MachineConfig, bus=None):
+        # Accepts a MachineConfig or anything exposing one (SimConfig):
+        # the hierarchy's geometry is purely a machine property.
+        machine = machine.machine
+        self.machine = machine
         self.bus = bus
-        self.l1 = [LRUCache(config.l1_lines) for _ in range(config.num_cores)]
-        self.l2 = LRUCache(config.l2_lines)
+        self.l1 = [LRUCache(machine.l1_lines) for _ in range(machine.num_cores)]
+        self.l2 = LRUCache(machine.l2_lines)
         # Hot-path constants (access/line_of run per memory op).
-        self._lat_l1 = float(config.lat_l1)
-        self._lat_l2 = float(config.lat_l2)
-        self._lat_mem = float(config.lat_mem)
-        self._words_per_line = config.words_per_line
+        self._lat_l1 = float(machine.lat_l1)
+        self._lat_l2 = float(machine.lat_l2)
+        self._lat_mem = float(machine.lat_mem)
+        self._words_per_line = machine.words_per_line
 
     def access(self, core: int, line: int) -> float:
         """Latency in cycles of a load/store to ``line`` from ``core``."""

@@ -98,7 +98,7 @@ from repro.tlssim.costs import instruction_latency
 from repro.tlssim.forwarding import ChannelBank, SignalAddressBuffer
 from repro.tlssim.hwsync import ViolatingLoadTable
 from repro.tlssim.oracle import ValueOracle
-from repro.tlssim.prediction import LastValuePredictor
+from repro.tlssim.prediction import make_predictor
 from repro.tlssim.stats import RegionStats, SimResult, ViolationRecord
 
 
@@ -225,11 +225,13 @@ class TLSEngine:
         if self.config.oracle_mode != "off" and oracle is None:
             raise EngineError("oracle_mode set but no oracle supplied")
         self.memory = MemoryImage(module)
-        self.caches = CacheHierarchy(self.config, bus=obs)
-        self.hw_table = ViolatingLoadTable(
-            size=self.config.hw_table_size,
-            threshold=self.config.hw_sync_threshold,
-            reset_interval=self.config.hw_reset_interval,
+        #: the validated machine slice of the config; every structural
+        #: hardware model below (caches, forwarding, hwsync) is built
+        #: from it rather than reaching into the flat config.
+        self.machine = self.config.machine
+        self.caches = CacheHierarchy(self.machine, bus=obs)
+        self.hw_table = ViolatingLoadTable.for_config(
+            self.config,
             persistent=(
                 module.sync_loads if self.config.hw_hint_persistent else ()
             ),
@@ -237,7 +239,8 @@ class TLSEngine:
         )
         #: channel -> [checks, address matches] for the hybrid filter
         self.channel_stats: Dict[str, List[int]] = {}
-        self.predictor = LastValuePredictor(
+        self.predictor = make_predictor(
+            self.config.predictor,
             confidence_threshold=self.config.prediction_confidence,
             bus=obs,
         )
@@ -793,7 +796,7 @@ class _RegionExecution:
         self.info = info
         self.function = self.module.function(frame.function_name)
         self.start_time = engine.clock
-        self.channels = ChannelBank(self.config.forward_latency, bus=engine.obs)
+        self.channels = ChannelBank.for_machine(engine.machine, bus=engine.obs)
         self.region_index = engine._region_counter
         engine._region_counter += 1
         self.stats = RegionStats(
@@ -984,7 +987,7 @@ class _RegionExecution:
                     regs=dict(self.frame.regs),
                     block=self.info.annotation.header,
                 ),
-                sab_capacity=self.config.signal_buffer_entries,
+                sab_capacity=self.engine.machine.signal_buffer_entries,
             )
             self.active[k] = run
             self.first_start[k] = start
@@ -1395,7 +1398,7 @@ class _RegionExecution:
                     regs=dict(self.frame.regs),
                     block=self.info.annotation.header,
                 ),
-                sab_capacity=self.config.signal_buffer_entries,
+                sab_capacity=self.engine.machine.signal_buffer_entries,
             )
             replacement.no_predict = run.no_predict
             self.active[run.logical] = replacement

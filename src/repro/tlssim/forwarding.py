@@ -55,6 +55,11 @@ class ChannelBank:
         # keeps squash-time withdrawal from scanning every channel.
         self._by_consumer: Dict[int, List[List[Message]]] = {}
 
+    @classmethod
+    def for_machine(cls, machine, bus=None) -> "ChannelBank":
+        """Bank wired to the machine's crossbar forwarding latency."""
+        return cls(machine.forward_latency, bus=bus)
+
     # -- producer side ----------------------------------------------------
 
     def send(
@@ -201,10 +206,20 @@ class SignalAddressBuffer:
     """
 
     def __init__(self, capacity: int = 10):
+        if capacity < 1:
+            raise ValueError(
+                "signal address buffer capacity must be >= 1 "
+                f"(got {capacity})"
+            )
         self.capacity = capacity
         self._entries: Dict[int, str] = {}
         self.high_water = 0
         self.overflowed = False
+
+    @classmethod
+    def for_machine(cls, machine) -> "SignalAddressBuffer":
+        """Buffer sized to the machine's SAB capacity."""
+        return cls(machine.signal_buffer_entries)
 
     def record(self, addr: int, channel: str) -> None:
         if addr == 0:

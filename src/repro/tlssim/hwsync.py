@@ -43,6 +43,24 @@ class ViolatingLoadTable:
         self.resets = 0
         self.insertions = 0
 
+    @classmethod
+    def for_config(cls, config, persistent=(), bus=None) -> "ViolatingLoadTable":
+        """Table sized/tuned from a :class:`SimConfig`'s hwsync knobs.
+
+        The table is scheme hardware ([25]'s mechanism), so its knobs
+        live on ``SimConfig`` next to the other hw_sync flags rather
+        than on the structural ``MachineConfig`` — but construction is
+        centralized here so sweeps overriding those knobs flow through
+        one seam.
+        """
+        return cls(
+            size=config.hw_table_size,
+            threshold=config.hw_sync_threshold,
+            reset_interval=config.hw_reset_interval,
+            persistent=persistent,
+            bus=bus,
+        )
+
     def record_violation(self, load_iid: Optional[int]) -> None:
         """Note that ``load_iid`` caused a speculation failure."""
         if load_iid is None:

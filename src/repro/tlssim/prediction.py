@@ -1,20 +1,45 @@
-"""Hardware last-value prediction for violating loads (the P bars).
+"""Hardware value prediction for violating loads (the P-family bars).
 
 Per [25], value prediction targets loads that have caused violations:
-instead of stalling, the consumer uses the last committed value of the
-load and verifies it at commit time; a mispredict is a violation.  A
+instead of stalling, the consumer uses a predicted value for the load
+and verifies it at commit time; a mispredict is a violation.  A
 confidence counter gates predictions so cold or unstable loads are not
-predicted.  The paper finds this technique has "insignificant effect on
-performance, indicating that forwarded memory-resident values are
-unpredictable" — our reproduction keeps the mechanism faithful so that
-result emerges rather than being hard-coded.
+predicted.  The paper finds the last-value technique has
+"insignificant effect on performance, indicating that forwarded
+memory-resident values are unpredictable" — our reproduction keeps the
+mechanism faithful so that result emerges rather than being
+hard-coded.
+
+Three prediction schemes live behind the :data:`PREDICTORS` registry,
+selectable per bar (``P``/``PS``/``PC``) or per ``SimConfig.predictor``
+and sweepable as a grid axis:
+
+* ``last`` — :class:`LastValuePredictor`, the paper's scheme [25]:
+  predict the last committed value of the load.
+* ``stride`` — :class:`StridePredictor`: predict last value + the
+  last observed stride (classic stride value prediction; catches
+  induction-like memory values the last-value table always misses).
+* ``context`` — :class:`ContextPredictor`: an order-2 finite context
+  method (FCM) predictor in the spirit of Sazeides & Smith — the last
+  two committed values of the load index a per-load value history
+  table; repeating value *sequences* predict even when neither last
+  value nor stride does.
+
+All predictors share one interface (``predict`` / ``train`` /
+``record_outcome`` / ``__len__``) and one confidence discipline:
+``predict`` returns a value only at confidence >= the threshold,
+``train`` saturates confidence at :data:`CONFIDENCE_MAX` and resets it
+on disagreement, and tables are LRU-bounded per static load id.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Dict, Optional, Tuple
+
+#: confidence counters saturate here (2-bit counters, as in [25])
+CONFIDENCE_MAX = 3
 
 
 @dataclass
@@ -23,16 +48,32 @@ class PredictionEntry:
     confidence: int = 0
 
 
-class LastValuePredictor:
-    """LRU last-value table keyed by static load id."""
+class _PredictorBase:
+    """Shared outcome accounting + bus emission for every scheme."""
 
     def __init__(self, size: int = 32, confidence_threshold: int = 2, bus=None):
         self.size = size
         self.confidence_threshold = confidence_threshold
         self.bus = bus
-        self._entries: "OrderedDict[int, PredictionEntry]" = OrderedDict()
         self.predictions_used = 0
         self.mispredictions = 0
+
+    def record_outcome(self, correct: bool, load_iid: Optional[int] = None) -> None:
+        self.predictions_used += 1
+        if not correct:
+            self.mispredictions += 1
+        if self.bus is not None:
+            self.bus.emit(
+                "pred_hit" if correct else "pred_miss", load_iid=load_iid
+            )
+
+
+class LastValuePredictor(_PredictorBase):
+    """LRU last-value table keyed by static load id."""
+
+    def __init__(self, size: int = 32, confidence_threshold: int = 2, bus=None):
+        super().__init__(size, confidence_threshold, bus)
+        self._entries: "OrderedDict[int, PredictionEntry]" = OrderedDict()
 
     def predict(self, load_iid: Optional[int]) -> Optional[int]:
         """Predicted value for the load, or None when not confident."""
@@ -55,20 +96,184 @@ class LastValuePredictor:
                 self._entries.popitem(last=False)
             return
         if entry.value == actual:
-            entry.confidence = min(entry.confidence + 1, 3)
+            entry.confidence = min(entry.confidence + 1, CONFIDENCE_MAX)
         else:
             entry.value = actual
             entry.confidence = 0
         self._entries.move_to_end(load_iid)
 
-    def record_outcome(self, correct: bool, load_iid: Optional[int] = None) -> None:
-        self.predictions_used += 1
-        if not correct:
-            self.mispredictions += 1
-        if self.bus is not None:
-            self.bus.emit(
-                "pred_hit" if correct else "pred_miss", load_iid=load_iid
-            )
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class StrideEntry:
+    value: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePredictor(_PredictorBase):
+    """LRU stride table: predict last value + last confirmed stride.
+
+    Confidence counts consecutive *stride* confirmations, so a load
+    walking an induction pattern (a, a+d, a+2d, ...) predicts after
+    the stride repeats ``confidence_threshold`` times; a constant
+    value is the d == 0 special case, making this a strict
+    generalization of last-value prediction for trained entries.
+    """
+
+    def __init__(self, size: int = 32, confidence_threshold: int = 2, bus=None):
+        super().__init__(size, confidence_threshold, bus)
+        self._entries: "OrderedDict[int, StrideEntry]" = OrderedDict()
+
+    def predict(self, load_iid: Optional[int]) -> Optional[int]:
+        if load_iid is None:
+            return None
+        entry = self._entries.get(load_iid)
+        if entry is None or entry.confidence < self.confidence_threshold:
+            return None
+        self._entries.move_to_end(load_iid)
+        return entry.value + entry.stride
+
+    def train(self, load_iid: Optional[int], actual: int) -> None:
+        if load_iid is None:
+            return
+        entry = self._entries.get(load_iid)
+        if entry is None:
+            self._entries[load_iid] = StrideEntry(value=actual)
+            if len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+            return
+        stride = actual - entry.value
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, CONFIDENCE_MAX)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.value = actual
+        self._entries.move_to_end(load_iid)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class ContextPredictor(_PredictorBase):
+    """Order-``order`` FCM predictor keyed by static load id.
+
+    Level 1 is a per-load history of the last ``order`` committed
+    values; level 2 maps that history (the *context*) to the value
+    that followed it last time, with the shared confidence discipline.
+    Contexts are LRU-bounded per load (``contexts_per_load``) and
+    loads are LRU-bounded by ``size``, so the table cannot grow with
+    the dynamic trace.
+    """
+
+    def __init__(
+        self,
+        size: int = 32,
+        confidence_threshold: int = 2,
+        bus=None,
+        order: int = 2,
+        contexts_per_load: int = 64,
+    ):
+        super().__init__(size, confidence_threshold, bus)
+        if order < 1:
+            raise ValueError(f"context order must be >= 1 (got {order})")
+        self.order = order
+        self.contexts_per_load = contexts_per_load
+        #: load id -> (history tuple, context -> PredictionEntry)
+        self._entries: "OrderedDict[int, Tuple[Tuple[int, ...], OrderedDict]]" = (
+            OrderedDict()
+        )
+
+    def predict(self, load_iid: Optional[int]) -> Optional[int]:
+        if load_iid is None:
+            return None
+        state = self._entries.get(load_iid)
+        if state is None:
+            return None
+        history, contexts = state
+        if len(history) < self.order:
+            return None
+        entry = contexts.get(history)
+        if entry is None or entry.confidence < self.confidence_threshold:
+            return None
+        self._entries.move_to_end(load_iid)
+        contexts.move_to_end(history)
+        return entry.value
+
+    def train(self, load_iid: Optional[int], actual: int) -> None:
+        if load_iid is None:
+            return
+        state = self._entries.get(load_iid)
+        if state is None:
+            history: Tuple[int, ...] = ()
+            contexts: "OrderedDict[Tuple[int, ...], PredictionEntry]" = (
+                OrderedDict()
+            )
+        else:
+            history, contexts = state
+        if len(history) == self.order:
+            entry = contexts.get(history)
+            if entry is None:
+                contexts[history] = PredictionEntry(value=actual, confidence=0)
+                if len(contexts) > self.contexts_per_load:
+                    contexts.popitem(last=False)
+            elif entry.value == actual:
+                entry.confidence = min(entry.confidence + 1, CONFIDENCE_MAX)
+                contexts.move_to_end(history)
+            else:
+                entry.value = actual
+                entry.confidence = 0
+                contexts.move_to_end(history)
+        history = (history + (actual,))[-self.order:]
+        self._entries[load_iid] = (history, contexts)
+        self._entries.move_to_end(load_iid)
+        if len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """One registered prediction scheme."""
+
+    name: str
+    factory: Callable[..., _PredictorBase]
+    description: str
+
+
+#: The prediction-scheme registry: ``SimConfig.predictor`` values,
+#: sweep-axis values, and serve-job overrides are validated against
+#: these names.
+PREDICTORS: Dict[str, PredictorSpec] = {
+    "last": PredictorSpec(
+        "last", LastValuePredictor,
+        "last committed value of the load, confidence-gated ([25])",
+    ),
+    "stride": PredictorSpec(
+        "stride", StridePredictor,
+        "last value + last confirmed stride (induction patterns)",
+    ),
+    "context": PredictorSpec(
+        "context", ContextPredictor,
+        "order-2 finite context method: last two values index a "
+        "per-load value history table",
+    ),
+}
+
+
+def make_predictor(
+    name: str, confidence_threshold: int = 2, bus=None
+) -> _PredictorBase:
+    """Instantiate a registered prediction scheme by name."""
+    spec = PREDICTORS.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown predictor {name!r}; valid predictors: "
+            + ", ".join(repr(known) for known in sorted(PREDICTORS))
+        )
+    return spec.factory(confidence_threshold=confidence_threshold, bus=bus)

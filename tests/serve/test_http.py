@@ -116,3 +116,76 @@ def test_job_request_round_trip_and_normalization():
 def test_job_request_rejects_invalid(payload):
     with pytest.raises(ProtocolError):
         JobRequest.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# per-job machine / predictor overrides
+# ---------------------------------------------------------------------------
+
+
+def test_job_request_machine_override_round_trip():
+    request = JobRequest.from_dict({
+        "workload": "go", "bar": "P",
+        "machine": {"num_cores": 8, "signal_buffer_entries": 4},
+        "predictor": "stride",
+    })
+    assert dict(request.machine) == {
+        "num_cores": 8, "signal_buffer_entries": 4,
+    }
+    assert request.predictor == "stride"
+    assert JobRequest.from_dict(request.to_dict()) == request
+    overrides = request.config_overrides()
+    assert overrides["num_cores"] == 8
+    assert overrides["predictor"] == "stride"
+
+
+def test_job_request_machine_integral_floats_normalize():
+    """JSON clients send 8.0; core counts must come back as int."""
+    request = JobRequest.from_dict(
+        {"workload": "go", "machine": {"num_cores": 8.0}}
+    )
+    value = dict(request.machine)["num_cores"]
+    assert value == 8 and isinstance(value, int)
+
+
+def test_job_request_default_has_no_overrides():
+    request = JobRequest.from_dict({"workload": "go"})
+    assert request.machine == () and request.predictor is None
+    assert request.config_overrides() == {}
+    assert "machine" not in request.to_dict()
+
+
+@pytest.mark.parametrize(
+    "payload,match",
+    [
+        ({"workload": "go", "machine": [1, 2]}, "machine"),
+        ({"workload": "go", "machine": {"nope": 1}}, "machine"),
+        ({"workload": "go", "machine": {"num_cores": "four"}}, "machine"),
+        ({"workload": "go", "machine": {"num_cores": 0}},
+         "invalid machine config"),
+        ({"workload": "go", "machine": {"signal_buffer_entries": 0}},
+         "invalid machine config"),
+        ({"workload": "go", "predictor": "nope"}, "predictor"),
+    ],
+)
+def test_job_request_rejects_bad_overrides(payload, match):
+    with pytest.raises(ProtocolError, match=match):
+        JobRequest.from_dict(payload)
+
+
+def test_served_override_matches_direct_simulation():
+    """An override job through the pool equals an in-process run."""
+    from repro.experiments.runner import bundle_for
+    from repro.serve.pool import execute_request
+    from repro.tlssim.config import SimConfig
+
+    request = JobRequest(
+        workload="go", bar="P",
+        machine=(("num_cores", 2),), predictor="stride",
+    )
+    outcome = execute_request(request)
+    assert outcome["ok"], outcome.get("error")
+    direct = bundle_for("go", 0.05).simulate(
+        "P", base=SimConfig(num_cores=2, predictor="stride")
+    )
+    assert outcome["result"] == direct.to_state()

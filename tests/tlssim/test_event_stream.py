@@ -22,8 +22,15 @@ from repro.obs.events import EPOCH_KINDS
 from repro.tlssim.engine import TLSEngine
 from repro.workloads import all_workloads
 
-BARS = ("U", "C", "T", "H", "P", "B", "E", "L", "O", "SEQ")
+BARS = ("U", "C", "T", "H", "P", "PS", "PC", "B", "E", "L", "O", "SEQ")
 WORKLOADS = tuple(w.name for w in all_workloads())
+
+#: machine-model points for the parameterized-machine identity matrix
+MACHINE_POINTS = (
+    {"num_cores": 2},
+    {"num_cores": 8, "signal_buffer_entries": 4},
+)
+MACHINE_WORKLOADS = ("go", "m88ksim", "gzip_decomp")
 
 
 def _stream(program, config, oracle, parallel):
@@ -65,6 +72,39 @@ def test_event_streams_identical_on_every_bar(name, backend):
         # attaching the bus must not perturb the simulation itself
         assert fast_result.to_state() == slow_result.to_state(), (
             f"{name}/{bar}: results diverged with the bus attached ({backend})"
+        )
+
+
+@pytest.mark.parametrize("backend", ("tuples", "vector"))
+@pytest.mark.parametrize("machine", MACHINE_POINTS, ids=lambda m: "-".join(
+    f"{k}{v}" for k, v in sorted(m.items())
+))
+@pytest.mark.parametrize("name", MACHINE_WORKLOADS)
+def test_event_streams_identical_off_default_machine(name, machine, backend):
+    """Byte-identity holds away from the paper's 4-core default too.
+
+    The machine-model axes (core count, SAB capacity) change the
+    schedule, so this pins the fast/slow contract at the sweep lab's
+    off-default points — the prediction bars included, since the
+    predictors are the other new emission sites.
+    """
+    bundle = bundle_for(name)
+    for bar in ("U", "P", "PS", "PC"):
+        program = bundle.program(bar)
+        config = config_for(bar).with_mode(**machine)
+        fast_stream, fast_result = _stream(
+            program,
+            config.with_mode(fast_path=True, backend=backend),
+            None, True,
+        )
+        slow_stream, slow_result = _stream(
+            program, config.with_mode(fast_path=False), None, True
+        )
+        assert fast_stream == slow_stream, (
+            f"{name}/{bar}: event streams diverged at {machine} ({backend})"
+        )
+        assert fast_result.to_state() == slow_result.to_state(), (
+            f"{name}/{bar}: results diverged at {machine} ({backend})"
         )
 
 

@@ -1,0 +1,158 @@
+"""Value-predictor schemes: stride, context (FCM), and the registry.
+
+Last-value prediction is pinned in ``test_components.py``; these
+tests cover the two schemes the sweep lab adds and the registry that
+makes them selectable per bar (``PS`` / ``PC``) and per sweep axis
+(``predictor=...``).  The discipline shared by all three — predict
+only above the confidence threshold, train on every commit — is what
+keeps mispredictions surfacing as ordinary violations.
+"""
+
+import pytest
+
+from repro.tlssim.prediction import (
+    PREDICTORS,
+    ContextPredictor,
+    LastValuePredictor,
+    StridePredictor,
+    make_predictor,
+)
+
+
+class TestStridePredictor:
+    def test_predicts_the_next_stride_step(self):
+        predictor = StridePredictor(confidence_threshold=2)
+        for value in (10, 14, 18, 22):  # stride 4, confirmed 3x
+            predictor.train("load", value)
+        assert predictor.predict("load") == 26
+
+    def test_no_prediction_before_confidence(self):
+        predictor = StridePredictor(confidence_threshold=2)
+        predictor.train("load", 10)
+        predictor.train("load", 14)  # first stride observation
+        assert predictor.predict("load") is None
+
+    def test_constant_values_are_a_zero_stride(self):
+        predictor = StridePredictor(confidence_threshold=2)
+        for _ in range(4):
+            predictor.train("load", 7)
+        assert predictor.predict("load") == 7
+
+    def test_stride_change_resets_confidence(self):
+        predictor = StridePredictor(confidence_threshold=2)
+        for value in (10, 14, 18, 22):
+            predictor.train("load", value)
+        assert predictor.predict("load") is not None
+        predictor.train("load", 100)  # stride breaks
+        assert predictor.predict("load") is None
+
+    def test_capacity_is_bounded(self):
+        predictor = StridePredictor(size=2, confidence_threshold=1)
+        for load in ("a", "b", "c"):  # "a" evicted
+            for value in (1, 2, 3):  # stride 1, confirmed once
+                predictor.train(load, value)
+        assert predictor.predict("b") is not None
+        assert predictor.predict("a") is None
+
+
+class TestContextPredictor:
+    def test_learns_a_repeating_pattern(self):
+        predictor = ContextPredictor(confidence_threshold=1, order=2)
+        # pattern 1,2,3 repeating: context (2,3) -> 1, etc.
+        for value in (1, 2, 3, 1, 2, 3, 1, 2, 3):
+            predictor.train("load", value)
+        # history is now (2, 3); the confident follower is 1
+        assert predictor.predict("load") == 1
+
+    def test_stride_sequences_are_not_its_job(self):
+        predictor = ContextPredictor(confidence_threshold=1, order=2)
+        for value in (10, 14, 18, 22):  # every context unique
+            predictor.train("load", value)
+        assert predictor.predict("load") is None
+
+    def test_requires_full_order_history(self):
+        predictor = ContextPredictor(confidence_threshold=1, order=3)
+        predictor.train("load", 1)
+        predictor.train("load", 2)
+        assert predictor.predict("load") is None
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order must be >= 1"):
+            ContextPredictor(order=0)
+
+    def test_loads_do_not_share_contexts(self):
+        predictor = ContextPredictor(confidence_threshold=1, order=1)
+        for _ in range(3):
+            predictor.train("a", 5)
+        assert predictor.predict("a") == 5
+        assert predictor.predict("b") is None
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(PREDICTORS) == {"last", "stride", "context"}
+        for spec in PREDICTORS.values():
+            assert spec.description
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        (
+            ("last", LastValuePredictor),
+            ("stride", StridePredictor),
+            ("context", ContextPredictor),
+        ),
+    )
+    def test_make_predictor_dispatch(self, name, cls):
+        predictor = make_predictor(name, confidence_threshold=1)
+        assert isinstance(predictor, cls)
+        assert predictor.confidence_threshold == 1
+
+    def test_make_predictor_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown predictor 'nope'"):
+            make_predictor("nope")
+
+    def test_simconfig_gates_the_predictor_field(self):
+        from repro.tlssim.config import SimConfig
+
+        assert SimConfig(predictor="stride").predictor == "stride"
+        with pytest.raises(ValueError, match="unknown predictor"):
+            SimConfig(predictor="nope")
+
+    def test_outcome_counters(self):
+        predictor = make_predictor("stride", confidence_threshold=1)
+        predictor.record_outcome(True, "load")
+        predictor.record_outcome(False, "load")
+        assert predictor.predictions_used == 2
+        assert predictor.mispredictions == 1
+
+
+class TestBarWiring:
+    def test_prediction_bars_select_the_scheme(self):
+        from repro.experiments.runner import config_for
+
+        assert config_for("P").predictor == "last"
+        assert config_for("PS").predictor == "stride"
+        assert config_for("PC").predictor == "context"
+        for bar in ("P", "PS", "PC"):
+            assert config_for(bar).prediction is True
+
+    def test_p_bar_composes_with_a_swept_predictor(self):
+        """P inherits the base predictor — the sweep axis wins."""
+        from repro.experiments.runner import config_for
+        from repro.tlssim.config import SimConfig
+
+        base = SimConfig(predictor="context")
+        assert config_for("P", base).predictor == "context"
+
+    def test_schemes_diverge_on_a_real_workload(self):
+        """The new schemes must be live, not aliases of last-value."""
+        from repro.experiments.runner import bundle_for
+
+        bundle = bundle_for("m88ksim")
+        cycles = {
+            bar: bundle.simulate(bar).program_cycles
+            for bar in ("P", "PS", "PC")
+        }
+        assert len(set(cycles.values())) > 1, (
+            f"predictor schemes all identical: {cycles}"
+        )
