@@ -9,6 +9,8 @@ fresh state, so timings are genuine.
 
 from repro.compiler.pipeline import compile_workload
 from repro.experiments.runner import bundle_for
+from repro.obs.bus import CollectorSink, EventBus
+from repro.obs.registry import MetricsRegistry, MetricsSink
 from repro.tlssim.config import SimConfig
 from repro.tlssim.engine import TLSEngine
 from repro.workloads import get_workload
@@ -60,6 +62,40 @@ def test_engine_vector_synchronized_throughput(benchmark):
 
     result = benchmark(run)
     assert result.regions[0].epochs_committed > 0
+
+
+def test_engine_obs_detached_throughput(benchmark):
+    # The default serving/batch configuration: no bus attached.  The
+    # pair with test_engine_obs_attached_throughput quantifies the
+    # observability overhead; this cell must stay within noise of
+    # test_engine_synchronized_throughput (the detached-bus guarantee —
+    # `bench --compare` gates it like any other warm cell).
+    bundle = bundle_for("parser")
+    module = bundle.compiled.sync_ref
+
+    def run():
+        return TLSEngine(module, config=SimConfig(), obs=None).run()
+
+    result = benchmark(run)
+    assert result.regions[0].epochs_committed > 0
+
+
+def test_engine_obs_attached_throughput(benchmark):
+    # Full telemetry: collector + metrics sinks on a live EventBus,
+    # exactly what `repro trace` / serve events=true jobs attach.
+    bundle = bundle_for("parser")
+    module = bundle.compiled.sync_ref
+
+    def run():
+        bus = EventBus()
+        collector = bus.attach(CollectorSink())
+        bus.attach(MetricsSink(MetricsRegistry(), scheme="C"))
+        result = TLSEngine(module, config=SimConfig(), obs=bus).run()
+        return result, collector
+
+    result, collector = benchmark(run)
+    assert result.regions[0].epochs_committed > 0
+    assert collector.events
 
 
 def test_engine_slow_path_throughput(benchmark):

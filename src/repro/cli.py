@@ -42,10 +42,16 @@ Commands
     target rate and report p50/p95/p99 submit-to-done latency; ``-o``
     writes the ``BENCH_serve.json`` payload and ``--compare`` gates it
     against a checked-in baseline like ``bench --compare``.
+``top``
+    Live terminal dashboard for a serve daemon: queue occupancy,
+    per-worker state, latency percentiles and cache hit rates from
+    ``/v1/stats`` + ``/v1/metrics``; ``--once`` prints one snapshot.
 ``trace``
     Simulate one (workload, bar) cell with the observability stack
     attached and export the event stream: ``--format chrome`` (open in
-    Perfetto), ``jsonl``, ``html`` or ``timeline`` (ASCII).  See
+    Perfetto), ``jsonl``, ``html`` or ``timeline`` (ASCII); ``--job
+    JOB_ID --url ...`` instead fetches a serve job's request spans and
+    sim events and writes one merged Chrome trace.  See
     ``docs/observability.md``.
 ``analyze``
     Cycle accounting and stall attribution: split every graduation
@@ -60,7 +66,8 @@ Commands
 Experiment commands memoize simulation results *and* compiled
 artifacts under ``.repro_cache/`` (override with ``--cache-dir`` or
 ``REPRO_CACHE_DIR``); ``--no-cache`` disables both stores for one
-invocation.
+invocation.  They also take ``--log-level``/``--log-json`` to control
+the structured service log (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ from typing import List, Optional
 from repro.experiments import artifacts as artifacts_mod
 from repro.experiments import cache as cache_mod
 from repro.experiments import metrics as metrics_mod
+from repro.obs import log as obs_log
 from repro.experiments import report as report_mod
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import bundle_for
@@ -94,6 +102,10 @@ def _setup_run(args) -> None:
     cache_mod.configure(enabled, cache_root)
     artifacts_mod.configure(enabled, cache_root)
     metrics_mod.reset(workers=max(1, getattr(args, "jobs", 1)))
+    obs_log.configure(
+        level=getattr(args, "log_level", "info"),
+        json_mode=getattr(args, "log_json", False),
+    )
 
 
 def _finish_run(args) -> None:
@@ -287,9 +299,66 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _trace_job(args) -> int:
+    """``repro trace --job``: one merged service+sim Chrome trace."""
+    import json
+
+    from repro.obs.events import Event
+    from repro.obs.export import merged_chrome_trace, validate_chrome_trace
+    from repro.serve.client import ServeClient, ServeError
+
+    with ServeClient(args.url) as client:
+        try:
+            trace = client.spans(args.job)
+            status = client.status(args.job)
+        except ServeError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
+        events = []
+        num_cores = args.cores
+        if status.get("request", {}).get("events"):
+            lines = [
+                line
+                for line in client.events_bytes(args.job).decode().splitlines()
+                if line.strip()
+            ]
+            header = json.loads(lines[0]) if lines else {}
+            num_cores = header.get("num_cores", num_cores)
+            events = [Event.from_dict(json.loads(line)) for line in lines[1:]]
+    payload = merged_chrome_trace(
+        trace.get("spans", []),
+        events=events,
+        num_cores=num_cores,
+        title=f"repro job {args.job}",
+        trace_id=trace.get("trace_id") or None,
+    )
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"trace: {problem}", file=sys.stderr)
+        return 1
+    output = args.output or f"trace_{args.job}.json"
+    with open(output, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    print(f"wrote {output}")
+    print(
+        f"{len(trace.get('spans', []))} service span(s), "
+        f"{len(events)} sim event(s), trace_id "
+        f"{trace.get('trace_id') or '-'}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.experiments import trace as trace_mod
 
+    if args.job:
+        return _trace_job(args)
+    if not args.workload:
+        print("trace: --workload or --job is required", file=sys.stderr)
+        return 2
     run = trace_mod.run_traced(
         args.workload,
         bar=args.bar,
@@ -469,6 +538,7 @@ def _cmd_serve(args) -> int:
 
     from repro.serve.daemon import Daemon, ServeConfig
 
+    obs_log.configure(level=args.log_level, json_mode=args.log_json)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -477,12 +547,24 @@ def _cmd_serve(args) -> int:
         batch_limit=args.batch_limit,
         cache_enabled=not args.no_cache,
         cache_root=args.cache_dir,
+        log_level=args.log_level,
+        log_json=args.log_json,
     )
     try:
         asyncio.run(Daemon(config).run())
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(args.url, interval=args.interval, once=args.once)
+    except Exception as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_loadgen(args) -> int:
@@ -679,6 +761,17 @@ def _add_run_options(parser, jobs: bool = True, metrics: bool = False) -> None:
             default=None,
             help="write run metrics (cache hits, speedup, utilization) as JSON",
         )
+    parser.add_argument(
+        "--log-level",
+        choices=tuple(obs_log.LEVELS),
+        default="info",
+        help="structured-log threshold (default info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines instead of text",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -765,7 +858,17 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="simulate one cell with full event tracing"
     )
     trace_parser.add_argument(
-        "--workload", required=True, help="workload name (see `repro list`)"
+        "--workload", default=None, help="workload name (see `repro list`)"
+    )
+    trace_parser.add_argument(
+        "--job", default=None, metavar="JOB_ID",
+        help="fetch a serve job's spans (and events, if submitted with "
+        "events=true) and write one merged service+sim Chrome trace",
+    )
+    trace_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="serve daemon base URL for --job (default "
+        "http://127.0.0.1:8765)",
     )
     trace_parser.add_argument("--bar", choices=BARS, default="C")
     trace_parser.add_argument("--cores", type=int, default=4)
@@ -903,6 +1006,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(serve_parser, jobs=False)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    top_parser = sub.add_parser(
+        "top", help="live terminal dashboard for a serve daemon"
+    )
+    top_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="serve daemon base URL (default http://127.0.0.1:8765)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (CI-friendly)",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     loadgen_parser = sub.add_parser(
         "loadgen", help="drive a serve daemon and report latency percentiles"

@@ -27,11 +27,20 @@ from repro.obs.events import EPOCH_KINDS, KINDS, SCHEMA_VERSION, Event
 from repro.obs.export import (
     chrome_trace,
     html_report,
+    merged_chrome_trace,
     read_jsonl,
+    spans_chrome_events,
     validate_chrome_trace,
     write_chrome_trace,
     write_html_report,
     write_jsonl,
+)
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.log import StructLogger, get_logger
+from repro.obs.prom import (
+    parse_prometheus_text,
+    render_prometheus,
+    validate_prometheus_text,
 )
 from repro.obs.registry import (
     Counter,
@@ -41,6 +50,7 @@ from repro.obs.registry import (
     MetricsSink,
     engine_counters,
 )
+from repro.obs.spans import Span, SpanContext, parse_traceparent
 
 __all__ = [
     "AnalysisError",
@@ -49,6 +59,7 @@ __all__ = [
     "EPOCH_KINDS",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KINDS",
@@ -57,19 +68,29 @@ __all__ = [
     "RegionAnalysis",
     "RunAnalysis",
     "SCHEMA_VERSION",
+    "Span",
+    "SpanContext",
     "StallRecord",
+    "StructLogger",
     "ascii_report",
     "attribute_events",
     "chrome_trace",
     "diff_analyses",
     "diff_report",
     "engine_counters",
+    "get_logger",
     "group_stalls",
     "html_report",
     "json_report",
+    "merged_chrome_trace",
+    "parse_prometheus_text",
+    "parse_traceparent",
     "read_jsonl",
     "render_html",
+    "render_prometheus",
+    "spans_chrome_events",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "write_chrome_trace",
     "write_html_report",
     "write_jsonl",

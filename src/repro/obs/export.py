@@ -260,6 +260,119 @@ def write_chrome_trace(
     return payload
 
 
+#: pid of the service-span track group in merged traces (sim pid is 0).
+SERVICE_PID = 1
+
+
+def spans_chrome_events(
+    spans: Sequence[Dict],
+    t0_s: Optional[float] = None,
+    pid: int = SERVICE_PID,
+) -> List[Dict]:
+    """Service spans as Trace Event Format entries (wall-clock µs).
+
+    One thread track per span ``component`` attribute (http,
+    scheduler, worker, ...); timestamps are microseconds since the
+    earliest span start (or ``t0_s``), so the service side of a merged
+    trace starts near zero just like the sim side.
+    """
+    finished = [
+        span for span in spans
+        if isinstance(span, dict) and span.get("end_s") is not None
+    ]
+    if not finished:
+        return []
+    if t0_s is None:
+        t0_s = min(span["start_s"] for span in finished)
+    components: List[str] = []
+    for span in finished:
+        component = str(span.get("attrs", {}).get("component", "service"))
+        if component not in components:
+            components.append(component)
+    out: List[Dict] = [
+        {
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": "serve"},
+        }
+    ]
+    for tid, component in enumerate(components):
+        out.append(
+            {
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": component},
+            }
+        )
+    body: List[Dict] = []
+    for span in finished:
+        attrs = dict(span.get("attrs", {}))
+        component = str(attrs.get("component", "service"))
+        body.append(
+            {
+                "name": span.get("name", "span"),
+                "cat": "service",
+                "ph": "X",
+                "pid": pid,
+                "tid": components.index(component),
+                "ts": max(0.0, (span["start_s"] - t0_s) * 1e6),
+                "dur": max(
+                    0.0, (span["end_s"] - span["start_s"]) * 1e6
+                ),
+                "args": {
+                    "trace_id": span.get("trace_id"),
+                    "span_id": span.get("span_id"),
+                    "parent_id": span.get("parent_id"),
+                    "status": span.get("status", "ok"),
+                    **attrs,
+                },
+            }
+        )
+    body.sort(key=lambda entry: entry["ts"])
+    out.extend(body)
+    return out
+
+
+def merged_chrome_trace(
+    spans: Sequence[Dict],
+    events: Sequence[Event] = (),
+    num_cores: int = 4,
+    title: str = "repro job",
+    trace_id: Optional[str] = None,
+) -> Dict:
+    """One Chrome trace holding service spans *and* sim events.
+
+    The sim event stream keeps its existing pid-0 tracks (one
+    simulated cycle per microsecond); the request's service spans ride
+    a second process (pid 1, wall-clock microseconds).  The shared
+    ``trace_id`` lands in the document metadata and every span's args,
+    which is what correlates the two sides.
+    """
+    if events:
+        payload = chrome_trace(events, num_cores=num_cores, title=title)
+    else:
+        payload = {
+            "traceEvents": [
+                {
+                    "ph": "M", "pid": 0, "name": "process_name",
+                    "args": {"name": title},
+                }
+            ],
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "schema": SCHEMA_VERSION,
+                "source": "repro.obs",
+                "cycles_per_us": 1,
+                "num_cores": num_cores,
+            },
+        }
+    payload["traceEvents"].extend(spans_chrome_events(spans))
+    metadata = payload.setdefault("metadata", {})
+    metadata["service_pid"] = SERVICE_PID
+    metadata["service_time_unit"] = "wall_us"
+    if trace_id:
+        metadata["trace_id"] = trace_id
+    return payload
+
+
 def validate_chrome_trace(payload: Dict) -> List[str]:
     """Schema check for exported traces; returns a list of problems."""
     problems: List[str] = []

@@ -1,0 +1,199 @@
+"""Flight recorder: an always-on bounded ring of recent telemetry.
+
+Every process keeps a :class:`FlightRecorder` — a ``deque(maxlen=N)``
+of the most recent spans, log records and annotated events — so a
+crashed or wedged worker leaves a usable post-mortem without paying
+for unbounded collection.  The ring is dumped as JSON to
+``<cache root>/flightrec/`` by:
+
+* an unhandled worker fault (:func:`fault_guard` wraps the worker
+  loop),
+* ``SIGUSR2`` (:func:`install_sigusr2` — send it to a wedged worker
+  and read the dump),
+* ``POST /v1/debug/flightrec`` on the serve daemon (which also
+  signals its process workers).
+
+Recording is cheap (a dict append under a lock) and never raises:
+telemetry must not take down the process it is observing.  The module
+deliberately has no intra-``repro`` imports — :mod:`repro.obs.spans`
+and :mod:`repro.obs.log` feed it, not the other way round.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+#: Bump when the dump layout changes (CI asserts against this).
+DUMP_SCHEMA_VERSION = 1
+
+#: Records kept per process; old entries fall off the ring.
+DEFAULT_CAPACITY = 512
+
+#: Dump directory name under the cache root.
+DUMP_DIRNAME = "flightrec"
+
+_DEFAULT_ROOT = ".repro_cache"
+
+
+def _resolve_root(root: Optional[str]) -> str:
+    """Same resolution order as the persistent stores."""
+    return root or os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_ROOT
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent telemetry records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, component: str = ""):
+        self._lock = threading.Lock()
+        self._records: deque = deque(maxlen=max(1, capacity))
+        self._seq = 0
+        self.component = component
+        self.root: Optional[str] = None
+        self.inflight: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, payload: Dict) -> None:
+        """Append one record; never raises."""
+        try:
+            with self._lock:
+                self._seq += 1
+                self._records.append(
+                    {"seq": self._seq, "kind": kind, "data": payload}
+                )
+        except Exception:
+            pass
+
+    def set_inflight(self, **info) -> None:
+        """Mark what this process is working on right now.
+
+        The current job's id/workload/bar land in every dump, which is
+        how a SIGUSR2 post-mortem names the in-flight job.
+        """
+        self.inflight = dict(info)
+
+    def clear_inflight(self) -> None:
+        self.inflight = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # dumping
+    # ------------------------------------------------------------------
+
+    def snapshot(self, reason: str = "snapshot") -> Dict:
+        with self._lock:
+            records: List[Dict] = list(self._records)
+        return {
+            "schema": DUMP_SCHEMA_VERSION,
+            "stream": "repro.obs.flightrec",
+            "reason": reason,
+            "pid": os.getpid(),
+            "component": self.component,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "inflight": dict(self.inflight) if self.inflight else None,
+            "records": records,
+        }
+
+    def dump(self, reason: str, root: Optional[str] = None) -> str:
+        """Write the ring to ``<root>/flightrec/``; returns the path."""
+        directory = os.path.join(
+            _resolve_root(root or self.root), DUMP_DIRNAME
+        )
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"flightrec-{os.getpid()}-{time.time_ns()}.json"
+        )
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(reason), handle, default=str, indent=1)
+            handle.write("\n")
+        return path
+
+
+# ---------------------------------------------------------------------------
+# per-process singleton
+# ---------------------------------------------------------------------------
+
+_RECORDER = FlightRecorder()
+
+
+def get() -> FlightRecorder:
+    """The process-wide recorder (workers each have their own copy)."""
+    return _RECORDER
+
+
+def configure(
+    component: Optional[str] = None,
+    root: Optional[str] = None,
+    capacity: Optional[int] = None,
+) -> FlightRecorder:
+    """Name this process's recorder and pin its dump root."""
+    recorder = get()
+    if component is not None:
+        recorder.component = component
+    if root is not None:
+        recorder.root = root
+    if capacity is not None:
+        with recorder._lock:
+            recorder._records = deque(recorder._records, maxlen=max(1, capacity))
+    return recorder
+
+
+def sigusr2_handler(_signum=None, _frame=None) -> Optional[str]:
+    """Dump the ring; installed for SIGUSR2, callable directly too."""
+    try:
+        return get().dump("sigusr2")
+    except Exception:
+        return None
+
+
+def install_sigusr2() -> bool:
+    """Install the SIGUSR2 dump handler (main thread only); True if set."""
+    import signal
+
+    if not hasattr(signal, "SIGUSR2"):  # pragma: no cover - non-POSIX
+        return False
+    try:
+        signal.signal(signal.SIGUSR2, sigusr2_handler)
+        return True
+    except ValueError:
+        # Not the main thread (embedded daemons): dump via the debug
+        # endpoint instead.
+        return False
+
+
+class fault_guard:
+    """Context manager: dump the ring when an exception escapes.
+
+    Wraps the worker main loop so an *unhandled* fault (not a per-job
+    failure, which is caught and shipped in the outcome) leaves a
+    post-mortem before the process dies.  The exception propagates.
+    """
+
+    def __init__(self, reason: str, root: Optional[str] = None):
+        self.reason = reason
+        self.root = root
+        self.dump_path: Optional[str] = None
+
+    def __enter__(self) -> "fault_guard":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None and exc_type is not SystemExit:
+            get().record(
+                "fault", {"error": f"{exc_type.__name__}: {exc}"}
+            )
+            try:
+                self.dump_path = get().dump(self.reason, root=self.root)
+            except Exception:
+                pass
+        return False

@@ -1,0 +1,145 @@
+"""Structured logging with trace correlation.
+
+One logger per component (``get_logger("serve")``); every record is a
+flat dict — timestamp, level, component, an ``event`` slug, arbitrary
+keyword fields — plus the ambient span's ``trace_id``/``span_id`` so
+service logs join traces without any plumbing at call sites.
+
+Output is human text by default and JSON lines with ``--log-json``
+(one object per line, sorted keys — greppable and ingestible).  Every
+record is also appended to the process flight recorder regardless of
+the output level, so a post-mortem dump carries recent *debug* context
+even when the console only shows ``info``.
+
+Configuration is process-wide (:func:`configure`); worker processes
+receive the parent's settings via :func:`config_state` /
+:func:`apply_state` in their spawn arguments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, Optional, TextIO
+
+from repro.obs import flightrec, spans
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class _Config:
+    def __init__(self):
+        self.level = LEVELS["info"]
+        self.json_mode = False
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr
+        self.lock = threading.Lock()
+
+
+_CONFIG = _Config()
+
+
+def configure(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Set the process-wide log level, format, and output stream."""
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from {', '.join(LEVELS)})"
+        )
+    _CONFIG.level = LEVELS[level]
+    _CONFIG.json_mode = json_mode
+    _CONFIG.stream = stream
+
+
+def config_state() -> Dict:
+    """Picklable settings to replay in a worker (:func:`apply_state`)."""
+    for name, value in LEVELS.items():
+        if value == _CONFIG.level:
+            return {"level": name, "json_mode": _CONFIG.json_mode}
+    return {"level": "info", "json_mode": _CONFIG.json_mode}
+
+
+def apply_state(state: Optional[Dict]) -> None:
+    if state:
+        configure(
+            level=state.get("level", "info"),
+            json_mode=bool(state.get("json_mode", False)),
+        )
+
+
+def _render_text(record: Dict) -> str:
+    clock = time.strftime("%H:%M:%S", time.localtime(record["ts"]))
+    parts = [
+        clock,
+        record["level"].upper(),
+        f"{record['component']}:",
+        record["event"],
+    ]
+    for key in sorted(record):
+        if key in ("ts", "level", "component", "event", "pid"):
+            continue
+        parts.append(f"{key}={record[key]}")
+    return " ".join(parts)
+
+
+class StructLogger:
+    """A component-scoped structured logger."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str):
+        self.component = component
+
+    def log(self, level: str, event: str, **fields) -> None:
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown log level {level!r}")
+        record: Dict = {
+            "ts": time.time(),
+            "level": level,
+            "component": self.component,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        context = spans.current_context()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
+        record.update(fields)
+        # The flight recorder sees everything, even below the console
+        # threshold — recent debug context is the point of a post-mortem.
+        flightrec.get().record("log", record)
+        if severity < _CONFIG.level:
+            return
+        if _CONFIG.json_mode:
+            line = json.dumps(record, sort_keys=True, default=str)
+        else:
+            line = _render_text(record)
+        stream = _CONFIG.stream or sys.stderr
+        with _CONFIG.lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):
+                pass  # closed stream during interpreter teardown
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(component: str) -> StructLogger:
+    return StructLogger(component)

@@ -1,0 +1,235 @@
+"""Request-scoped tracing: trace ids, spans, and context propagation.
+
+A *span* is one timed operation (an HTTP admission, a queue wait, a
+worker execution); spans that share a ``trace_id`` form one request's
+trace.  The serve daemon starts a trace per submitted job (or adopts
+the client's W3C ``traceparent`` header), carries the span context
+through the scheduler into the worker batch message, and merges the
+worker-side spans with the job's sim event stream into a single
+Chrome/Perfetto trace (``repro trace --job``).
+
+Wall-clock based and deliberately tiny: ids are random hex (W3C trace
+context sizes), the current span rides a :mod:`contextvars` variable
+so log records pick up trace correlation for free, and every finished
+span lands in the process flight recorder.  Nothing here touches the
+simulation engine — the detached-bus zero-overhead guarantee is
+unaffected.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs import flightrec
+
+#: Schema tag carried by serialized spans.
+SPAN_SCHEMA_VERSION = 1
+
+
+def new_trace_id() -> str:
+    """128-bit random trace id (W3C trace-context size)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """64-bit random span id."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable part of a span: where children hang."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict]) -> Optional["SpanContext"]:
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not trace_id or not span_id:
+            return None
+        return cls(trace_id=str(trace_id), span_id=str(span_id))
+
+    def traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[SpanContext]:
+    """Parse a W3C ``traceparent`` header; None when absent/invalid."""
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    _version, trace_id, span_id, _flags = parts
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+class Span:
+    """One timed operation; ``start`` then ``end`` (or use :func:`span`)."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "start_s", "end_s", "status", "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_s: float,
+        attrs: Dict,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.status = "ok"
+        self.attrs = attrs
+
+    @classmethod
+    def start(
+        cls,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        trace_id: Optional[str] = None,
+        **attrs,
+    ) -> "Span":
+        """Start a span under ``parent`` (new trace when parentless)."""
+        if parent is not None:
+            trace = parent.trace_id
+            parent_id: Optional[str] = parent.span_id
+        else:
+            trace = trace_id or new_trace_id()
+            parent_id = None
+        return cls(
+            name=name,
+            trace_id=trace,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            start_s=time.time(),
+            attrs=dict(attrs),
+        )
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return max(0.0, self.end_s - self.start_s)
+
+    def end(self, status: Optional[str] = None, **attrs) -> "Span":
+        """Finish the span, record it, and collect it if recording."""
+        if self.end_s is not None:
+            return self
+        self.end_s = time.time()
+        if status is not None:
+            self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+        payload = self.to_dict()
+        flightrec.get().record("span", payload)
+        collector = _collector.get()
+        if collector is not None:
+            collector.append(payload)
+        return self
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SPAN_SCHEMA_VERSION,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+#: The ambient span context (for log correlation and child spans).
+_current: contextvars.ContextVar[Optional[SpanContext]] = (
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+)
+
+#: When set, finished spans are appended here (see :func:`recording`).
+_collector: contextvars.ContextVar[Optional[List[Dict]]] = (
+    contextvars.ContextVar("repro_obs_span_collector", default=None)
+)
+
+
+def current_context() -> Optional[SpanContext]:
+    """The ambient span context, if any (used by the logger)."""
+    return _current.get()
+
+
+@contextmanager
+def span(
+    name: str,
+    parent: Optional[SpanContext] = None,
+    inherit: bool = True,
+    **attrs,
+):
+    """Run a block under a new span; sets the ambient context.
+
+    ``parent`` pins the parent explicitly; otherwise the ambient
+    context is used (``inherit=False`` forces a fresh trace).  An
+    escaping exception marks the span ``status="error"`` and
+    propagates.
+    """
+    if parent is None and inherit:
+        parent = _current.get()
+    active = Span.start(name, parent=parent, **attrs)
+    token = _current.set(active.context)
+    try:
+        yield active
+    except BaseException as exc:
+        active.end(status="error", error=f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        _current.reset(token)
+        active.end()
+
+
+@contextmanager
+def recording():
+    """Collect every span finished in this context as dicts.
+
+    Workers wrap job execution in one ``recording()`` block and ship
+    the collected spans back to the daemon in the outcome message.
+    """
+    spans: List[Dict] = []
+    token = _collector.set(spans)
+    try:
+        yield spans
+    finally:
+        _collector.reset(token)

@@ -70,10 +70,14 @@ class ServeClient:
         self.close()
 
     def _request(
-        self, method: str, path: str, payload: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, bytes, str]:
         body = None
-        headers = {}
+        headers = dict(extra_headers or {})
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -116,9 +120,22 @@ class ServeClient:
     # API
     # ------------------------------------------------------------------
 
-    def submit(self, request: JobRequest) -> str:
-        """Submit a job; returns its id.  429 -> :class:`JobRejected`."""
-        status, payload = self._json("POST", "/v1/jobs", request.to_dict())
+    def submit(
+        self, request: JobRequest, traceparent: Optional[str] = None
+    ) -> str:
+        """Submit a job; returns its id.  429 -> :class:`JobRejected`.
+
+        ``traceparent`` (a W3C header value) makes the daemon adopt
+        the caller's trace instead of starting a fresh one.
+        """
+        headers = {"traceparent": traceparent} if traceparent else None
+        status, data, _content_type = self._request(
+            "POST", "/v1/jobs", request.to_dict(), extra_headers=headers
+        )
+        try:
+            payload = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            payload = {"error": data.decode(errors="replace")}
         if status != 202:
             self._raise_for(status, payload)
         return payload["job"]
@@ -180,6 +197,44 @@ class ServeClient:
 
     def stats(self) -> Dict:
         status, payload = self._json("GET", "/v1/stats")
+        if status != 200:
+            self._raise_for(status, payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /v1/metrics``)."""
+        status, data, _content_type = self._request("GET", "/v1/metrics")
+        if status != 200:
+            try:
+                payload = json.loads(data)
+            except json.JSONDecodeError:
+                payload = {"error": data.decode(errors="replace")}
+            self._raise_for(status, payload)
+        return data.decode()
+
+    def spans(self, job_id: str) -> Dict:
+        """The job's trace: ``{"job", "trace_id", "spans"}``."""
+        status, payload = self._json("GET", f"/v1/jobs/{job_id}/spans")
+        if status != 200:
+            self._raise_for(status, payload)
+        return payload
+
+    def profile_text(self, job_id: str) -> str:
+        """The cProfile summary of a ``profile=true`` job."""
+        status, data, _content_type = self._request(
+            "GET", f"/v1/jobs/{job_id}/profile"
+        )
+        if status != 200:
+            try:
+                payload = json.loads(data)
+            except json.JSONDecodeError:
+                payload = {"error": data.decode(errors="replace")}
+            self._raise_for(status, payload)
+        return data.decode()
+
+    def flightrec_dump(self) -> Dict:
+        """Trigger flight-recorder dumps (daemon + process workers)."""
+        status, payload = self._json("POST", "/v1/debug/flightrec")
         if status != 200:
             self._raise_for(status, payload)
         return payload

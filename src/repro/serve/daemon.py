@@ -27,15 +27,29 @@ Endpoints (all under ``/v1``):
   (byte-identical to ``repro trace --format jsonl``); only for jobs
   submitted with ``"events": true``.
 * ``GET /v1/healthz``, ``GET /v1/stats`` — liveness and service
-  metrics (queue depth, jobs by state, artifact counters, latency
-  percentiles from the metrics registry).
+  metrics (queue depth, jobs by state, per-worker states, artifact
+  counters, latency percentiles from the metrics registry).
+* ``GET /v1/metrics`` — Prometheus text exposition of the daemon and
+  process registries plus queue/worker/cache gauges.
+* ``GET /v1/jobs/{id}/spans`` — the job's trace (daemon- and
+  worker-side spans, one ``trace_id``); ``GET /v1/jobs/{id}/profile``
+  serves the cProfile summary of a ``"profile": true`` job.
+* ``POST /v1/debug/flightrec`` — dump the daemon's flight-recorder
+  ring and signal process workers (SIGUSR2) to dump theirs.
 * ``POST /v1/drain`` — stop admission, wait for in-flight jobs, then
   shut down; SIGTERM/SIGINT trigger the same graceful drain.
+
+Every submitted job gets a trace: ``http.submit`` (admission) ->
+``job.queued`` (queue wait) -> ``batch.execute`` (lease to outcome)
+-> the worker's ``worker.execute`` children, adopted from the
+client's W3C ``traceparent`` header when present.  ``repro trace
+--job`` merges these with the job's sim events into one Chrome trace.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
 import threading
 from collections import deque
@@ -44,7 +58,11 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.experiments import artifacts as artifacts_mod
 from repro.experiments.scheduler import JobScheduler, QueueFull, SchedulerDrained
-from repro.obs.registry import MetricsRegistry
+from repro.obs import flightrec
+from repro.obs import log as log_mod
+from repro.obs import prom as prom_mod
+from repro.obs import spans as spans_mod
+from repro.obs.registry import MetricsRegistry, process_registry
 from repro.serve import http as http_mod
 from repro.serve import pool as pool_mod
 from repro.serve.protocol import (
@@ -84,6 +102,9 @@ class ServeConfig:
     retain_jobs: int = 1024
     cache_enabled: bool = True
     cache_root: Optional[str] = None
+    #: structured-log settings, propagated to pool workers.
+    log_level: str = "info"
+    log_json: bool = False
 
 
 @dataclass
@@ -101,6 +122,13 @@ class JobRecord:
     event_lines: Optional[List[str]] = None
     artifact_delta: Dict[str, int] = field(default_factory=dict)
     pipeline: List[Dict] = field(default_factory=list)
+    #: the job's trace: finished spans (daemon- and worker-side).
+    trace_id: str = ""
+    spans: List[Dict] = field(default_factory=list)
+    profile: Optional[Dict] = None
+    #: live daemon-side spans (not serialized until they end).
+    queue_span: Optional[object] = field(default=None, repr=False)
+    batch_span: Optional[object] = field(default=None, repr=False)
 
     def status_payload(self) -> Dict:
         payload = {
@@ -108,6 +136,8 @@ class JobRecord:
             "state": self.state,
             "request": self.request.to_dict(),
         }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
         if self.state in (DONE, FAILED):
             payload.update(
                 source=self.source,
@@ -116,6 +146,10 @@ class JobRecord:
                 artifacts=dict(self.artifact_delta),
                 pipeline=list(self.pipeline),
             )
+            if self.profile is not None:
+                payload["profile"] = {
+                    "path": self.profile.get("path"),
+                }
         if self.state == FAILED:
             payload["error"] = self.error
         return payload
@@ -144,6 +178,9 @@ class Daemon:
         self._rejected = 0
         self._completed = 0
         self._pool = None
+        self._log = log_mod.get_logger("serve")
+        #: worker id -> {"worker", "pid", "state", "key", "jobs"}
+        self._worker_states: Dict[int, Dict] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._wakeup: Optional[asyncio.Event] = None
@@ -167,9 +204,24 @@ class Daemon:
             cache_enabled=self.config.cache_enabled,
             cache_root=self.config.cache_root,
             inline_threads=self.config.inline_threads,
+            log_state=log_mod.config_state(),
         )
         self._pool.start()
         self._free_workers = deque(range(self._pool.size))
+        pids = self._pool.pids()
+        self._worker_states = {
+            worker_id: {
+                "worker": worker_id,
+                "pid": pids[worker_id] if worker_id < len(pids) else 0,
+                "state": "idle",
+                "key": None,
+                "jobs": 0,
+            }
+            for worker_id in range(self._pool.size)
+        }
+        flightrec.configure(
+            component="daemon", root=self.config.cache_root
+        )
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
@@ -178,10 +230,11 @@ class Daemon:
         dispatcher = asyncio.ensure_future(self._dispatch_loop())
         if ready is not None:
             ready(self)
-        print(
-            f"repro serve: listening on http://{self.config.host}:{self.port} "
-            f"({self._pool.size} worker(s), queue {self.config.queue_size})",
-            flush=True,
+        self._log.info(
+            "listening",
+            url=f"http://{self.config.host}:{self.port}",
+            workers=self._pool.size,
+            queue=self.config.queue_size,
         )
         try:
             await self._shutdown.wait()
@@ -192,14 +245,18 @@ class Daemon:
             for task in list(self._clients):
                 task.cancel()
             self._pool.stop()
-        print(
-            f"repro serve: drained after {self._completed} job(s)", flush=True
-        )
+        self._log.info("drained", jobs_completed=self._completed)
 
     def _install_signal_handlers(self) -> None:
         try:
             for signum in (signal.SIGTERM, signal.SIGINT):
                 self._loop.add_signal_handler(signum, self.request_drain)
+            self._loop.add_signal_handler(
+                signal.SIGUSR2,
+                lambda: flightrec.get().dump(
+                    "sigusr2", root=self.config.cache_root
+                ),
+            )
         except (NotImplementedError, RuntimeError, ValueError):
             # Non-main thread (embedded/test daemons) or platforms
             # without signal support: drain via POST /v1/drain instead.
@@ -249,12 +306,40 @@ class Daemon:
             self._batch_seq += 1
             batch_id = self._batch_seq
             self._batches[batch_id] = (key, job_ids, worker_id)
+            worker = self._worker_states.get(worker_id)
+            if worker is not None:
+                worker["state"] = "busy"
+                worker["key"] = list(key)
             jobs = []
             for job_id in job_ids:
                 record = self.jobs[job_id]
                 record.state = RUNNING
-                jobs.append((job_id, record.request.to_dict()))
-            self._pool.submit(worker_id, pool_mod.batch_message(batch_id, jobs))
+                queued = record.queue_span
+                trace_ctx = None
+                if queued is not None:
+                    queued.end(batch=batch_id, worker=worker_id)
+                    record.spans.append(queued.to_dict())
+                    record.queue_span = None
+                    batch_span = spans_mod.Span.start(
+                        "batch.execute",
+                        parent=queued.context,
+                        component="scheduler",
+                        batch=batch_id,
+                        worker=worker_id,
+                        job=job_id,
+                    )
+                    record.batch_span = batch_span
+                    trace_ctx = batch_span.context.to_dict()
+                jobs.append((job_id, record.request.to_dict(), trace_ctx))
+            self._pool.submit(
+                worker_id,
+                pool_mod.batch_message(
+                    batch_id,
+                    jobs,
+                    cache_root=self.config.cache_root,
+                    store_profiles=self.config.cache_enabled,
+                ),
+            )
 
     # ------------------------------------------------------------------
     # pool messages (worker -> daemon)
@@ -273,6 +358,10 @@ class Daemon:
                 key, _job_ids, worker_id = entry
                 self.scheduler.complete(key)
                 self._free_workers.append(worker_id)
+                worker = self._worker_states.get(worker_id)
+                if worker is not None:
+                    worker["state"] = "idle"
+                    worker["key"] = None
             self._wakeup.set()
             self._maybe_finish_drain()
 
@@ -292,6 +381,30 @@ class Daemon:
         else:
             record.state = FAILED
             record.error = outcome.get("error", "job failed")
+        record.spans.extend(outcome.get("spans") or [])
+        record.profile = outcome.get("profile")
+        batch_span = record.batch_span
+        if batch_span is not None:
+            batch_span.end(
+                status="ok" if record.state == DONE else "error",
+                source=record.source,
+            )
+            record.spans.append(batch_span.to_dict())
+            record.batch_span = None
+        for worker in self._worker_states.values():
+            if worker["pid"] == record.worker_pid:
+                worker["jobs"] += 1
+                break
+        self._log.info(
+            "job_done",
+            job=job_id,
+            state=record.state,
+            workload=record.request.workload,
+            bar=record.request.bar,
+            source=record.source,
+            wall_s=round(record.wall_s, 6),
+            worker_pid=record.worker_pid,
+        )
         # Per-job counter flush: a process worker's artifact-store
         # counters land here with the job that caused them, so a
         # long-lived daemon's stats never lag behind the pool.
@@ -364,8 +477,22 @@ class Daemon:
             return http_mod.HTTPResponse.json(self._health_payload())
         if path == "/v1/stats" and method == "GET":
             return http_mod.HTTPResponse.json(self._stats_payload())
+        if path == "/v1/metrics" and method == "GET":
+            return self._metrics()
+        if path == "/v1/debug/flightrec" and method == "POST":
+            return self._flightrec_dump()
         if path == "/v1/drain" and method == "POST":
             return await self._drain(request)
+        captured = http_mod.route_match(path, "/v1/jobs/{id}/spans")
+        if captured:
+            if method != "GET":
+                return self._method_not_allowed()
+            return self._job_spans(captured[0])
+        captured = http_mod.route_match(path, "/v1/jobs/{id}/profile")
+        if captured:
+            if method != "GET":
+                return self._method_not_allowed()
+            return self._job_profile(captured[0])
         captured = http_mod.route_match(path, "/v1/jobs/{id}")
         if captured:
             if method != "GET":
@@ -392,9 +519,16 @@ class Daemon:
         )
 
     def _submit(self, request: http_mod.HTTPRequest) -> http_mod.HTTPResponse:
+        parent = spans_mod.parse_traceparent(
+            request.headers.get("traceparent", "")
+        )
+        submit_span = spans_mod.Span.start(
+            "http.submit", parent=parent, component="http"
+        )
         try:
             job_request = JobRequest.from_dict(request.json())
         except ProtocolError as exc:
+            submit_span.end(status="error", error=str(exc))
             return http_mod.HTTPResponse.json(error_body(str(exc)), status=400)
         self._job_seq += 1
         job_id = f"j{self._job_seq:08d}"
@@ -402,6 +536,7 @@ class Daemon:
             self.scheduler.submit(job_request.key, job_id)
         except SchedulerDrained:
             self._job_seq -= 1
+            submit_span.end(status="drained")
             return http_mod.HTTPResponse.json(
                 error_body("daemon is draining"), status=503
             )
@@ -409,16 +544,33 @@ class Daemon:
             self._job_seq -= 1
             self._rejected += 1
             self.registry.counter("serve_rejected").inc()
+            submit_span.end(status="rejected")
             return http_mod.HTTPResponse.json(
                 error_body(str(exc), queued=self.scheduler.queued),
                 status=429,
                 **{"Retry-After": "1"},
             )
-        self.jobs[job_id] = JobRecord(job_id=job_id, request=job_request)
+        record = JobRecord(job_id=job_id, request=job_request)
+        submit_span.end(
+            status="accepted",
+            job=job_id,
+            workload=job_request.workload,
+            bar=job_request.bar,
+        )
+        record.trace_id = submit_span.trace_id
+        record.spans.append(submit_span.to_dict())
+        record.queue_span = spans_mod.Span.start(
+            "job.queued",
+            parent=submit_span.context,
+            component="scheduler",
+            job=job_id,
+        )
+        self.jobs[job_id] = record
         self._submit_times[job_id] = self._loop.time()
         self._wakeup.set()
         return http_mod.HTTPResponse.json(
-            {"job": job_id, "state": QUEUED}, status=202
+            {"job": job_id, "state": QUEUED, "trace_id": record.trace_id},
+            status=202,
         )
 
     def _job_status(self, job_id: str) -> http_mod.HTTPResponse:
@@ -476,6 +628,93 @@ class Daemon:
             {"drained": True, "jobs_completed": self._completed}
         )
 
+    def _metrics(self) -> http_mod.HTTPResponse:
+        """Prometheus text exposition (``GET /v1/metrics``)."""
+        synth = MetricsRegistry()
+        synth.gauge("serve_queue_depth").set(self.scheduler.queued)
+        synth.gauge("serve_queue_capacity").set(self.scheduler.capacity)
+        synth.gauge("serve_queue_inflight").set(self.scheduler.inflight)
+        state_counts: Dict[str, int] = {"idle": 0, "busy": 0}
+        for worker in self._worker_states.values():
+            state = worker["state"]
+            state_counts[state] = state_counts.get(state, 0) + 1
+        for state, count in sorted(state_counts.items()):
+            synth.gauge("serve_worker_states", state=state).set(count)
+        synth.gauge("serve_jobs_retained").set(len(self.jobs))
+        counters = artifacts_mod.counters()
+        lookups = counters.get("hits", 0) + counters.get("misses", 0)
+        synth.gauge("serve_artifact_hit_ratio").set(
+            counters.get("hits", 0) / lookups if lookups else 0.0
+        )
+        text = prom_mod.render_prometheus(
+            [self.registry, process_registry(), synth],
+            help_text={
+                "serve_job_seconds": "End-to-end job latency (submit to done).",
+                "serve_jobs": "Jobs finished, by terminal state.",
+                "serve_rejected": "Submissions rejected by admission control.",
+                "serve_queue_depth": "Jobs queued and not yet leased.",
+                "serve_worker_states": "Workers by current state.",
+                "serve_artifact_hit_ratio": "Artifact-store hit fraction.",
+            },
+        )
+        return http_mod.HTTPResponse.bytes(
+            text.encode(), content_type=prom_mod.CONTENT_TYPE
+        )
+
+    def _job_spans(self, job_id: str) -> http_mod.HTTPResponse:
+        record = self.jobs.get(job_id)
+        if record is None:
+            return http_mod.HTTPResponse.json(
+                error_body(f"unknown job {job_id!r}"), status=404
+            )
+        return http_mod.HTTPResponse.json({
+            "job": job_id,
+            "trace_id": record.trace_id,
+            "spans": list(record.spans),
+        })
+
+    def _job_profile(self, job_id: str) -> http_mod.HTTPResponse:
+        record = self.jobs.get(job_id)
+        if record is None:
+            return http_mod.HTTPResponse.json(
+                error_body(f"unknown job {job_id!r}"), status=404
+            )
+        if record.profile is None or not record.profile.get("text"):
+            return http_mod.HTTPResponse.json(
+                error_body(
+                    "job was not submitted with profile=true",
+                    state=record.state,
+                ),
+                status=404,
+            )
+        return http_mod.HTTPResponse.bytes(
+            record.profile["text"].encode(),
+            content_type="text/plain; charset=utf-8",
+        )
+
+    def _flightrec_dump(self) -> http_mod.HTTPResponse:
+        """Dump the daemon ring; nudge process workers via SIGUSR2."""
+        paths = []
+        try:
+            paths.append(
+                flightrec.get().dump("http", root=self.config.cache_root)
+            )
+        except OSError as exc:
+            return http_mod.HTTPResponse.json(
+                error_body(f"flight-recorder dump failed: {exc}"), status=500
+            )
+        signaled = []
+        if self._pool is not None and self._pool.external_state:
+            for pid in self._pool.pids():
+                try:
+                    os.kill(pid, signal.SIGUSR2)
+                    signaled.append(pid)
+                except (OSError, ProcessLookupError):
+                    pass
+        return http_mod.HTTPResponse.json(
+            {"dumped": paths, "signaled": signaled}
+        )
+
     # ------------------------------------------------------------------
     # payloads
     # ------------------------------------------------------------------
@@ -504,6 +743,10 @@ class Daemon:
                 latency[metric.labels.get("scheme", "")] = entry
         return {
             "workers": self._pool.size if self._pool else 0,
+            "worker_states": [
+                dict(self._worker_states[worker_id])
+                for worker_id in sorted(self._worker_states)
+            ],
             "draining": self.scheduler.draining,
             "queue": {
                 "capacity": self.scheduler.capacity,

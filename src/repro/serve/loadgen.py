@@ -11,7 +11,7 @@ Two phases against one daemon (embedded by default, or an external
   to ``--rate`` requests/second, recording submit-to-done latency in
   the metrics registry's fixed-bucket histograms
   (:class:`repro.obs.registry.Histogram`), which supply the
-  p50/p95/p99 summary.
+  p50/p95/p99 summary; the exact ``max`` comes from the raw samples.
 
 The payload written by ``--out`` (the checked-in ``BENCH_serve.json``
 baseline) carries a ``speedups`` section shaped exactly like the
@@ -157,7 +157,11 @@ def _warm_worker(
 
 
 def _summary_of(latencies: Sequence[float]) -> Dict[str, float]:
-    """p50/p95/p99/mean/count via the registry's fixed-bucket estimate."""
+    """p50/p95/p99/mean/count via the registry's fixed-bucket estimate.
+
+    ``max`` is exact (taken from the raw samples, not the buckets) —
+    the tail above p99 is precisely what bucket estimates blur.
+    """
     registry = MetricsRegistry()
     histogram = registry.histogram("loadgen_seconds", buckets=LATENCY_BUCKETS)
     for value in latencies:
@@ -165,6 +169,7 @@ def _summary_of(latencies: Sequence[float]) -> Dict[str, float]:
     summary = histogram.summary()
     summary["mean"] = histogram.mean()
     summary["count"] = histogram.count
+    summary["max"] = max(latencies) if latencies else 0.0
     return summary
 
 
@@ -330,6 +335,7 @@ def format_loadgen(payload: Dict) -> str:
         f"latency: p50={latency['p50'] * 1000:.1f}ms "
         f"p95={latency['p95'] * 1000:.1f}ms "
         f"p99={latency['p99'] * 1000:.1f}ms "
+        f"max={latency.get('max', 0.0) * 1000:.1f}ms "
         f"mean={latency['mean'] * 1000:.1f}ms",
     ]
     for entry in payload["cold"]:

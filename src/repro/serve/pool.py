@@ -19,10 +19,17 @@ soak of thousands of jobs cannot grow the collector without bound).
 Message protocol (picklable dicts):
 
 * daemon -> worker: ``{"op": "batch", "batch": id, "jobs": [[job_id,
-  request_dict], ...]}`` or ``{"op": "stop"}``
+  request_dict, trace_ctx_or_None], ...]}`` or ``{"op": "stop"}``
 * worker -> daemon: ``{"op": "job", "worker": i, "job": job_id,
   "outcome": {...}}`` per job, then ``{"op": "batch_done", "worker":
   i, "batch": id}``; ``{"op": "bye", "worker": i}`` on exit.
+
+Telemetry: the per-job ``trace_ctx`` is the daemon-side span context
+(:class:`repro.obs.spans.SpanContext` as a dict); the worker parents
+its ``worker.execute`` span under it and ships every span it finished
+back in the outcome (``outcome["spans"]``), so one job's daemon- and
+worker-side spans share a ``trace_id``.  Each worker process keeps a
+flight recorder ring and dumps it on SIGUSR2 or an unhandled fault.
 """
 
 from __future__ import annotations
@@ -39,6 +46,9 @@ from repro.experiments import artifacts as artifacts_mod
 from repro.experiments import cache as cache_mod
 from repro.experiments import metrics as metrics_mod
 from repro.experiments.scheduler import ReadThroughCache
+from repro.obs import flightrec
+from repro.obs import log as log_mod
+from repro.obs import spans as spans_mod
 from repro.serve.protocol import JobRequest, canonical_event_lines
 
 #: provenance labels for a job outcome (where the result came from)
@@ -69,82 +79,180 @@ def _warm_bundle(workload: str, threshold: float):
     return _WARM_BUNDLES.get((workload, threshold), _load)
 
 
-def execute_request(request: JobRequest) -> Dict:
+def _profile_path(job_id: str, cache_root: Optional[str]) -> str:
+    """Where a profiled job's pstats dump lands (under the cache root)."""
+    root = (
+        cache_root
+        or os.environ.get("REPRO_CACHE_DIR")
+        or cache_mod.DEFAULT_CACHE_DIR
+    )
+    directory = os.path.join(root, "profiles")
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"{job_id or os.getpid()}.pstats")
+
+
+def _profile_summary(profiler, limit: int = 30) -> str:
+    """Top-N cumulative pstats lines as text (the /profile payload)."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return buffer.getvalue()
+
+
+def execute_request(
+    request: JobRequest,
+    job_id: str = "",
+    trace_ctx: Optional[Dict] = None,
+    cache_root: Optional[str] = None,
+    store_profile: bool = True,
+) -> Dict:
     """Run one job in this process and return its outcome payload.
 
     The outcome carries the canonical result state, optional event
-    lines, provenance, wall time, and — the per-job counter flush —
-    the artifact-store counter delta this job caused.
+    lines, provenance, wall time, the spans finished while executing
+    (parented under the daemon's ``trace_ctx``), and — the per-job
+    counter flush — the artifact-store counter delta this job caused.
     """
     started = time.perf_counter()
     counters_before = artifacts_mod.counters()
     metrics_mod.reset()
+    recorder = flightrec.get()
+    recorder.set_inflight(
+        job=job_id, workload=request.workload, bar=request.bar,
+        threshold=request.threshold, events=request.events,
+    )
+    parent = spans_mod.SpanContext.from_dict(trace_ctx)
+    profiler = None
+    profile_info: Optional[Dict] = None
     try:
-        from repro.tlssim.config import SimConfig
+        with spans_mod.recording() as job_spans:
+            try:
+                with spans_mod.span(
+                    "worker.execute", parent=parent, component="worker",
+                    job=job_id, workload=request.workload, bar=request.bar,
+                    pid=os.getpid(),
+                ):
+                    from repro.tlssim.config import SimConfig
 
-        bundle = _warm_bundle(request.workload, request.threshold)
-        # Non-default backends, machine-model overrides, and predictor
-        # selection all ride in on the base config; the memo/disk keys
-        # keep every distinct configuration separate so each point's
-        # compute is accounted honestly.
-        overrides = request.config_overrides()
-        base = SimConfig(**overrides) if overrides else None
-        if request.events:
-            from repro.experiments import trace as trace_mod
+                    with spans_mod.span("bundle.warm", component="worker"):
+                        bundle = _warm_bundle(
+                            request.workload, request.threshold
+                        )
+                    # Non-default backends, machine-model overrides, and
+                    # predictor selection all ride in on the base config;
+                    # the memo/disk keys keep every distinct configuration
+                    # separate so each point's compute is accounted
+                    # honestly.
+                    overrides = request.config_overrides()
+                    base = SimConfig(**overrides) if overrides else None
+                    if request.profile:
+                        import cProfile
 
-            run = trace_mod.run_traced(
-                request.workload, bar=request.bar,
-                threshold=request.threshold, base=base,
-            )
-            result = run.result
-            event_lines: Optional[List[str]] = canonical_event_lines(
-                run.events,
-                meta={
-                    "workload": request.workload,
-                    "bar": request.bar,
-                    "num_cores": run.num_cores,
-                    "issue_width": run.issue_width,
-                },
-            )
-            source = SOURCE_TRACED
-        else:
-            result = bundle.simulate(request.bar, base=base)
-            event_lines = None
-            source = SOURCE_MEMO
-            for job in metrics_mod.current().jobs:
-                if job.kind == "bar" and job.label == request.bar:
-                    source = job.source
-        pipeline = [
-            {"label": j.label, "kind": j.kind, "source": j.source,
-             "wall_s": j.wall_s}
-            for j in metrics_mod.current().jobs
-            if j.kind in ("compile", "oracle")
-        ]
-        outcome = {
-            "ok": True,
-            "result": result.to_state(),
-            "events": event_lines,
-            "source": source,
-            "pipeline": pipeline,
-        }
-    except Exception:
-        outcome = {"ok": False, "error": traceback.format_exc()}
+                        profiler = cProfile.Profile()
+                        profiler.enable()
+                    try:
+                        if request.events:
+                            from repro.experiments import trace as trace_mod
+
+                            with spans_mod.span(
+                                "simulate.traced", component="worker",
+                            ):
+                                run = trace_mod.run_traced(
+                                    request.workload, bar=request.bar,
+                                    threshold=request.threshold, base=base,
+                                )
+                            result = run.result
+                            event_lines: Optional[List[str]] = (
+                                canonical_event_lines(
+                                    run.events,
+                                    meta={
+                                        "workload": request.workload,
+                                        "bar": request.bar,
+                                        "num_cores": run.num_cores,
+                                        "issue_width": run.issue_width,
+                                    },
+                                )
+                            )
+                            source = SOURCE_TRACED
+                        else:
+                            with spans_mod.span(
+                                "simulate", component="worker",
+                            ):
+                                result = bundle.simulate(
+                                    request.bar, base=base
+                                )
+                            event_lines = None
+                            source = SOURCE_MEMO
+                            for job in metrics_mod.current().jobs:
+                                if (
+                                    job.kind == "bar"
+                                    and job.label == request.bar
+                                ):
+                                    source = job.source
+                    finally:
+                        if profiler is not None:
+                            profiler.disable()
+                    pipeline = [
+                        {"label": j.label, "kind": j.kind,
+                         "source": j.source, "wall_s": j.wall_s}
+                        for j in metrics_mod.current().jobs
+                        if j.kind in ("compile", "oracle")
+                    ]
+                    if profiler is not None:
+                        profile_info = {
+                            "text": _profile_summary(profiler),
+                            "path": None,
+                        }
+                        if store_profile:
+                            try:
+                                path = _profile_path(job_id, cache_root)
+                                profiler.dump_stats(path)
+                                profile_info["path"] = path
+                            except OSError:
+                                pass
+                    outcome = {
+                        "ok": True,
+                        "result": result.to_state(),
+                        "events": event_lines,
+                        "source": source,
+                        "pipeline": pipeline,
+                    }
+            except Exception:
+                outcome = {"ok": False, "error": traceback.format_exc()}
+    finally:
+        recorder.clear_inflight()
     counters_after = artifacts_mod.counters()
     outcome.update(
         wall_s=time.perf_counter() - started,
         pid=os.getpid(),
+        spans=job_spans,
         artifact_delta={
             name: counters_after[name] - counters_before.get(name, 0)
             for name in counters_after
         },
     )
+    if profile_info is not None:
+        outcome["profile"] = profile_info
     return outcome
 
 
 def _run_batch(worker_id: int, message: Dict, emit: Callable[[Dict], None]) -> None:
     """Execute one batch message, emitting per-job outcomes."""
-    for job_id, request_state in message["jobs"]:
-        outcome = execute_request(JobRequest.from_dict(request_state))
+    cache_root = message.get("cache_root")
+    store_profile = message.get("store_profiles", True)
+    for entry in message["jobs"]:
+        job_id, request_state = entry[0], entry[1]
+        trace_ctx = entry[2] if len(entry) > 2 else None
+        outcome = execute_request(
+            JobRequest.from_dict(request_state),
+            job_id=job_id,
+            trace_ctx=trace_ctx,
+            cache_root=cache_root,
+            store_profile=store_profile,
+        )
         emit({"op": "job", "worker": worker_id, "job": job_id,
               "outcome": outcome})
     emit({"op": "batch_done", "worker": worker_id, "batch": message["batch"]})
@@ -156,17 +264,26 @@ def _worker_main(
     results,
     cache_enabled: bool,
     cache_root: Optional[str],
+    log_state: Optional[Dict] = None,
 ) -> None:
     """Process-worker entry point: serve batches until told to stop."""
     cache_mod.configure(cache_enabled, cache_root)
     artifacts_mod.configure(cache_enabled, cache_root)
     artifacts_mod.reset_counters()  # forked workers inherit parent counts
     metrics_mod.reset()
-    while True:
-        message = tasks.get()
-        if message is None or message.get("op") == "stop":
-            break
-        _run_batch(worker_id, message, results.put)
+    log_mod.apply_state(log_state)
+    flightrec.configure(component=f"worker-{worker_id}", root=cache_root)
+    flightrec.install_sigusr2()
+    logger = log_mod.get_logger(f"worker-{worker_id}")
+    logger.debug("worker_start", pid=os.getpid())
+    # An unhandled fault (not a per-job failure — those ship in the
+    # outcome) dumps the flight recorder before the process dies.
+    with flightrec.fault_guard("worker-fault", root=cache_root):
+        while True:
+            message = tasks.get()
+            if message is None or message.get("op") == "stop":
+                break
+            _run_batch(worker_id, message, results.put)
     results.put({"op": "bye", "worker": worker_id})
 
 
@@ -184,6 +301,7 @@ class ProcessPool:
         on_message: Callable[[Dict], None],
         cache_enabled: bool = True,
         cache_root: Optional[str] = None,
+        log_state: Optional[Dict] = None,
     ):
         if workers < 1:
             raise ValueError("ProcessPool needs at least one worker")
@@ -194,6 +312,7 @@ class ProcessPool:
         self._on_message = on_message
         self._cache_enabled = cache_enabled
         self._cache_root = cache_root
+        self._log_state = log_state
         self._ctx = multiprocessing.get_context()
         self._tasks: List = []
         self._processes: List = []
@@ -209,6 +328,7 @@ class ProcessPool:
                 args=(
                     worker_id, tasks, self._results,
                     self._cache_enabled, self._cache_root,
+                    self._log_state,
                 ),
                 daemon=True,
                 name=f"repro-serve-worker-{worker_id}",
@@ -220,6 +340,12 @@ class ProcessPool:
             target=self._collect, name="repro-serve-collector", daemon=True
         )
         self._collector.start()
+
+    def pids(self) -> List[int]:
+        """Worker process pids (for stats / SIGUSR2 flight-rec dumps)."""
+        return [
+            process.pid or 0 for process in self._processes
+        ]
 
     def _collect(self) -> None:
         pending_byes = self.size
@@ -266,6 +392,7 @@ class InlinePool:
         on_message: Callable[[Dict], None],
         cache_enabled: bool = True,
         cache_root: Optional[str] = None,
+        log_state: Optional[Dict] = None,
     ):
         #: jobs bump the daemon's own artifact counters directly — the
         #: daemon must not merge the per-job deltas a second time.
@@ -274,14 +401,20 @@ class InlinePool:
         self._on_message = on_message
         self._cache_enabled = cache_enabled
         self._cache_root = cache_root
+        self._log_state = log_state
         self._executor: Optional[ThreadPoolExecutor] = None
 
     def start(self) -> None:
         cache_mod.configure(self._cache_enabled, self._cache_root)
         artifacts_mod.configure(self._cache_enabled, self._cache_root)
+        log_mod.apply_state(self._log_state)
         self._executor = ThreadPoolExecutor(
             max_workers=self.size, thread_name_prefix="repro-serve-inline"
         )
+
+    def pids(self) -> List[int]:
+        """Inline workers share the daemon process."""
+        return [os.getpid()] * self.size
 
     def submit(self, worker_id: int, message: Dict) -> None:
         if self._executor is None:
@@ -302,22 +435,37 @@ def make_pool(
     cache_enabled: bool = True,
     cache_root: Optional[str] = None,
     inline_threads: int = 2,
+    log_state: Optional[Dict] = None,
 ):
     """``workers >= 1`` -> process pool; ``workers == 0`` -> inline."""
     if workers >= 1:
         return ProcessPool(
             workers, on_message,
             cache_enabled=cache_enabled, cache_root=cache_root,
+            log_state=log_state,
         )
     return InlinePool(
         inline_threads, on_message,
         cache_enabled=cache_enabled, cache_root=cache_root,
+        log_state=log_state,
     )
 
 
 def batch_message(
-    batch_id: int, jobs: Sequence[Tuple[str, Dict]]
+    batch_id: int,
+    jobs: Sequence[Tuple],
+    cache_root: Optional[str] = None,
+    store_profiles: bool = True,
 ) -> Dict:
-    """Build the daemon->worker batch message."""
-    return {"op": "batch", "batch": batch_id,
-            "jobs": [[job_id, request] for job_id, request in jobs]}
+    """Build the daemon->worker batch message.
+
+    ``jobs`` entries are ``(job_id, request_dict)`` or
+    ``(job_id, request_dict, trace_ctx_dict)``.
+    """
+    return {
+        "op": "batch",
+        "batch": batch_id,
+        "jobs": [list(entry) for entry in jobs],
+        "cache_root": cache_root,
+        "store_profiles": store_profiles,
+    }

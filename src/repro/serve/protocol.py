@@ -62,6 +62,12 @@ class JobRequest:
     ``predictor`` overrides the value-prediction scheme for the
     P-family bars (a ``repro.tlssim.prediction.PREDICTORS`` name);
     None keeps the bar's own default.
+
+    ``profile`` runs the job under ``cProfile`` in the worker; the
+    pstats dump is stored under the cache root and a text summary is
+    served by ``GET /v1/jobs/{id}/profile``.  Profiling is pure
+    observation — the result bytes stay identical to an unprofiled
+    job (pinned by the telemetry tests).
     """
 
     workload: str
@@ -71,6 +77,7 @@ class JobRequest:
     backend: str = "tuples"
     machine: Tuple[Tuple[str, object], ...] = field(default=())
     predictor: Optional[str] = None
+    profile: bool = False
 
     @property
     def key(self):
@@ -89,6 +96,8 @@ class JobRequest:
             payload["machine"] = dict(self.machine)
         if self.predictor is not None:
             payload["predictor"] = self.predictor
+        if self.profile:
+            payload["profile"] = True
         return payload
 
     def config_overrides(self) -> Dict:
@@ -106,7 +115,7 @@ class JobRequest:
             raise ProtocolError("job request must be a JSON object")
         unknown = set(payload) - {
             "workload", "bar", "threshold", "events", "backend",
-            "machine", "predictor",
+            "machine", "predictor", "profile",
         }
         if unknown:
             raise ProtocolError(f"unknown field(s): {', '.join(sorted(unknown))}")
@@ -130,6 +139,9 @@ class JobRequest:
         events = payload.get("events", False)
         if not isinstance(events, bool):
             raise ProtocolError("'events' must be a boolean")
+        profile = payload.get("profile", False)
+        if not isinstance(profile, bool):
+            raise ProtocolError("'profile' must be a boolean")
         backend = payload.get("backend", "tuples")
         if not isinstance(backend, str) or backend not in SERVE_BACKENDS:
             raise ProtocolError(
@@ -184,6 +196,7 @@ class JobRequest:
                 for name, value in machine.items()
             )),
             predictor=predictor,
+            profile=profile,
         )
 
 

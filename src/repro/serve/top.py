@@ -1,0 +1,135 @@
+"""``repro top`` — a live terminal dashboard for a serve daemon.
+
+Polls ``/v1/stats`` and ``/v1/metrics`` and renders queue occupancy,
+per-worker state, per-scheme latency percentiles, and artifact-cache
+hit rates.  ``--once`` prints a single snapshot and exits (CI-friendly
+and pipeable); otherwise the screen refreshes in place until Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import prom as prom_mod
+from repro.serve.client import ServeClient
+
+#: glyphs for the queue occupancy bar.
+BAR_WIDTH = 30
+
+
+def snapshot(url: str, timeout: float = 10.0) -> Dict:
+    """One combined stats+metrics snapshot from the daemon."""
+    with ServeClient(url, timeout=timeout) as client:
+        stats = client.stats()
+        health = client.health()
+        try:
+            samples = prom_mod.parse_prometheus_text(client.metrics_text())
+        except Exception:
+            samples = []
+    return {"stats": stats, "health": health, "samples": samples}
+
+
+def _occupancy_bar(queued: int, capacity: int) -> str:
+    if capacity <= 0:
+        return "-" * BAR_WIDTH
+    filled = min(BAR_WIDTH, round(BAR_WIDTH * queued / capacity))
+    return "#" * filled + "." * (BAR_WIDTH - filled)
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000.0:8.1f}"
+
+
+def render(snap: Dict, now: Optional[float] = None) -> str:
+    """Render one snapshot as plain text (no ANSI — caller clears)."""
+    stats = snap["stats"]
+    health = snap["health"]
+    samples = snap["samples"]
+    queue = stats.get("queue", {})
+    jobs = stats.get("jobs", {})
+    lines: List[str] = []
+    clock = time.strftime(
+        "%H:%M:%S", time.localtime(now if now is not None else time.time())
+    )
+    status = health.get("status", "?")
+    lines.append(
+        f"repro top — {clock}  status={status}  "
+        f"workers={stats.get('workers', 0)}  "
+        f"completed={jobs.get('completed', 0)}"
+    )
+    queued = queue.get("queued", 0)
+    capacity = queue.get("capacity", 0)
+    lines.append(
+        f"queue  [{_occupancy_bar(queued, capacity)}] "
+        f"{queued}/{capacity}  inflight={queue.get('inflight', 0)}  "
+        f"rejected={queue.get('rejected', 0)}"
+    )
+    states = jobs.get("states", {})
+    if states:
+        lines.append(
+            "jobs   "
+            + "  ".join(
+                f"{state}={count}" for state, count in sorted(states.items())
+            )
+        )
+    hit_ratio = prom_mod.sample_value(samples, "serve_artifact_hit_ratio")
+    artifacts = stats.get("artifacts", {})
+    lines.append(
+        f"cache  hits={artifacts.get('hits', 0)}  "
+        f"misses={artifacts.get('misses', 0)}  "
+        + (f"hit_ratio={hit_ratio:.2f}" if hit_ratio is not None else "")
+    )
+    lines.append("")
+    lines.append("  worker  pid      state  jobs  key")
+    for worker in stats.get("worker_states", []):
+        key = worker.get("key")
+        key_text = (
+            f"{key[0]}@{key[1]}" if isinstance(key, list) and len(key) == 2
+            else "-"
+        )
+        lines.append(
+            f"  {worker.get('worker', '?'):>6}  {worker.get('pid', 0):<7}  "
+            f"{worker.get('state', '?'):>5}  {worker.get('jobs', 0):>4}  "
+            f"{key_text}"
+        )
+    latency = stats.get("latency", {})
+    if latency:
+        lines.append("")
+        lines.append(
+            "  scheme  count    p50 ms    p95 ms    p99 ms   mean ms"
+        )
+        for scheme in sorted(latency):
+            entry = latency[scheme]
+            lines.append(
+                f"  {scheme:>6}  {entry.get('count', 0):>5}"
+                f"  {_fmt_ms(entry.get('p50'))}"
+                f"  {_fmt_ms(entry.get('p95'))}"
+                f"  {_fmt_ms(entry.get('p99'))}"
+                f"  {_fmt_ms(entry.get('mean'))}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    interval: float = 1.0,
+    once: bool = False,
+    stream=None,
+) -> int:
+    """Drive the dashboard; returns a process exit code."""
+    out = stream or sys.stdout
+    if once:
+        out.write(render(snapshot(url)) + "\n")
+        return 0
+    try:
+        while True:
+            text = render(snapshot(url))
+            out.write("\x1b[2J\x1b[H" + text + "\n")
+            out.flush()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

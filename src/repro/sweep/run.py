@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.runner import bundle_for, execute_plan
 from repro.experiments.scheduler import JobSpec
+from repro.obs import log as log_mod
 from repro.sweep.grid import SweepGrid, SweepPoint
 from repro.tlssim.config import MACHINE_FIELDS, SimConfig
 from repro.tlssim.stats import normalized_region_time
@@ -166,6 +167,7 @@ def run_sweep(
     """
     started = time.perf_counter()
     emit = log or (lambda _line: None)
+    logger = log_mod.get_logger("sweep")
     out = Path(out_dir)
     state_path = out / STATE_FILENAME
     points = grid.expand()
@@ -213,13 +215,16 @@ def run_sweep(
         execute_plan(specs, jobs=jobs)
         bundle = bundle_for(workload, grid.threshold)
         for point in chunk:
+            point_started = time.perf_counter()
             result = bundle.simulate(
                 point.bar, _base_config(point.overrides)
             )
             sequential = bundle.simulate(
                 "SEQ", _base_config(_seq_overrides(point))
             )
+            point_wall = time.perf_counter() - point_started
             record = _point_record(point, result, sequential)
+            record["wall_s"] = point_wall
             done[point.point_id] = record
             computed += 1
             metric = record["metrics"]
@@ -227,6 +232,17 @@ def run_sweep(
                 f"  [{resumed + computed}/{len(points)}] {point.label()}"
                 f" -> region_time {metric['region_time']:.1f}"
                 f" speedup {metric['speedup']:.2f}x"
+                f" ({point_wall:.2f}s)"
+            )
+            logger.debug(
+                "sweep_point",
+                point=point.label(),
+                point_id=point.point_id,
+                workload=point.workload,
+                bar=point.bar,
+                region_time=round(metric["region_time"], 3),
+                speedup=round(metric["speedup"], 3),
+                wall_s=round(point_wall, 6),
             )
         _write_state(state_path, grid, done)
 
@@ -239,6 +255,15 @@ def run_sweep(
             f"sweep: stopped after {computed} point(s) (--max-points); "
             f"{len(points) - len(done)} remaining — rerun to resume"
         )
+    logger.info(
+        "sweep_complete",
+        computed=computed,
+        resumed=resumed,
+        total=len(points),
+        complete=complete,
+        wall_s=round(time.perf_counter() - started, 6),
+        state_path=str(state_path),
+    )
     return SweepOutcome(
         grid=grid,
         records=records,

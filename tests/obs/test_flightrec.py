@@ -1,0 +1,132 @@
+"""Flight recorder: ring semantics, dump schema, fault guard."""
+
+import json
+
+import pytest
+
+from repro.obs import flightrec
+from repro.obs.flightrec import DUMP_SCHEMA_VERSION, FlightRecorder, fault_guard
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record("log", {"i": i})
+        assert len(recorder) == 3
+        records = recorder.snapshot()["records"]
+        assert [r["data"]["i"] for r in records] == [7, 8, 9]
+
+    def test_sequence_numbers_survive_eviction(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(5):
+            recorder.record("log", {"i": i})
+        seqs = [r["seq"] for r in recorder.snapshot()["records"]]
+        assert seqs == [4, 5]
+
+    def test_record_never_raises(self):
+        recorder = FlightRecorder(capacity=1)
+        recorder.record("weird", {"payload": object()})  # unserializable ok
+        assert len(recorder) == 1
+
+
+class TestSnapshot:
+    def test_schema(self):
+        recorder = FlightRecorder(capacity=4, component="test")
+        recorder.record("span", {"name": "op"})
+        snap = recorder.snapshot(reason="unit")
+        assert snap["schema"] == DUMP_SCHEMA_VERSION
+        assert snap["stream"] == "repro.obs.flightrec"
+        assert snap["reason"] == "unit"
+        assert snap["component"] == "test"
+        assert snap["inflight"] is None
+        assert isinstance(snap["pid"], int)
+        assert snap["records"][0]["kind"] == "span"
+
+    def test_inflight_appears_in_snapshot(self):
+        recorder = FlightRecorder()
+        recorder.set_inflight(job="j01", workload="go", bar="C")
+        snap = recorder.snapshot()
+        assert snap["inflight"] == {"job": "j01", "workload": "go", "bar": "C"}
+        recorder.clear_inflight()
+        assert recorder.snapshot()["inflight"] is None
+
+
+class TestDump:
+    def test_dump_writes_json_under_root(self, tmp_path):
+        recorder = FlightRecorder(component="dumper")
+        recorder.record("log", {"event": "hello"})
+        path = recorder.dump("unit", root=str(tmp_path))
+        assert path.startswith(str(tmp_path / "flightrec"))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == DUMP_SCHEMA_VERSION
+        assert payload["reason"] == "unit"
+        assert payload["records"][0]["data"]["event"] == "hello"
+
+    def test_configure_pins_component_and_root(self, tmp_path):
+        recorder = flightrec.get()
+        old_component, old_root = recorder.component, recorder.root
+        try:
+            flightrec.configure(component="unit-test", root=str(tmp_path))
+            assert recorder.component == "unit-test"
+            path = recorder.dump("configured")
+            assert path.startswith(str(tmp_path))
+        finally:
+            recorder.component, recorder.root = old_component, old_root
+
+    def test_configure_capacity_preserves_recent_records(self):
+        recorder = FlightRecorder(capacity=8)
+        # configure() operates on the singleton; emulate its resize here
+        # on a private instance to avoid cross-test state.
+        for i in range(6):
+            recorder.record("log", {"i": i})
+        from collections import deque
+
+        with recorder._lock:
+            recorder._records = deque(recorder._records, maxlen=2)
+        assert [r["data"]["i"] for r in recorder.snapshot()["records"]] == [4, 5]
+
+
+class TestFaultGuard:
+    def test_dumps_and_propagates(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with fault_guard("worker-fault", root=str(tmp_path)) as guard:
+                raise RuntimeError("worker exploded")
+        assert guard.dump_path is not None
+        with open(guard.dump_path) as handle:
+            payload = json.load(handle)
+        faults = [r for r in payload["records"] if r["kind"] == "fault"]
+        assert any("worker exploded" in f["data"]["error"] for f in faults)
+
+    def test_clean_exit_does_not_dump(self, tmp_path):
+        with fault_guard("worker-fault", root=str(tmp_path)) as guard:
+            pass
+        assert guard.dump_path is None
+        assert not (tmp_path / "flightrec").exists()
+
+    def test_system_exit_is_not_a_fault(self, tmp_path):
+        with pytest.raises(SystemExit):
+            with fault_guard("worker-fault", root=str(tmp_path)) as guard:
+                raise SystemExit(0)
+        assert guard.dump_path is None
+
+
+class TestSigusr2:
+    def test_install_refused_off_main_thread(self):
+        import threading
+
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(flightrec.install_sigusr2())
+        )
+        thread.start()
+        thread.join()
+        assert results == [False]
+
+    def test_handler_returns_none_on_failure(self, monkeypatch):
+        monkeypatch.setattr(
+            flightrec.get(), "dump",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        assert flightrec.sigusr2_handler() is None

@@ -1,0 +1,115 @@
+"""Structured logging: rendering, thresholds, trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import flightrec, spans
+from repro.obs import log as log_mod
+
+
+@pytest.fixture()
+def log_stream():
+    """Capture log output; restore process-wide defaults afterwards."""
+    stream = io.StringIO()
+    try:
+        yield stream
+    finally:
+        log_mod.configure(level="info", json_mode=False, stream=None)
+
+
+def lines_of(stream):
+    return [line for line in stream.getvalue().splitlines() if line]
+
+
+class TestConfigure:
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            log_mod.configure(level="chatty")
+
+    def test_state_round_trip(self, log_stream):
+        log_mod.configure(level="debug", json_mode=True, stream=log_stream)
+        state = log_mod.config_state()
+        assert state == {"level": "debug", "json_mode": True}
+        log_mod.configure(level="info", json_mode=False, stream=log_stream)
+        log_mod.apply_state(state)
+        assert log_mod.config_state() == state
+
+    def test_apply_state_none_is_noop(self, log_stream):
+        log_mod.configure(level="warning", stream=log_stream)
+        log_mod.apply_state(None)
+        assert log_mod.config_state()["level"] == "warning"
+
+
+class TestJsonMode:
+    def test_json_lines_with_sorted_keys(self, log_stream):
+        log_mod.configure(level="info", json_mode=True, stream=log_stream)
+        log_mod.get_logger("unit").info("hello", answer=42)
+        (line,) = lines_of(log_stream)
+        record = json.loads(line)
+        assert record["component"] == "unit"
+        assert record["event"] == "hello"
+        assert record["answer"] == 42
+        assert record["level"] == "info"
+        assert list(record) == sorted(record)
+
+    def test_unserializable_fields_stringified(self, log_stream):
+        log_mod.configure(level="info", json_mode=True, stream=log_stream)
+        log_mod.get_logger("unit").info("odd", thing=object())
+        record = json.loads(lines_of(log_stream)[0])
+        assert "object object" in record["thing"]
+
+
+class TestTextMode:
+    def test_text_line_shape(self, log_stream):
+        log_mod.configure(level="info", json_mode=False, stream=log_stream)
+        log_mod.get_logger("serve").info("job_done", job="j01", wall_s=0.5)
+        (line,) = lines_of(log_stream)
+        assert " INFO serve: job_done " in line
+        assert "job=j01" in line
+        assert "wall_s=0.5" in line
+
+
+class TestThreshold:
+    def test_below_threshold_suppressed_on_console(self, log_stream):
+        log_mod.configure(level="warning", json_mode=True, stream=log_stream)
+        logger = log_mod.get_logger("unit")
+        logger.info("quiet")
+        logger.warning("loud")
+        records = [json.loads(line) for line in lines_of(log_stream)]
+        assert [r["event"] for r in records] == ["loud"]
+
+    def test_flight_recorder_sees_suppressed_records(self, log_stream):
+        log_mod.configure(level="error", json_mode=True, stream=log_stream)
+        recorder = flightrec.get()
+        before = len(recorder)
+        log_mod.get_logger("unit").debug("invisible", detail="kept")
+        assert lines_of(log_stream) == []
+        assert len(recorder) > before or recorder.snapshot()["records"]
+        logs = [
+            r for r in recorder.snapshot()["records"]
+            if r["kind"] == "log" and r["data"].get("event") == "invisible"
+        ]
+        assert logs and logs[-1]["data"]["detail"] == "kept"
+
+    def test_unknown_level_raises(self, log_stream):
+        with pytest.raises(ValueError):
+            log_mod.get_logger("unit").log("shout", "event")
+
+
+class TestTraceCorrelation:
+    def test_records_pick_up_ambient_span(self, log_stream):
+        log_mod.configure(level="info", json_mode=True, stream=log_stream)
+        with spans.span("request") as active:
+            log_mod.get_logger("unit").info("inside")
+        record = json.loads(lines_of(log_stream)[0])
+        assert record["trace_id"] == active.trace_id
+        assert record["span_id"] == active.span_id
+
+    def test_no_span_no_trace_fields(self, log_stream):
+        log_mod.configure(level="info", json_mode=True, stream=log_stream)
+        log_mod.get_logger("unit").info("outside")
+        record = json.loads(lines_of(log_stream)[0])
+        assert "trace_id" not in record
+        assert "span_id" not in record

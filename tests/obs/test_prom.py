@@ -1,0 +1,163 @@
+"""Prometheus exposition: rendering, escaping, parsing, validation."""
+
+import pytest
+
+from repro.obs import prom
+from repro.obs.registry import MetricsRegistry
+
+
+def render_one(registry, **kwargs):
+    return prom.render_prometheus([registry], **kwargs)
+
+
+class TestRenderCounters:
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_submitted").inc(3)
+        text = render_one(registry)
+        assert "# TYPE jobs_submitted_total counter" in text
+        assert "jobs_submitted_total 3" in text
+
+    def test_labels_sorted_and_quoted(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", z="1", a="2").inc()
+        text = render_one(registry)
+        assert 'hits_total{a="2",z="1"} 1' in text
+
+    def test_help_text_precedes_type(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4)
+        text = render_one(registry, help_text={"depth": "queue depth"})
+        lines = text.splitlines()
+        assert lines.index("# HELP depth queue depth") < lines.index(
+            "# TYPE depth gauge"
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_one(MetricsRegistry()) == ""
+
+
+class TestRenderHistograms:
+    def test_cumulative_buckets_and_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = render_one(registry)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert "lat_sum 6.05" in text
+        assert prom.validate_prometheus_text(text) == []
+
+    def test_first_registry_wins_on_collision(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("depth").set(1)
+        second.gauge("depth").set(99)
+        text = prom.render_prometheus([first, second])
+        assert "depth 1" in text
+        assert "99" not in text
+        assert prom.validate_prometheus_text(text) == []
+
+
+class TestEscaping:
+    @pytest.mark.parametrize(
+        "raw",
+        ['plain', 'back\\slash', 'quo"te', 'new\nline', '\\"\n mix'],
+    )
+    def test_label_value_round_trip(self, raw):
+        registry = MetricsRegistry()
+        registry.gauge("g", key=raw).set(1)
+        samples = prom.parse_prometheus_text(render_one(registry))
+        assert prom.sample_value(samples, "g", key=raw) == 1
+
+    def test_escape_label_value(self):
+        assert prom.escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+
+class TestParse:
+    def test_parses_names_labels_values(self):
+        samples = prom.parse_prometheus_text(
+            "# TYPE up gauge\n"
+            'up{job="serve"} 1\n'
+            "free 2.5\n"
+            "big 1e3\n"
+            "inf +Inf\n"
+        )
+        assert ("up", {"job": "serve"}, 1.0) in samples
+        assert ("free", {}, 2.5) in samples
+        assert ("big", {}, 1000.0) in samples
+        assert samples[-1][2] == float("inf")
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "metric value-not-number\n",
+            "1starts_with_digit 3\n",
+            'unterminated{key="oops 1\n',
+            "# TYPE bad\n",
+            "# TYPE name notakind\n",
+        ],
+    )
+    def test_malformed_raises(self, doc):
+        with pytest.raises(ValueError):
+            prom.parse_prometheus_text(doc)
+
+
+class TestValidate:
+    def test_no_samples_flagged(self):
+        assert prom.validate_prometheus_text("") == ["no samples"]
+
+    def test_duplicate_sample_flagged(self):
+        doc = "# TYPE x gauge\nx 1\nx 2\n"
+        problems = prom.validate_prometheus_text(doc)
+        assert any("duplicate" in p for p in problems)
+
+    def test_missing_type_flagged(self):
+        problems = prom.validate_prometheus_text("orphan 1\n")
+        assert any("no TYPE" in p for p in problems)
+
+    def test_non_cumulative_buckets_flagged(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4\n"
+            "h_count 5\n"
+        )
+        problems = prom.validate_prometheus_text(doc)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_missing_inf_bucket_flagged(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 4\n"
+            "h_count 5\n"
+        )
+        problems = prom.validate_prometheus_text(doc)
+        assert any("+Inf" in p for p in problems)
+
+    def test_count_mismatch_flagged(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4\n"
+            "h_count 7\n"
+        )
+        problems = prom.validate_prometheus_text(doc)
+        assert any("_count" in p for p in problems)
+
+
+class TestSampleValue:
+    def test_matches_on_label_subset(self):
+        samples = [
+            ("depth", {"state": "idle"}, 2.0),
+            ("depth", {"state": "busy"}, 1.0),
+        ]
+        assert prom.sample_value(samples, "depth", state="busy") == 1.0
+
+    def test_absent_is_zero(self):
+        assert prom.sample_value([], "missing") == 0.0

@@ -82,6 +82,35 @@ class TestPrimitives:
         assert set(summary) == {"p50", "p95", "p99"}
         assert summary["p50"] <= summary["p95"] <= summary["p99"]
 
+    def test_empty_histogram_summary_all_zero(self):
+        hist = Histogram("lat", {}, buckets=(1.0, 10.0))
+        assert hist.summary() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert hist.mean() == 0.0
+        assert hist.count == 0 and hist.overflow == 0
+
+    def test_single_sample_percentiles(self):
+        hist = Histogram("lat", {}, buckets=(10.0, 20.0))
+        hist.observe(15.0)
+        # one sample in (10, 20]: every percentile interpolates there
+        for q in (1.0, 50.0, 99.0):
+            assert 10.0 < hist.percentile(q) <= 20.0
+        assert hist.percentile(100.0) == 20.0
+
+    def test_observation_on_bucket_boundary_is_inclusive(self):
+        hist = Histogram("lat", {}, buckets=(10.0, 20.0))
+        hist.observe(10.0)   # le-boundary lands in the first bucket
+        hist.observe(20.0)   # last finite bound, not overflow
+        assert hist.counts == [1, 1]
+        assert hist.overflow == 0
+
+    def test_all_overflow_percentile_is_last_bound(self):
+        hist = Histogram("lat", {}, buckets=(1.0, 2.0))
+        for _ in range(5):
+            hist.observe(100.0)
+        assert hist.percentile(50.0) == 2.0
+        assert hist.overflow == 5
+        assert hist.counts == [0, 0]
+
 
 class TestRegistry:
     def test_get_or_create(self):

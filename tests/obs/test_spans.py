@@ -1,0 +1,133 @@
+"""Spans: ids, context propagation, traceparent, recording."""
+
+import pytest
+
+from repro.obs import spans
+
+
+class TestIds:
+    def test_trace_id_is_128_bit_hex(self):
+        trace_id = spans.new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)
+
+    def test_span_id_is_64_bit_hex(self):
+        span_id = spans.new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_ids_are_unique(self):
+        assert len({spans.new_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = spans.SpanContext(
+            trace_id="ab" * 16, span_id="cd" * 8
+        )
+        parsed = spans.parse_traceparent(context.traceparent())
+        assert parsed == context
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "not-a-traceparent",
+            "00-short-cdcdcdcdcdcdcdcd-01",
+            "00-" + "ab" * 16 + "-short-01",
+            "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",   # zero trace
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # zero span
+        ],
+    )
+    def test_invalid_headers_rejected(self, header):
+        assert spans.parse_traceparent(header) is None
+
+    def test_context_from_dict_tolerates_garbage(self):
+        assert spans.SpanContext.from_dict(None) is None
+        assert spans.SpanContext.from_dict({"trace_id": "x"}) is None
+        context = spans.SpanContext.from_dict(
+            {"trace_id": "t", "span_id": "s"}
+        )
+        assert context.trace_id == "t" and context.span_id == "s"
+
+
+class TestSpan:
+    def test_child_inherits_trace(self):
+        parent = spans.Span.start("parent")
+        child = spans.Span.start("child", parent=parent.context)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_end_is_idempotent(self):
+        span = spans.Span.start("op")
+        span.end(status="ok")
+        first_end = span.end_s
+        span.end(status="changed")
+        assert span.end_s == first_end
+        assert span.status == "ok"
+
+    def test_to_dict_schema(self):
+        span = spans.Span.start("op", component="worker").end()
+        payload = span.to_dict()
+        assert payload["schema"] == spans.SPAN_SCHEMA_VERSION
+        assert payload["name"] == "op"
+        assert payload["attrs"]["component"] == "worker"
+        assert payload["end_s"] >= payload["start_s"]
+
+    def test_duration_zero_until_ended(self):
+        span = spans.Span.start("op")
+        assert span.duration_s == 0.0
+        span.end()
+        assert span.duration_s >= 0.0
+
+
+class TestContextManager:
+    def test_ambient_context_nesting(self):
+        assert spans.current_context() is None
+        with spans.span("outer") as outer:
+            assert spans.current_context().span_id == outer.span_id
+            with spans.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+            assert spans.current_context().span_id == outer.span_id
+        assert spans.current_context() is None
+
+    def test_explicit_parent_beats_ambient(self):
+        remote = spans.SpanContext(trace_id="ff" * 16, span_id="ee" * 8)
+        with spans.span("outer"):
+            with spans.span("adopted", parent=remote) as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_id == remote.span_id
+
+    def test_inherit_false_starts_fresh_trace(self):
+        with spans.span("outer") as outer:
+            with spans.span("fresh", inherit=False) as fresh:
+                assert fresh.trace_id != outer.trace_id
+                assert fresh.parent_id is None
+
+    def test_exception_marks_error_and_propagates(self):
+        with spans.recording() as collected:
+            with pytest.raises(RuntimeError):
+                with spans.span("boom"):
+                    raise RuntimeError("nope")
+        (payload,) = collected
+        assert payload["status"] == "error"
+        assert "RuntimeError" in payload["attrs"]["error"]
+
+
+class TestRecording:
+    def test_collects_finished_spans_in_end_order(self):
+        with spans.recording() as collected:
+            with spans.span("outer"):
+                with spans.span("inner"):
+                    pass
+        assert [p["name"] for p in collected] == ["inner", "outer"]
+
+    def test_nothing_collected_outside_recording(self):
+        with spans.recording() as collected:
+            pass
+        spans.Span.start("orphan").end()
+        assert collected == []

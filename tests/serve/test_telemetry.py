@@ -1,0 +1,198 @@
+"""Service telemetry: spans through serve, metrics, flightrec, top.
+
+The profiled/unprofiled byte-identity check uses a module-level named
+parametrize decorator (the pyinstrument C-vs-Python setstatprofile
+idiom): every test it marks runs both ways.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import flightrec
+from repro.obs import prom as prom_mod
+from repro.obs.export import merged_chrome_trace, validate_chrome_trace
+from repro.obs.events import Event
+from repro.serve import top as top_mod
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.pool import execute_request
+from repro.serve.protocol import DONE, JobRequest, canonical_result_bytes
+
+#: Run the test once without and once with the in-worker profiler —
+#: telemetry and profiling must never change what a job computes.
+parametrize_profile = pytest.mark.parametrize("profile", [False, True])
+
+
+REQUEST = dict(workload="go", bar="C", threshold=0.05)
+
+
+class TestExecuteRequestTelemetry:
+    @parametrize_profile
+    def test_result_bytes_identical_with_and_without_profile(
+        self, tmp_path, profile, fresh_warm_state
+    ):
+        baseline = execute_request(JobRequest(**REQUEST))
+        assert baseline["ok"], baseline.get("error")
+        outcome = execute_request(
+            JobRequest(**REQUEST, profile=profile),
+            job_id="jprof",
+            cache_root=str(tmp_path),
+        )
+        assert outcome["ok"], outcome.get("error")
+        assert canonical_result_bytes(
+            outcome["result"]
+        ) == canonical_result_bytes(baseline["result"])
+        if profile:
+            assert "Ordered by: cumulative time" in outcome["profile"]["text"]
+            assert outcome["profile"]["path"].endswith("jprof.pstats")
+        else:
+            assert "profile" not in outcome
+
+    def test_spans_ship_in_outcome_under_given_trace(self, tmp_path):
+        trace_ctx = {"trace_id": "ab" * 16, "span_id": "cd" * 8}
+        outcome = execute_request(
+            JobRequest(**REQUEST), job_id="j1", trace_ctx=trace_ctx,
+            cache_root=str(tmp_path),
+        )
+        assert outcome["ok"]
+        names = {s["name"] for s in outcome["spans"]}
+        assert {"worker.execute", "bundle.warm", "simulate"} <= names
+        assert all(s["trace_id"] == "ab" * 16 for s in outcome["spans"])
+        (execute,) = [
+            s for s in outcome["spans"] if s["name"] == "worker.execute"
+        ]
+        assert execute["parent_id"] == "cd" * 8
+        assert execute["attrs"]["job"] == "j1"
+
+
+class TestDaemonSpans:
+    def test_trace_spans_and_merged_trace(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            job_id = client.submit(
+                JobRequest(**REQUEST, events=True),
+                traceparent="00-" + "ab" * 16 + "-" + "cd" * 8 + "-01",
+            )
+            status = client.wait(job_id)
+            assert status["state"] == DONE
+            assert status["trace_id"] == "ab" * 16
+            trace = client.spans(job_id)
+            event_bytes = client.events_bytes(job_id)
+
+        names = [s["name"] for s in trace["spans"]]
+        for expected in (
+            "http.submit", "job.queued", "batch.execute", "worker.execute",
+        ):
+            assert expected in names, names
+        assert all(s["trace_id"] == "ab" * 16 for s in trace["spans"])
+
+        lines = event_bytes.decode().splitlines()
+        header = json.loads(lines[0])
+        events = [Event.from_dict(json.loads(line)) for line in lines[1:]]
+        payload = merged_chrome_trace(
+            trace["spans"],
+            events=events,
+            num_cores=header.get("num_cores", 4),
+            title="telemetry test",
+            trace_id=trace["trace_id"],
+        )
+        assert validate_chrome_trace(payload) == []
+        pids = {e.get("pid") for e in payload["traceEvents"]}
+        assert {0, 1} <= pids  # sim track and service track
+        assert payload["metadata"]["trace_id"] == "ab" * 16
+
+    def test_fresh_trace_when_no_traceparent(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            status = client.run(JobRequest(**REQUEST))
+            assert len(status["trace_id"]) == 32
+            trace = client.spans(status["job"])
+        assert trace["trace_id"] == status["trace_id"]
+        assert trace["spans"]
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_prometheus(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            client.run(JobRequest(**REQUEST))
+            text = client.metrics_text()
+        assert prom_mod.validate_prometheus_text(text) == []
+        samples = prom_mod.parse_prometheus_text(text)
+        assert prom_mod.sample_value(
+            samples, "serve_jobs_total", state=DONE
+        ) >= 1.0
+        assert prom_mod.sample_value(
+            samples, "serve_worker_states", state="idle"
+        ) >= 1.0
+        names = {name for name, _labels, _value in samples}
+        assert "serve_queue_depth" in names
+        assert "serve_job_seconds_bucket" in names
+
+    def test_content_type(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            status, _data, content_type = client._request(
+                "GET", "/v1/metrics"
+            )
+        assert status == 200
+        assert content_type == prom_mod.CONTENT_TYPE
+
+
+class TestFlightrecEndpoint:
+    def test_dump_writes_schema_versioned_json(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            client.run(JobRequest(**REQUEST))
+            payload = client.flightrec_dump()
+        assert payload["dumped"]
+        for path in payload["dumped"]:
+            with open(path) as handle:
+                dump = json.load(handle)
+            assert dump["schema"] == flightrec.DUMP_SCHEMA_VERSION
+            assert dump["stream"] == "repro.obs.flightrec"
+            kinds = {r["kind"] for r in dump["records"]}
+            assert "span" in kinds or "log" in kinds
+
+
+class TestProfileEndpoint:
+    def test_profile_text_for_profiled_job(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            status = client.run(JobRequest(**REQUEST, profile=True))
+            assert status["state"] == DONE
+            assert "profile" in status
+            text = client.profile_text(status["job"])
+        assert "cumulative" in text
+
+    def test_404_for_unprofiled_job(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            status = client.run(JobRequest(**REQUEST))
+            with pytest.raises(ServeError) as excinfo:
+                client.profile_text(status["job"])
+        assert excinfo.value.status == 404
+
+
+class TestWorkerStates:
+    def test_stats_carry_worker_states(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            client.run(JobRequest(**REQUEST))
+            stats = client.stats()
+        states = stats["worker_states"]
+        assert len(states) == stats["workers"] >= 1
+        for state in states:
+            assert state["state"] in ("idle", "busy")
+            assert isinstance(state["pid"], int)
+        assert sum(s["jobs"] for s in states) >= 1
+
+
+class TestTop:
+    def test_snapshot_and_render(self, daemon_url):
+        with ServeClient(daemon_url) as client:
+            client.run(JobRequest(**REQUEST))
+        snap = top_mod.snapshot(daemon_url)
+        assert snap["health"]["status"] in ("ok", "draining")
+        assert snap["samples"]
+        text = top_mod.render(snap)
+        assert "queue" in text
+        assert "worker" in text
+        assert "go@0.05" in text or "idle" in text
+
+    def test_run_top_once(self, daemon_url, capsys):
+        assert top_mod.run_top(daemon_url, once=True) == 0
+        out = capsys.readouterr().out
+        assert "queue" in out
