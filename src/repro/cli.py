@@ -283,6 +283,11 @@ def _cmd_cache(args) -> int:
                 f"removed {removed} lowered-region artifact(s) "
                 f"from {store.root}"
             )
+        elif only == "kernels":
+            removed = store.clear(kinds=(artifacts_mod.KIND_KERNEL,))
+            print(
+                f"removed {removed} kernel artifact(s) from {store.root}"
+            )
         return 0
     info = cache.info()
     print("results")
@@ -295,6 +300,7 @@ def _cmd_cache(args) -> int:
     print(f"  compiled: {artifact_info['compiled']}")
     print(f"  oracles : {artifact_info['oracles']}")
     print(f"  lowered : {artifact_info['lowered']}")
+    print(f"  kernels : {artifact_info['kernels']}")
     print(f"  size    : {artifact_info['bytes']} bytes")
     return 0
 
@@ -846,11 +852,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--cache-dir", default=None)
     cache_parser.add_argument(
         "--only",
-        choices=("all", "results", "artifacts", "lowered"),
+        choices=("all", "results", "artifacts", "lowered", "kernels"),
         default="all",
         help="scope for clear: simulation results, compiled artifacts "
-        "(every kind), only lowered-region tables, or everything "
-        "(default)",
+        "(every kind), only lowered-region tables, only codegen'd "
+        "kernel tables, or everything (default)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
 

@@ -66,6 +66,7 @@ ARTIFACT_SCHEMA_VERSION = 1
 KIND_COMPILED = "compiled"
 KIND_ORACLE = "oracle"
 KIND_LOWERED = "lowered"
+KIND_KERNEL = "kernel"
 
 
 # ---------------------------------------------------------------------------
@@ -580,10 +581,48 @@ class ArtifactStore:
     def save_lowered(self, module, cost_sig, state: Dict) -> None:
         self._put(self.lowered_key(module, cost_sig), KIND_LOWERED, state)
 
+    def kernel_key(self, module, cost_sig) -> str:
+        """Key for a codegen'd kernel table (extended region sources).
+
+        Keyed on the exact module content × engine cost signature ×
+        codegen schema version: kernel source embeds clock constants
+        derived from the cost model, and any change to the emitter's
+        ABI or templates must invalidate every stored kernel.
+        """
+        from repro.ir import codegen
+
+        return artifact_key(
+            KIND_KERNEL, module.name, 0.0, "", "",
+            extra={
+                "module": module_content_hash(module),
+                "cost": list(cost_sig),
+                "codegen": codegen.CODEGEN_SCHEMA_VERSION,
+            },
+        )
+
+    def load_kernels(self, module, cost_sig) -> Optional[Dict]:
+        """Stored extended-region state (kernel sources), or None.
+
+        Returns the raw state dict; revalidation against the decoded
+        program and recompilation of the persisted sources happen in
+        ``repro.ir.lower.LoweredProgram.from_state``.
+        """
+        payload = self._get(self.kernel_key(module, cost_sig), KIND_KERNEL)
+        if payload is None:
+            _bump("misses")
+            return None
+        _bump("hits")
+        return payload
+
+    def save_kernels(self, module, cost_sig, state: Dict) -> None:
+        self._put(self.kernel_key(module, cost_sig), KIND_KERNEL, state)
+
     # -- management ----------------------------------------------------
     def info(self) -> Dict:
         """Entry counts and total size, for ``repro cache info``."""
-        counts = {KIND_COMPILED: 0, KIND_ORACLE: 0, KIND_LOWERED: 0}
+        counts = {
+            KIND_COMPILED: 0, KIND_ORACLE: 0, KIND_LOWERED: 0, KIND_KERNEL: 0,
+        }
         size = 0
         if self.root.exists():
             for path in self.root.rglob("*.json"):
@@ -602,6 +641,7 @@ class ArtifactStore:
             "compiled": counts[KIND_COMPILED],
             "oracles": counts[KIND_ORACLE],
             "lowered": counts[KIND_LOWERED],
+            "kernels": counts[KIND_KERNEL],
             "entries": sum(counts.values()),
             "bytes": size,
         }
@@ -660,6 +700,13 @@ def _install_lowered_hooks() -> None:
 
     With the store off, lowering still works — region tables are just
     rebuilt per process instead of loaded.
+
+    Since the codegen backend, the seam stores *kernel* artifacts
+    (KIND_KERNEL: extended region tables with generated sources, keyed
+    by module content × cost signature × codegen schema version).
+    ``load_lowered``/``save_lowered`` remain for classic region tables
+    written by older runs; ``repro cache clear --only lowered`` still
+    removes those.
     """
     from repro.ir import lower
 
@@ -667,7 +714,7 @@ def _install_lowered_hooks() -> None:
     if store is None:
         lower.set_persistence(None, None)
     else:
-        lower.set_persistence(store.load_lowered, store.save_lowered)
+        lower.set_persistence(store.load_kernels, store.save_kernels)
 
 
 def active_store() -> Optional[ArtifactStore]:

@@ -73,6 +73,14 @@ from repro.ir.operands import GlobalRef, Imm, Reg
 # region)``.
 OP_FUSED = -1
 
+# Extended superblock superop (see repro.ir.codegen): a generated
+# kernel that keeps executing across guarded branches and memory ops.
+# Layout: ``(OP_FUSED2, 0.0, head_op, fn_epoch, fn_seq, n, instrs,
+# region)`` — slots 2 and 5 mirror OP_FUSED (fallback head op, static
+# op count); ``instrs`` holds the Instr records of the path's
+# loads/stores in order (the kernels index it for engine delegation).
+OP_FUSED2 = -2
+
 OP_CONST = 0
 OP_MOVE = 1
 OP_BINOP = 2

@@ -47,6 +47,7 @@ from repro.ir.decode import (
     OP_CONDBR,
     OP_CONST,
     OP_DIVMOD,
+    OP_FUSED,
     OP_JUMP,
     OP_LOAD,
     OP_MOVE,
@@ -559,9 +560,13 @@ class Interpreter:
                         # precisely the right step.  A KeyError means a
                         # live-in register is undefined; replaying the
                         # region per-op reproduces the tuple backend's
-                        # diagnostic exactly.
+                        # diagnostic exactly.  Extended superops
+                        # (OP_FUSED2) never reach the interpreter —
+                        # ``lowered_for(..., None)`` emits classic
+                        # regions only — but fall back to the head op
+                        # rather than misread their layout if one does.
                         k = op[5]
-                        if steps + k <= fuel:
+                        if code == OP_FUSED and steps + k <= fuel:
                             try:
                                 op[6](regs)
                             except KeyError:

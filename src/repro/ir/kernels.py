@@ -5,6 +5,10 @@ candidate region it builds column-major numpy arrays of opcodes and
 per-instruction clock charges, segments them into maximal fusible runs,
 and folds constants — all array operations that run once per static
 program.  This module holds those kernels plus the availability gate.
+The extended (superblock) lowering reuses :func:`fusible_runs` with a
+remapped opcode column — memory ops and terminators are projected onto
+a sentinel/fusible alphabet — so one segmentation kernel serves both
+region generations (see ``repro.ir.lower``).
 
 Everything here must stay importable (and the public helpers usable)
 when numpy is missing: the backend then reports itself unavailable and

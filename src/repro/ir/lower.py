@@ -4,10 +4,38 @@ The decoded fast path still dispatches one flat tuple per dynamic
 instruction; profiling shows that per-op loop — tuple indexing, dict
 reads, an evalops call, a trace append and a float add per instruction
 — is the remaining wall.  This pass runs once per compiled program: it
-segments each decoded block's opcode column into maximal straight-line
-*private* regions (no loads/stores, no synchronization, no side exits,
-no faulting ops), and lowers every region to one **fused superop**
-executed by a generated, compiled kernel.
+segments each decoded block's opcode column into fused regions and
+lowers every region to one **fused superop** executed by a generated,
+compiled kernel (source emission and compilation live in
+:mod:`repro.ir.codegen`).
+
+Two region families are formed:
+
+* **Classic regions** (``OP_FUSED``): maximal straight-line *private*
+  runs (no loads/stores, no synchronization, no side exits, no
+  faulting ops), exactly as PR 7 shipped them.
+* **Extended regions** (``OP_FUSED2``): superblock paths that also
+  fuse ``select``/``resume``, loads, stores, synchronization ops
+  (``wait``/``signal``/``check``) and terminators.  A path starts at
+  an extended-fusible run, and when the run reaches its block's
+  ``jump``/``condbr`` terminator the path *chains* into the predicted
+  successor block's fusible prefix (true target first, falling back to
+  the false target when the true one is already on the path), up to
+  :data:`MAX_SPANS` blocks.  Conditional branches inside the path are
+  *guarded*: the kernel evaluates the real condition and exits to the
+  other target when the prediction misses — by then the branch itself
+  has executed and nothing past it has, so the engine simply resumes
+  per-op at the actual target.  Memory ops execute in-kernel against
+  the run's own write buffer when the address hits it (the
+  epoch-private fast case) and delegate to the engine's
+  ``_exec_load``/``_exec_store`` otherwise, under the exact horizon
+  discipline of the tuple path; ``wait``/``signal`` delegate to the
+  channel machinery the same way and ``check`` runs fully inline.
+  Because the epoch engine can end a turn at (or just past) any such
+  site, lowering additionally plants **suffix kernels** — ordinary
+  extended superops covering the path tail — at every mid-path resume
+  index, so the next turn re-enters fused execution instead of
+  replaying the remainder per-op (see :func:`_suffix_spans`).
 
 Lowering rules
 --------------
@@ -16,60 +44,84 @@ Lowering rules
   nothing but the run's own registers and clock.  ``OP_DIVMOD`` fuses
   *only* with a nonzero constant divisor (then it cannot fault or
   park); with a register divisor it breaks a region, as do
-  ``OP_SELECT``/``OP_RESUME`` (read or clear the forwarding flag) and
-  every control-flow or shared-state opcode.
+  ``OP_CALL``/``OP_RET`` (frame churn) and ``OP_ALLOC`` (an epoch-path
+  error).  ``wait``/``signal``/``check`` fuse into *extended* regions
+  only (delegated or inlined shared sites); they still break classic
+  regions.
 * A region reads all its live-in registers *before mutating anything*,
-  so an undefined register raises ``KeyError`` with the machine state
-  untouched; the engine then re-executes the region through the
-  ordinary tuple ops to reproduce the tuple path's exact per-op
-  behaviour (partial application, horizon deferral, error text).
-* Per-op clock charges are pre-summed into an offset table so the
-  kernel extends the rollback trace and advances the clock with one
-  float add per op.  This is bit-identical to sequential accumulation
-  only on a dyadic cost grid — :func:`cost_signature` /
-  :func:`signature_exact` gate lowering on an integral-latency,
-  power-of-two-issue-width configuration and the backend falls back to
-  ``tuples`` otherwise.
+  so an undefined register leaves the machine state untouched (classic
+  kernels raise ``KeyError``; extended kernels return ``None``); the
+  engine then re-executes the region through the ordinary tuple ops to
+  reproduce the tuple path's exact per-op behaviour (partial
+  application, horizon deferral, error text).
+* Per-op clock charges are pre-summed into offset tables so kernels
+  extend the rollback trace with ``(base, offsets)`` chunks.  This is
+  bit-identical to sequential accumulation only on a dyadic cost grid
+  — :func:`cost_signature` / :func:`signature_exact` gate lowering on
+  an integral-latency, power-of-two-issue-width configuration and the
+  backend falls back to ``tuples`` otherwise.
 * Constant subexpressions fold at lower time (with the *same*
   ``evalops`` callables, so wrapping semantics match exactly); folded
   ops still charge their clock slots — timing never changes.
-* In the lowered ops list the superop replaces only the region *head*;
-  interior indices keep their original tuples.  Squash rollback needs
-  no special casing: a squashed epoch restarts from scratch and the
-  per-op trace entries the kernel appended roll the clock back exactly
-  as the tuple path does, while parks and faults resume *inside* a
-  region at an ordinary tuple op.
+* In the lowered ops list a superop replaces only the region *head*;
+  interior indices keep their original tuples, and classic superops at
+  pure-run heads interior to an extended region survive so per-op
+  resumption after a mid-region bail still fuses the tail.  Squash
+  rollback needs no special casing: trace chunks flatten to the exact
+  per-op floats, while parks and faults resume *inside* a region at an
+  ordinary tuple op.
 
-The per-region :class:`Region` record keeps the register-delta
-footprint (live-ins read, live-outs written), the generated source and
-fold statistics — used for fallback execution, artifact persistence
-(see :mod:`repro.ir.serialize`) and ``repro bench --opstats``.
+The per-region :class:`Region` / :class:`ExtRegion` records keep the
+register-delta footprint (live-ins read, live-outs written), the
+generated source and fold statistics — used for fallback execution,
+artifact persistence (see :mod:`repro.ir.serialize`) and ``repro bench
+--opstats``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.ir import kernels
+from repro.ir import codegen, kernels
 from repro.ir.decode import (
     FUSIBLE_OPCODES,
-    OP_BINOP,
+    OP_CHECK,
+    OP_CONDBR,
     OP_CONST,
     OP_DIVMOD,
     OP_FUSED,
-    OP_MOVE,
-    OP_UNOP,
+    OP_FUSED2,
+    OP_JUMP,
+    OP_LOAD,
+    OP_RESUME,
+    OP_SELECT,
+    OP_SIGNAL,
+    OP_STORE,
+    OP_WAIT,
     DecodedProgram,
 )
-from repro.ir.evalops import BINOP_FUNCS, UNOP_FUNCS
 
 #: Bump when the generated-kernel ABI or state layout changes.
-LOWER_SCHEMA_VERSION = 1
+#: (2: extended superblock regions + codegen'd kernel persistence.
+#:  3: wait/signal/check fusion + suffix kernels at resume points.)
+LOWER_SCHEMA_VERSION = 3
 
 #: Shortest run worth fusing: a superop costs one dispatch plus one
 #: kernel call, which beats per-op dispatch from two ops up (measured;
 #: even a two-op kernel skips two full trips around the turn loop).
 MIN_REGION_LEN = 2
+
+#: Longest superblock path in blocks.  Deep chains multiply guard
+#: mispredict cost (the whole suffix re-enters per-op) and blow up
+#: generated-source size; eight covers every hot loop body in the
+#: workload suite.
+MAX_SPANS = 8
+
+#: Environment escape hatch: set to any value to disable extended
+#: codegen (classic fused regions only) — the middle row of the
+#: fallback matrix in docs/simulator.md.
+NO_CODEGEN_ENV = "REPRO_NO_CODEGEN"
 
 #: Valid ``SimConfig.backend`` values (referenced by config validation).
 BACKENDS = ("tuples", "vector")
@@ -80,65 +132,22 @@ class LowerError(Exception):
 
 
 # ---------------------------------------------------------------------------
-# codegen templates (must mirror repro.ir.evalops bit for bit)
+# codegen templates (canonical definitions live in repro.ir.codegen;
+# re-exported under the historical private names for the template
+# test-suite and any external callers)
 # ---------------------------------------------------------------------------
 
-_SIGN = 1 << 63
-_MODULUS_MASK = (1 << 64) - 1
-
-
-def _wrap_expr(expr: str) -> str:
-    # ((v + 2**63) & (2**64 - 1)) - 2**63 == evalops._wrap(v) for every
-    # int v (two's-complement signed wrap, verified by tests).
-    return f"((({expr}) + {_SIGN}) & {_MODULUS_MASK}) - {_SIGN}"
-
-
-_BINOP_TEMPLATES: Dict[str, Callable[[str, str], str]] = {
-    "add": lambda a, b: _wrap_expr(f"{a} + {b}"),
-    "sub": lambda a, b: _wrap_expr(f"{a} - {b}"),
-    "mul": lambda a, b: _wrap_expr(f"{a} * {b}"),
-    "and": lambda a, b: _wrap_expr(f"{a} & {b}"),
-    "or": lambda a, b: _wrap_expr(f"{a} | {b}"),
-    "xor": lambda a, b: _wrap_expr(f"{a} ^ {b}"),
-    "shl": lambda a, b: _wrap_expr(f"{a} << ({b} & 63)"),
-    "shr": lambda a, b: _wrap_expr(f"{a} >> ({b} & 63)"),
-    "eq": lambda a, b: f"1 if {a} == {b} else 0",
-    "ne": lambda a, b: f"1 if {a} != {b} else 0",
-    "lt": lambda a, b: f"1 if {a} < {b} else 0",
-    "le": lambda a, b: f"1 if {a} <= {b} else 0",
-    "gt": lambda a, b: f"1 if {a} > {b} else 0",
-    "ge": lambda a, b: f"1 if {a} >= {b} else 0",
-    # builtins min/max return the first argument on ties.
-    "min": lambda a, b: f"{a} if {a} <= {b} else {b}",
-    "max": lambda a, b: f"{a} if {a} >= {b} else {b}",
-}
-
-_UNOP_TEMPLATES: Dict[str, Callable[[str], str]] = {
-    "neg": lambda a: _wrap_expr(f"-{a}"),
-    "not": lambda a: f"0 if {a} else 1",
-}
-
-
-def _atom(value) -> str:
-    """Render a const operand (parenthesized when negative)."""
-    return f"({value!r})" if value < 0 else repr(value)
-
-
-def _trunc_div_expr(a: str, c: int) -> str:
-    """Truncating ``a`` / nonzero-constant ``c``, matching evalops.
-
-    ``evalops._trunc_div`` computes ``abs(lhs) // abs(rhs)`` negated
-    when the signs differ; Python's floor division over exact ints
-    reproduces that case by case (no ``abs`` — the kernel namespace
-    has no builtins).
-    """
-    if c > 0:
-        return f"({a} // {c} if {a} >= 0 else -((-{a}) // {c}))"
-    return f"(-({a} // {-c}) if {a} >= 0 else (-{a}) // {-c})"
+_SIGN = codegen.SIGN
+_MODULUS_MASK = codegen.MODULUS_MASK
+_wrap_expr = codegen.wrap_expr
+_BINOP_TEMPLATES = codegen.BINOP_TEMPLATES
+_UNOP_TEMPLATES = codegen.UNOP_TEMPLATES
+_atom = codegen.atom
+_trunc_div_expr = codegen.trunc_div_expr
 
 
 def _fusible_op(op: tuple) -> bool:
-    """Whether one decoded tuple may live inside a fused region.
+    """Whether one decoded tuple may live inside a *classic* region.
 
     Extends the code-only :data:`FUSIBLE_OPCODES` set with the
     operand-dependent case: a ``div``/``mod`` whose divisor is a
@@ -151,16 +160,36 @@ def _fusible_op(op: tuple) -> bool:
     return code == OP_DIVMOD and type(op[6]) is int and op[6] != 0
 
 
+#: Opcodes only the extended fuser accepts (on top of the classic set):
+#: forwarding-flag readers, memory ops, synchronization ops and
+#: in-function terminators.  ``OP_CALL``/``OP_RET`` (frame churn) and
+#: ``OP_ALLOC`` (an epoch-path error) stay region breakers.
+_EXT_ONLY_OPCODES = frozenset(
+    (OP_SELECT, OP_RESUME, OP_LOAD, OP_STORE, OP_WAIT, OP_SIGNAL,
+     OP_CHECK, OP_JUMP, OP_CONDBR)
+)
+
+
+def _ext_fusible_op(op: tuple) -> bool:
+    """Whether one decoded tuple may live inside an *extended* region."""
+    code = op[0]
+    if code in FUSIBLE_OPCODES or code in _EXT_ONLY_OPCODES:
+        return True
+    return code == OP_DIVMOD and type(op[6]) is int and op[6] != 0
+
+
 # ---------------------------------------------------------------------------
-# one region: analysis + codegen
+# region records
 # ---------------------------------------------------------------------------
 
 
 class Region:
-    """Metadata for one fused superop (register-delta record)."""
+    """Metadata for one classic fused superop (register-delta record)."""
 
     __slots__ = ("start", "length", "live_ins", "live_outs", "folded",
                  "name", "source")
+
+    kind = "classic"
 
     def __init__(self, start: int, length: int, live_ins: List[str],
                  live_outs: List[str], folded: int, name: str, source: str):
@@ -196,164 +225,97 @@ class Region:
         )
 
 
+class ExtRegion:
+    """Metadata for one extended (superblock) superop.
+
+    ``spans`` is the ordered path as ``(label, start, end)`` per block;
+    the first span's block is the region's home (its head index holds
+    the superop).  ``length`` counts every op on the path, across
+    blocks — so a function's extended regions may collectively cover
+    more static ops than any one block holds.
+    """
+
+    __slots__ = ("spans", "length", "live_ins", "live_outs", "folded",
+                 "name", "source")
+
+    kind = "ext"
+
+    def __init__(self, spans: List[Tuple[str, int, int]], length: int,
+                 live_ins: List[str], live_outs: List[str], folded: int,
+                 name: str, source: str):
+        self.spans = spans
+        self.length = length
+        self.live_ins = live_ins
+        self.live_outs = live_outs
+        self.folded = folded
+        self.name = name
+        self.source = source
+
+    @property
+    def start(self) -> int:
+        return self.spans[0][1]
+
+    def to_state(self) -> Dict:
+        return {
+            "kind": "ext",
+            "spans": [[label, start, end] for label, start, end in self.spans],
+            "n": self.length,
+            "live_ins": list(self.live_ins),
+            "live_outs": list(self.live_outs),
+            "folded": self.folded,
+            "name": self.name,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "ExtRegion":
+        return cls(
+            spans=[
+                (span[0], int(span[1]), int(span[2]))
+                for span in state["spans"]
+            ],
+            length=state["n"],
+            live_ins=list(state["live_ins"]),
+            live_outs=list(state["live_outs"]),
+            folded=state["folded"],
+            name=state["name"],
+            source=state["source"],
+        )
+
+
 def _generate_region(
     ops: Sequence[tuple], start: int, end: int, name: str
 ) -> Region:
-    """Analyze ops[start:end] and emit the three kernel variants.
+    """Analyze ops[start:end] and emit the classic kernel triple.
 
     The generated module defines ``{name}_trace(regs, trace, clock)``
-    (epoch path: appends per-op trace entries), ``{name}_clock(regs,
+    (epoch path: appends one rollback chunk), ``{name}_clock(regs,
     clock)`` (sequential path) and ``{name}_plain(regs)`` (untimed
     interpreter path); the timed variants return the advanced clock.
     """
-    env: Dict[str, tuple] = {}        # reg -> ("const", v) | ("var", local)
-    live_ins: Dict[str, str] = {}     # reg -> live-in local (ordered)
-    nodes: List[Tuple[str, str, Tuple[str, ...]]] = []
-    folded = 0
-
-    def read(operand) -> tuple:
-        if type(operand) is int:
-            return ("const", operand)
-        cached = env.get(operand)
-        if cached is not None:
-            return cached
-        local = live_ins.get(operand)
-        if local is None:
-            local = f"_i{len(live_ins)}"
-            live_ins[operand] = local
-        return ("var", local)
-
-    def render(node: tuple) -> str:
-        return _atom(node[1]) if node[0] == "const" else node[1]
-
-    for k in range(start, end):
-        op = ops[k]
-        code = op[0]
-        if code == OP_CONST:
-            env[op[3]] = ("const", op[4])
-        elif code == OP_MOVE:
-            env[op[3]] = read(op[4])
-        elif code == OP_BINOP:
-            opname = op[2].op
-            lhs, rhs = read(op[5]), read(op[6])
-            if lhs[0] == "const" and rhs[0] == "const":
-                env[op[3]] = ("const", BINOP_FUNCS[opname](lhs[1], rhs[1]))
-                folded += 1
-                continue
-            local = f"_v{len(nodes)}"
-            deps = tuple(n[1] for n in (lhs, rhs) if n[0] == "var")
-            nodes.append(
-                (local, _BINOP_TEMPLATES[opname](render(lhs), render(rhs)),
-                 deps)
-            )
-            env[op[3]] = ("var", local)
-        elif code == OP_DIVMOD:
-            # In a region only with a nonzero constant divisor (see
-            # _fusible_op) — pure truncating division, never faults.
-            opname = op[2].op
-            lhs = read(op[5])
-            c = op[6]
-            if lhs[0] == "const":
-                env[op[3]] = ("const", BINOP_FUNCS[opname](lhs[1], c))
-                folded += 1
-                continue
-            local = f"_v{len(nodes)}"
-            a = lhs[1]
-            q = _trunc_div_expr(a, c)
-            if opname == "div":
-                expr = _wrap_expr(q)
-            else:  # mod: lhs - trunc_div(lhs, c) * c
-                expr = _wrap_expr(f"{a} - {q} * {_atom(c)}")
-            nodes.append((local, expr, (a,)))
-            env[op[3]] = ("var", local)
-        elif code == OP_UNOP:
-            opname = op[2].op
-            src = read(op[5])
-            if src[0] == "const":
-                env[op[3]] = ("const", UNOP_FUNCS[opname](src[1]))
-                folded += 1
-                continue
-            local = f"_v{len(nodes)}"
-            deps = (src[1],) if src[0] == "var" else ()
-            nodes.append((local, _UNOP_TEMPLATES[opname](render(src)), deps))
-            env[op[3]] = ("var", local)
-        else:  # pragma: no cover - fusible_runs filters opcodes
-            raise LowerError(f"opcode {code} is not fusible")
-
-    # Dead-node elimination: only values feeding a live-out (directly
-    # or transitively) execute; timing is precomputed, so skipping an
-    # unread intermediate is unobservable.
-    needed = {node[1] for node in env.values() if node[0] == "var"}
-    emitted: List[Tuple[str, str]] = []
-    for local, expr, deps in reversed(nodes):
-        if local in needed:
-            needed.update(deps)
-            emitted.append((local, expr))
-    emitted.reverse()
-
-    offsets, total = kernels.clock_offsets(
-        [ops[k][1] for k in range(start, end)]
-    )
-    # The rollback trace gets one *chunk* — (base clock, offset table) —
-    # instead of n flat entries: only a squash ever reads the trace, so
-    # the engine flattens chunks lazily (base + off, the exact floats a
-    # per-op append would have produced) and committed work never pays
-    # the per-op trace cost at all.
-    off_lit = "(" + ", ".join(repr(off) for off in offsets) + ")"
-    ret = "clock" if total == 0.0 else f"clock + {total!r}"
-
-    reads = [f"    {local} = regs[{reg!r}]" for reg, local in live_ins.items()]
-    body = [f"    {local} = {expr}" for local, expr in emitted]
-    writes = [
-        f"    regs[{reg!r}] = {render(node)}" for reg, node in env.items()
-    ]
-    if not (reads or body or writes):
-        reads = ["    pass"]
-
-    lines: List[str] = []
-    lines.append(f"def {name}_trace(regs, trace, clock):")
-    lines.extend(reads)
-    lines.append(f"    trace.append((clock, {off_lit}))")
-    lines.extend(body)
-    lines.extend(writes)
-    lines.append(f"    return {ret}")
-    lines.append("")
-    lines.append(f"def {name}_clock(regs, clock):")
-    lines.extend(reads)
-    lines.extend(body)
-    lines.extend(writes)
-    lines.append(f"    return {ret}")
-    lines.append("")
-    lines.append(f"def {name}_plain(regs):")
-    lines.extend(reads)
-    lines.extend(body)
-    lines.extend(writes)
-    lines.append("")
-
+    spec = codegen.generate_classic(ops, start, end, name)
     return Region(
         start=start,
         length=end - start,
-        live_ins=list(live_ins),
-        live_outs=list(env),
-        folded=folded,
+        live_ins=spec.live_ins,
+        live_outs=spec.live_outs,
+        folded=spec.folded,
         name=name,
-        source="\n".join(lines),
+        source=spec.source,
     )
 
 
 def _compile_regions(
     regions: Sequence[Region], where: str
 ) -> Dict[str, Callable]:
-    """Exec the regions' generated source into a fresh namespace."""
+    """Compile the regions' generated source (memoized per source)."""
     source = "\n".join(region.source for region in regions)
-    namespace: Dict[str, Callable] = {"__builtins__": {}}
-    exec(compile(source, f"<lowered:{where}>", "exec"), namespace)
-    return namespace
+    return codegen.compile_source(source, where)
 
 
 def _superop(ops: Sequence[tuple], region: Region,
              namespace: Dict[str, Callable]) -> tuple:
-    """Build the fused dispatch tuple for one compiled region.
+    """Build the fused dispatch tuple for one compiled classic region.
 
     Layout: ``(OP_FUSED, total_dt, head_op, fn_trace, fn_clock, n,
     fn_plain, region)``.  ``head_op`` is the original tuple at the
@@ -377,6 +339,166 @@ def _superop(ops: Sequence[tuple], region: Region,
     )
 
 
+def _ext_superop(blocks: Dict[str, object], region: ExtRegion,
+                 namespace: Dict[str, Callable]) -> tuple:
+    """Build the extended dispatch tuple for one compiled region.
+
+    Layout: ``(OP_FUSED2, 0.0, head_op, fn_epoch, fn_seq, n, instrs,
+    region)`` — slots 2 and 5 mirror ``OP_FUSED`` so both engines share
+    the fallback/step-guard shape; ``instrs`` carries the Instr records
+    of the path's loads, stores, waits and signals in order for engine
+    delegation.
+    """
+    home_label, start, _ = region.spans[0]
+    instrs = []
+    for label, s, e in region.spans:
+        ops = blocks[label].ops
+        for k in range(s, e):
+            if ops[k][0] in codegen.INSTR_OPCODES:
+                instrs.append(ops[k][2])
+    return (
+        OP_FUSED2,
+        0.0,
+        blocks[home_label].ops[start],
+        namespace[f"{region.name}_epoch"],
+        namespace[f"{region.name}_seq"],
+        region.length,
+        tuple(instrs),
+        region,
+    )
+
+
+def _ext_spans(decoded_func, label: str, start: int, end: int,
+               ext_runs: Dict[str, List[Tuple[int, int]]]
+               ) -> List[Tuple[str, int, int]]:
+    """Chain one extended run into a superblock path.
+
+    Follows ``jump`` targets and the predicted ``condbr`` direction
+    (true target, else the false target when the true one is already on
+    the path) while the successor's fusible prefix starts at op 0,
+    refusing revisits (no loops inside one kernel) and stopping at
+    :data:`MAX_SPANS` blocks.
+    """
+    spans = [(label, start, end)]
+    visited = {label}
+    blocks = decoded_func.blocks
+    cur_ops = blocks[label].ops
+    cur_end = end
+    while len(spans) < MAX_SPANS and cur_end == len(cur_ops):
+        term = cur_ops[cur_end - 1]
+        code = term[0]
+        if code == OP_JUMP:
+            target = term[3]
+        elif code == OP_CONDBR:
+            target = term[4]
+            if target in visited and term[5] not in visited:
+                target = term[5]
+        else:  # pragma: no cover - blocks end in terminators
+            break
+        if target in visited or target not in blocks:
+            break
+        runs = ext_runs.get(target)
+        if not runs or runs[0][0] != 0:
+            break
+        nxt_end = runs[0][1]
+        spans.append((target, 0, nxt_end))
+        visited.add(target)
+        cur_ops = blocks[target].ops
+        cur_end = nxt_end
+    return spans
+
+
+def _suffix_spans(
+    decoded_func, home_spans: Sequence[List[Tuple[str, int, int]]]
+) -> List[List[Tuple[str, int, int]]]:
+    """Suffix paths for every mid-path resume point of the home paths.
+
+    The epoch engine can end a turn at a synchronized site (horizon
+    yield, load park, wait stall — the op re-executes at its own index
+    on wake) or just past one (store: SAB replacement / cross-run
+    squash; signal: the unconditional consumer-event return).  Without
+    a superop at those indices the rest of the path replays per-op
+    every time, which the coverage probes show is the dominant unfused
+    mass.  For each such index this derives the path *tail* — the rest
+    of the span plus every chained span — and the caller plants an
+    ordinary extended superop there; the original tuples stay at
+    interior indices, so per-op replay semantics are unchanged.
+
+    One suffix per (label, index): overlapping home paths keep the
+    longest tail.  Indices already owning a home region head are
+    skipped.
+    """
+    planted = {(spans[0][0], spans[0][1]) for spans in home_spans}
+    chosen: Dict[Tuple[str, int], List[Tuple[str, int, int]]] = {}
+    totals: Dict[Tuple[str, int], int] = {}
+    for spans in home_spans:
+        for s, (slabel, sstart, send) in enumerate(spans):
+            ops = decoded_func.blocks[slabel].ops
+            for k in range(sstart, send):
+                code = ops[k][0]
+                if code not in codegen.SITE_OPCODES:
+                    continue
+                resumes = (
+                    (k, k + 1)
+                    if code in codegen.POST_RESUME_OPCODES
+                    else (k,)
+                )
+                for rk in resumes:
+                    if rk >= send:
+                        continue
+                    key = (slabel, rk)
+                    if key in planted:
+                        continue
+                    tail = [(slabel, rk, send)] + list(spans[s + 1:])
+                    total = sum(e - b for _, b, e in tail)
+                    if total < MIN_REGION_LEN:
+                        continue
+                    if totals.get(key, 0) >= total:
+                        continue
+                    chosen[key] = tail
+                    totals[key] = total
+    return [chosen[key] for key in sorted(chosen)]
+
+
+def _validate_ext_region(dfunc, fname: str, label: str,
+                         region: ExtRegion) -> None:
+    """Reject a stored extended region that no longer fits the program."""
+    blocks = dfunc.blocks
+
+    def bad() -> LowerError:
+        return LowerError(
+            f"stored region {fname}:{label}@{region.start} "
+            f"does not match the decoded program"
+        )
+
+    if not region.spans or region.spans[0][0] != label:
+        raise bad()
+    total = 0
+    for index, (slabel, start, end) in enumerate(region.spans):
+        dblock = blocks.get(slabel)
+        if dblock is None or not (0 <= start < end <= len(dblock.ops)):
+            raise bad()
+        span_ops = dblock.ops[start:end]
+        if any(not _ext_fusible_op(op) for op in span_ops):
+            raise bad()
+        total += end - start
+        if index + 1 < len(region.spans):
+            nxt_label, nxt_start, _ = region.spans[index + 1]
+            term = span_ops[-1]
+            if end != len(dblock.ops) or nxt_start != 0:
+                raise bad()
+            if term[0] == OP_JUMP:
+                linked = term[3] == nxt_label
+            elif term[0] == OP_CONDBR:
+                linked = nxt_label in (term[4], term[5])
+            else:
+                linked = False
+            if not linked:
+                raise bad()
+    if total != region.length:
+        raise bad()
+
+
 # ---------------------------------------------------------------------------
 # lowered program containers
 # ---------------------------------------------------------------------------
@@ -388,7 +510,7 @@ class LoweredBlock:
     __slots__ = ("ops", "chunk_end", "regions")
 
     def __init__(self, ops: List[tuple], chunk_end: List[int],
-                 regions: List[Region]):
+                 regions: List[object]):
         self.ops = ops
         self.chunk_end = chunk_end
         self.regions = regions
@@ -407,7 +529,7 @@ class LoweredFunction:
         self.blocks = blocks
 
 
-def block_regions(block) -> Sequence[Region]:
+def block_regions(block) -> Sequence[object]:
     """The fused regions of a (lowered or plain decoded) block."""
     return getattr(block, "regions", ())
 
@@ -417,12 +539,19 @@ class LoweredProgram:
 
     Exposes the same ``function()``/``block()`` surface the engines'
     hot loops use, so selecting the backend is just a matter of which
-    program object the dispatch loop walks.
+    program object the dispatch loop walks.  ``extended`` adds the
+    superblock regions (engine callers only — the untimed interpreter
+    keeps classic regions, whose ``_plain`` kernels it can run);
+    ``issue_width`` parameterizes extended kernels' inline memory
+    charges and must match the engine config.
     """
 
-    def __init__(self, decoded: DecodedProgram):
+    def __init__(self, decoded: DecodedProgram, extended: bool = False,
+                 issue_width: int = 1):
         self.decoded = decoded
         self.module = decoded.module
+        self.extended = extended
+        self.issue_width = issue_width
         self._functions: Dict[str, LoweredFunction] = {}
 
     def function(self, name: str) -> LoweredFunction:
@@ -447,7 +576,7 @@ class LoweredProgram:
 
     # -- stats ---------------------------------------------------------
 
-    def region_table(self) -> List[Tuple[str, str, Region]]:
+    def region_table(self) -> List[Tuple[str, str, object]]:
         """Every fused region as (function, label, region)."""
         table = []
         for name, function in sorted(self._functions.items()):
@@ -462,29 +591,101 @@ class LoweredProgram:
         decoded = self.decoded.function(name)
         blocks: Dict[str, object] = {}
         counter = 0
+        xcounter = 0
+        ext_runs: Dict[str, List[Tuple[int, int]]] = {}
+        if self.extended:
+            # Operand-dependent fusibility folds into the code column
+            # before segmentation: every fusible op maps onto a
+            # sentinel member of the fusible set.
+            ext_runs = {
+                label: kernels.fusible_runs(
+                    [
+                        OP_CONST if _ext_fusible_op(op) else -99
+                        for op in dblock.ops
+                    ],
+                    FUSIBLE_OPCODES, 1,
+                )
+                for label, dblock in decoded.blocks.items()
+            }
+        # Extended regions form function-wide before any block's ops
+        # are rebuilt: a suffix kernel derived from one block's home
+        # path may need planting in a *chained* block.
+        ext_by_label: Dict[str, List[ExtRegion]] = {}
+        if self.extended:
+            home_spans: List[List[Tuple[str, int, int]]] = []
+            for label, dblock in decoded.blocks.items():
+                ops = dblock.ops
+                for start, end in ext_runs.get(label, ()):
+                    spans = _ext_spans(decoded, label, start, end, ext_runs)
+                    total = sum(e - s for _, s, e in spans)
+                    if total < MIN_REGION_LEN:
+                        continue
+                    if len(spans) == 1 and all(
+                        _fusible_op(ops[k]) for k in range(start, end)
+                    ):
+                        # A straight pure run: the classic kernel is
+                        # cheaper (no site machinery), leave it alone.
+                        continue
+                    home_spans.append(spans)
+            for spans in home_spans + _suffix_spans(decoded, home_spans):
+                kname = f"_x{xcounter}"
+                xcounter += 1
+                spec = codegen.generate_extended(
+                    kname, name,
+                    [
+                        (slabel, decoded.blocks[slabel].ops, s, e)
+                        for slabel, s, e in spans
+                    ],
+                    self.issue_width,
+                )
+                ext_by_label.setdefault(spans[0][0], []).append(
+                    ExtRegion(
+                        spans=spans, length=spec.length,
+                        live_ins=spec.live_ins, live_outs=spec.live_outs,
+                        folded=spec.folded, name=kname, source=spec.source,
+                    )
+                )
         for label, dblock in decoded.blocks.items():
             ops = dblock.ops
-            # Operand-dependent fusibility (divmod-by-constant) folds
-            # into the code column before segmentation: map every
-            # fusible op onto a sentinel member of the fusible set.
             runs = kernels.fusible_runs(
-                [OP_CONST if _fusible_op(op) else -2 for op in ops],
+                [OP_CONST if _fusible_op(op) else -99 for op in ops],
                 FUSIBLE_OPCODES, MIN_REGION_LEN,
             )
-            if not runs:
-                blocks[label] = dblock
-                continue
-            regions = []
+            ext_regions = ext_by_label.get(label, [])
+            # A classic region whose head an extended region owns would
+            # be unreachable — drop it.  (Heads can only collide
+            # exactly: extended runs are supersets of pure runs, so a
+            # pure-run start interior to an extended region is never an
+            # extended or suffix head.)  Interior classic superops
+            # survive for per-op resumption after mid-region bails.
+            ext_heads = {region.start for region in ext_regions}
+            regions: List[Region] = []
             for start, end in runs:
+                if start in ext_heads:
+                    continue
                 regions.append(
                     _generate_region(ops, start, end, f"_r{counter}")
                 )
                 counter += 1
-            namespace = _compile_regions(regions, f"{name}:{label}")
+            if not regions and not ext_regions:
+                blocks[label] = dblock
+                continue
             new_ops = list(ops)
-            for region in regions:
-                new_ops[region.start] = _superop(ops, region, namespace)
-            blocks[label] = LoweredBlock(new_ops, dblock.chunk_end, regions)
+            if regions:
+                namespace = _compile_regions(regions, f"{name}:{label}")
+                for region in regions:
+                    new_ops[region.start] = _superop(ops, region, namespace)
+            all_regions: List[object] = list(regions)
+            for region in ext_regions:
+                xnamespace = codegen.compile_source(
+                    region.source, f"{name}:{label}:{region.name}"
+                )
+                new_ops[region.start] = _ext_superop(
+                    decoded.blocks, region, xnamespace
+                )
+                all_regions.append(region)
+            blocks[label] = LoweredBlock(new_ops, dblock.chunk_end,
+                                         all_regions)
         return LoweredFunction(blocks)
 
     # -- persistence ---------------------------------------------------
@@ -500,7 +701,12 @@ class LoweredProgram:
                     labels[label] = [r.to_state() for r in regions]
             if labels:
                 functions[name] = labels
-        return {"version": LOWER_SCHEMA_VERSION, "functions": functions}
+        return {
+            "version": LOWER_SCHEMA_VERSION,
+            "extended": self.extended,
+            "issue_width": self.issue_width,
+            "functions": functions,
+        }
 
     @classmethod
     def from_state(cls, decoded: DecodedProgram, state: Dict) -> "LoweredProgram":
@@ -516,14 +722,24 @@ class LoweredProgram:
                 f"lowered-state version {state.get('version')!r} != "
                 f"{LOWER_SCHEMA_VERSION}"
             )
-        program = cls(decoded)
+        program = cls(
+            decoded,
+            extended=bool(state.get("extended", False)),
+            issue_width=int(state.get("issue_width", 1)),
+        )
         for name, labels in state["functions"].items():
             dfunc = decoded.function(name)
             blocks: Dict[str, object] = dict(dfunc.blocks)
             for label, region_states in labels.items():
                 dblock = dfunc.blocks[label]
                 ops = dblock.ops
-                regions = [Region.from_state(s) for s in region_states]
+                regions: List[Region] = []
+                ext_regions: List[ExtRegion] = []
+                for rstate in region_states:
+                    if rstate.get("kind") == "ext":
+                        ext_regions.append(ExtRegion.from_state(rstate))
+                    else:
+                        regions.append(Region.from_state(rstate))
                 for region in regions:
                     span = ops[region.start:region.start + region.length]
                     if len(span) != region.length or any(
@@ -533,12 +749,24 @@ class LoweredProgram:
                             f"stored region {name}:{label}@{region.start} "
                             f"does not match the decoded program"
                         )
-                namespace = _compile_regions(regions, f"{name}:{label}")
+                for region in ext_regions:
+                    _validate_ext_region(dfunc, name, label, region)
                 new_ops = list(ops)
-                for region in regions:
-                    new_ops[region.start] = _superop(ops, region, namespace)
+                if regions:
+                    namespace = _compile_regions(regions, f"{name}:{label}")
+                    for region in regions:
+                        new_ops[region.start] = _superop(
+                            ops, region, namespace
+                        )
+                for region in ext_regions:
+                    xnamespace = codegen.compile_source(
+                        region.source, f"{name}:{label}:{region.name}"
+                    )
+                    new_ops[region.start] = _ext_superop(
+                        dfunc.blocks, region, xnamespace
+                    )
                 blocks[label] = LoweredBlock(
-                    new_ops, dblock.chunk_end, regions
+                    new_ops, dblock.chunk_end, regions + ext_regions
                 )
             program._functions[name] = LoweredFunction(blocks)
         # Functions without any fusible region were not persisted:
@@ -582,7 +810,12 @@ def unavailable_reason(config=None) -> Optional[str]:
     return None
 
 
-#: Module attribute holding ``(token, {cost_sig: LoweredProgram})``.
+def codegen_enabled() -> bool:
+    """Whether extended (superblock) codegen is enabled here."""
+    return not os.environ.get(NO_CODEGEN_ENV)
+
+
+#: Module attribute holding ``(token, {(cost_sig, extended): program})``.
 _MODULE_CACHE_ATTR = "_repro_lowered_cache"
 
 #: Installed by repro.experiments.artifacts: (load, save) callables
@@ -621,34 +854,49 @@ def lowered_for(decoded: DecodedProgram, config) -> Optional[LoweredProgram]:
     ``config=None`` serves untimed callers (the IR interpreter decodes
     with zero dts): the memo entry lives under a ``None`` key and the
     artifact store is skipped, since persisted region tables are keyed
-    by an engine cost signature.
+    by an engine cost signature.  Engine callers get extended
+    (superblock) regions unless :data:`NO_CODEGEN_ENV` disables them —
+    then classic regions only, also without persistence (the kernel
+    store holds full extended tables).
     """
     if unavailable_reason(config) is not None:
         return None
     module = decoded.module
     cost_sig = None if config is None else cost_signature(config)
+    extended = cost_sig is not None and codegen_enabled()
+    issue_width = 1 if config is None else int(config.issue_width)
+    memo_key = (cost_sig, extended)
     token = _module_token(module)
     cached = getattr(module, _MODULE_CACHE_ATTR, None)
     if cached is not None and cached[0] == token:
-        program = cached[1].get(cost_sig)
+        program = cached[1].get(memo_key)
         if program is not None:
             return program
     else:
         cached = (token, {})
         setattr(module, _MODULE_CACHE_ATTR, cached)
     program = None
-    if _persistence is not None and cost_sig is not None:
+    persist = _persistence is not None and cost_sig is not None and extended
+    if persist:
         state = _persistence[0](module, cost_sig)
         if state is not None:
             try:
-                program = LoweredProgram.from_state(decoded, state).lower_all()
+                program = LoweredProgram.from_state(decoded, state)
+                if (program.extended, program.issue_width) != (
+                    extended, issue_width
+                ):
+                    program = None
+                else:
+                    program.lower_all()
             except (LowerError, KeyError, TypeError, SyntaxError):
                 program = None  # stale/corrupt entry: relower
     if program is None:
-        program = LoweredProgram(decoded).lower_all()
-        if _persistence is not None and cost_sig is not None:
+        program = LoweredProgram(
+            decoded, extended=extended, issue_width=issue_width
+        ).lower_all()
+        if persist:
             _persistence[1](module, cost_sig, program.to_state())
-    cached[1][cost_sig] = program
+    cached[1][memo_key] = program
     return program
 
 
@@ -685,12 +933,17 @@ def program_opstats(program) -> Dict:
     :class:`DecodedProgram`, in which case there are no regions).
     Counts are static (per lowered instruction); dynamic coverage comes
     from the engines' ``fused_instructions``/``instructions`` counters.
+    Extended regions span blocks, so ``fused_static`` may exceed the
+    per-block static instruction count (chained prefixes are counted
+    once per region that fuses them).
     """
     decoded = getattr(program, "decoded", program)
     codes: List[int] = []
     region_lengths: List[int] = []
     fused_static = 0
     folded = 0
+    ext_regions = 0
+    ext_spans = 0
     for name in decoded.module.functions:
         function = program.function(name)
         for label in sorted(function.blocks):
@@ -707,6 +960,9 @@ def program_opstats(program) -> Dict:
                 region_lengths.append(region.length)
                 fused_static += region.length
                 folded += region.folded
+                if getattr(region, "kind", "classic") == "ext":
+                    ext_regions += 1
+                    ext_spans += len(region.spans)
     return {
         "opcodes": {
             OPCODE_NAMES[i]: count
@@ -720,4 +976,6 @@ def program_opstats(program) -> Dict:
         "region_lengths": region_lengths,
         "fused_static": fused_static,
         "folded_ops": folded,
+        "ext_regions": ext_regions,
+        "ext_spans": ext_spans,
     }

@@ -233,9 +233,10 @@ def module_to_state(module: Module) -> Dict:
 def module_content_hash(module: Module) -> str:
     """Stable content hash of a module's serialized form.
 
-    The artifact store keys lowered region tables (vector backend) on
-    this: unlike the compiled-workload key, a lowered table depends on
-    the *exact* instruction stream of one module, including iids.
+    The artifact store keys lowered region tables and codegen'd kernel
+    tables (vector backend) on this: unlike the compiled-workload key,
+    a region table depends on the *exact* instruction stream of one
+    module, including iids.
     """
     import hashlib
     import json
@@ -252,7 +253,10 @@ def lowered_to_state(program) -> Dict:
     Delegates to :meth:`repro.ir.lower.LoweredProgram.to_state`: the
     payload carries the generated kernel sources plus enough region
     metadata (span, live-outs, clock offsets) to revalidate against
-    the decoded program on load.
+    the decoded program on load.  Since LOWER_SCHEMA_VERSION 2 it also
+    carries extended superblock regions — spans across guarded
+    branches and private memory ops, with their generated epoch/seq
+    kernel sources — which recompile on load (no relowering).
     """
     return program.to_state()
 

@@ -116,8 +116,11 @@ def execute_request(
     (parented under the daemon's ``trace_ctx``), and — the per-job
     counter flush — the artifact-store counter delta this job caused.
     """
+    from repro.ir import codegen
+
     started = time.perf_counter()
     counters_before = artifacts_mod.counters()
+    codegen_before = codegen.compile_stats()
     metrics_mod.reset()
     recorder = flightrec.get()
     recorder.set_inflight(
@@ -225,6 +228,7 @@ def execute_request(
     finally:
         recorder.clear_inflight()
     counters_after = artifacts_mod.counters()
+    codegen_after = codegen.compile_stats()
     outcome.update(
         wall_s=time.perf_counter() - started,
         pid=os.getpid(),
@@ -232,6 +236,17 @@ def execute_request(
         artifact_delta={
             name: counters_after[name] - counters_before.get(name, 0)
             for name in counters_after
+        },
+        # Kernel-compile accounting: a warm worker serving a vector job
+        # must show compiles == 0 from the second request on (kernels
+        # come from the in-process memo or the KIND_KERNEL artifact).
+        codegen_delta={
+            "compiles": (
+                codegen_after["compiles"] - codegen_before["compiles"]
+            ),
+            "memo_hits": (
+                codegen_after["memo_hits"] - codegen_before["memo_hits"]
+            ),
         },
     )
     if profile_info is not None:

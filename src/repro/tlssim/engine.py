@@ -55,6 +55,7 @@ from repro.ir.decode import (
     OP_CONDBR,
     OP_CONST,
     OP_DIVMOD,
+    OP_FUSED,
     OP_JUMP,
     OP_LOAD,
     OP_MOVE,
@@ -67,6 +68,7 @@ from repro.ir.decode import (
     OP_WAIT,
     DecodedProgram,
 )
+
 from repro.ir.instructions import (
     Alloc,
     BinOp,
@@ -577,6 +579,8 @@ class TLSEngine:
         config = self.config
         dprog = self._program
         memory = self.memory
+        mem_load = memory.load
+        mem_store = memory.store
         caches = self.caches
         access = caches.access
         line_of = caches.line_of
@@ -619,7 +623,10 @@ class TLSEngine:
                             # the original tuples) so faults and fuel
                             # exhaustion replay the tuple path exactly.
                             n = op[5]
-                            if steps + n <= max_steps:
+                            if steps + n > max_steps:
+                                op = op[2]
+                                code = op[0]
+                            elif code == OP_FUSED:
                                 try:
                                     clock = op[4](regs, clock)
                                 except KeyError:
@@ -632,8 +639,36 @@ class TLSEngine:
                                     i += n
                                     continue
                             else:
-                                op = op[2]
-                                code = op[0]
+                                # OP_FUSED2: extended superblock kernel.
+                                # Returns None on a missing live-in, or
+                                # (label, index, clock, executed) — the
+                                # resume point after running as much of
+                                # the path as its guards allowed.  With
+                                # zero ops executed the head op replays
+                                # per-op (guaranteed progress).
+                                res = op[4](
+                                    regs, clock, self, frames, mem_load,
+                                    mem_store, access, line_of, obs,
+                                )
+                                if res is None:
+                                    op = op[2]
+                                    code = op[0]
+                                else:
+                                    label, idx, clock, executed = res
+                                    steps += executed
+                                    if executed:
+                                        fused_i += executed
+                                        fused_r += 1
+                                    if executed == 0:
+                                        op = op[2]
+                                        code = op[0]
+                                    elif label is None:
+                                        i = idx
+                                        continue
+                                    else:
+                                        frame.block = label
+                                        frame.index = idx
+                                        break
                         steps += 1
                         if steps > max_steps:
                             raise EngineError("sequential fuel exhausted")
@@ -1845,17 +1880,21 @@ class _RegionExecution:
                     op = ops[i]
                     code = op[0]
                     if code < 0:
-                        # Fused region head (vector backend): all ops
-                        # are pure, so the kernel may run the whole
-                        # region freely when neither step limit can
-                        # trip inside it and every live-in is defined.
-                        # The kernel appends each op's start clock to
-                        # the trace, so squash rollback is unchanged.
-                        # Otherwise re-dispatch the original head op
-                        # (interior indices keep their tuples) and the
-                        # tuple path replays limits/faults exactly.
+                        # Fused region head (vector backend).  Classic
+                        # (OP_FUSED) regions are all-pure: the kernel
+                        # runs the whole region freely when neither
+                        # step limit can trip inside it and every
+                        # live-in is defined.  Kernels append (base,
+                        # offsets) rollback chunks to the trace, so
+                        # squash rollback is unchanged.  Otherwise
+                        # re-dispatch the original head op (interior
+                        # indices keep their tuples) and the tuple
+                        # path replays limits/faults exactly.
                         n = op[5]
-                        if steps + n <= max_epoch and tsteps + n <= max_region:
+                        if steps + n > max_epoch or tsteps + n > max_region:
+                            op = op[2]
+                            code = op[0]
+                        elif code == OP_FUSED:
                             try:
                                 clock = op[3](regs, trace, clock)
                             except KeyError:
@@ -1870,8 +1909,48 @@ class _RegionExecution:
                                 i += n
                                 continue
                         else:
-                            op = op[2]
-                            code = op[0]
+                            # OP_FUSED2: extended superblock kernel.
+                            # None on a missing live-in; otherwise
+                            # (label, index, clock, busy, executed,
+                            # ended).  ``ended`` means the kernel
+                            # already handed the run to the engine
+                            # (park/fault/squash/SAB) with run state
+                            # and step counters synced — return
+                            # without touching them.  A bail with
+                            # zero ops executed replays the head op
+                            # (guaranteed progress).
+                            res = op[3](
+                                regs, trace, clock, busy, steps,
+                                tsteps, run, frame, self, h_eff,
+                                h_log, logical, op[6],
+                            )
+                            if res is None:
+                                op = op[2]
+                                code = op[0]
+                            else:
+                                label, idx, clock, busy, executed, \
+                                    ended = res
+                                if executed:
+                                    engine.fused_instructions += executed
+                                    engine.fused_regions += 1
+                                if ended:
+                                    return
+                                steps += executed
+                                tsteps += executed
+                                if executed == 0:
+                                    op = op[2]
+                                    code = op[0]
+                                elif label is None:
+                                    i = idx
+                                    continue
+                                else:
+                                    run.clock = clock
+                                    run.busy_slots = busy
+                                    run.steps = steps
+                                    self.total_steps = tsteps
+                                    frame.block = label
+                                    frame.index = idx
+                                    break
                     if code <= OP_CONDBR:  # private: free-running
                         steps += 1
                         tsteps += 1

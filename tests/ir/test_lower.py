@@ -140,6 +140,36 @@ def _arith_module(n=50):
     return mb.build()
 
 
+def _mem_loop_module(n=40):
+    """A loop whose body mixes pure runs with a load and a store.
+
+    The sites make the block an extended region with mid-path resume
+    points, so lowering plants suffix kernels at the load index and at
+    the store index / store index + 1.
+    """
+    mb = ModuleBuilder("t")
+    mb.global_var("buf", 8)
+    fb = mb.function("main")
+    fb.block("entry")
+    fb.const(0, dest="i")
+    fb.jump("loop")
+    fb.block("loop")
+    fb.mul("i", 3, dest="a")
+    fb.add("a", 7, dest="b")
+    fb.load("@buf", offset=3, dest="v")
+    fb.binop("xor", "b", "v", dest="c")
+    fb.add("c", 1, dest="c2")
+    fb.store("@buf", "c2", offset=3)
+    fb.add("c2", 5, dest="d")
+    fb.binop("and", "d", 255, dest="e")
+    fb.add("i", 1, dest="i")
+    cond = fb.binop("lt", "i", n)
+    fb.condbr(cond, "loop", "done")
+    fb.block("done")
+    fb.ret(fb.load("@buf", offset=3))
+    return mb.build()
+
+
 def _divmod_module(divisor):
     mb = ModuleBuilder("t")
     fb = mb.function("work", params=("x",))
@@ -329,6 +359,102 @@ class TestPersistence:
         store.save_lowered(module, cost_sig, state)
         assert store.load_lowered(module, cost_sig) == state
         assert store.load_lowered(module, (2.0, 1.0, 3.0)) is None
+
+
+class TestSuffixKernels:
+    """Suffix kernels: extended superops planted at mid-path resume
+    indices so a turn ended at a site re-enters fused execution."""
+
+    def _ext_program(self):
+        module = _mem_loop_module()
+        decoded = _decoded(module)
+        program = lower.LoweredProgram(
+            decoded, extended=True, issue_width=4
+        )
+        return module, decoded, program
+
+    def test_suffix_kernels_planted_at_resume_points(self):
+        from repro.ir.decode import OP_FUSED2, OP_LOAD, OP_STORE
+
+        _, decoded, program = self._ext_program()
+        block = program.block("main", "loop")
+        ops = decoded.function("main").blocks["loop"].ops
+        load_at = next(i for i, op in enumerate(ops) if op[0] == OP_LOAD)
+        store_at = next(i for i, op in enumerate(ops) if op[0] == OP_STORE)
+        ext = [
+            r for r in lower.block_regions(block)
+            if isinstance(r, lower.ExtRegion)
+        ]
+        starts = {r.start for r in ext}
+        assert 0 in starts           # the home region at the run head
+        assert load_at in starts     # load park / horizon re-execute
+        assert store_at in starts    # store re-execute
+        assert store_at + 1 in starts  # post-store resume (SAB path)
+        # Each region owns exactly one OP_FUSED2 superop at its start.
+        fused_at = [
+            i for i, op in enumerate(block.ops) if op[0] == OP_FUSED2
+        ]
+        assert fused_at == sorted(starts)
+
+    def test_suffix_regions_survive_state_round_trip(self):
+        _, decoded, program = self._ext_program()
+        program.lower_all()
+        state = program.to_state()
+        rebuilt = lower.LoweredProgram.from_state(decoded, state).lower_all()
+        assert rebuilt.extended and rebuilt.issue_width == 4
+        original = [
+            (f, l, r.to_state()) for f, l, r in program.region_table()
+        ]
+        restored = [
+            (f, l, r.to_state()) for f, l, r in rebuilt.region_table()
+        ]
+        assert any(r.get("kind") == "ext" for _, _, r in original)
+        assert original == restored
+
+
+class TestKernelArtifacts:
+    def test_kernel_store_round_trip_without_relower(
+        self, tmp_path, monkeypatch
+    ):
+        # Acceptance criterion: a stored kernel table alone rebuilds
+        # the vector program — loading must never re-run the lowering
+        # analysis or the codegen emitters.
+        from repro.experiments import artifacts as artifacts_mod
+        from repro.ir import codegen
+        from repro.tlssim.config import SimConfig
+        from repro.tlssim.engine import TLSEngine
+
+        module = _mem_loop_module()
+        store = artifacts_mod.ArtifactStore(str(tmp_path / "store"))
+        lower.set_persistence(store.load_kernels, store.save_kernels)
+        try:
+            ref = TLSEngine(
+                _mem_loop_module(),
+                config=SimConfig(backend="tuples"),
+                parallel=False,
+            ).run()
+            config = SimConfig(backend="vector")
+            first_engine = TLSEngine(module, config=config, parallel=False)
+            first = first_engine.run()
+            assert first_engine.backend == "vector"
+            assert first.to_state() == ref.to_state()
+            assert store.info()["kernels"] == 1
+
+            # Drop the in-process memo and forbid relowering: the
+            # second engine must come up entirely from the store.
+            delattr(module, lower._MODULE_CACHE_ATTR)
+
+            def relowered(*args, **kwargs):
+                raise AssertionError("relowered instead of loading kernels")
+
+            monkeypatch.setattr(codegen, "generate_classic", relowered)
+            monkeypatch.setattr(codegen, "generate_extended", relowered)
+            second_engine = TLSEngine(module, config=config, parallel=False)
+            second = second_engine.run()
+            assert second_engine.backend == "vector"
+            assert second.to_state() == first.to_state()
+        finally:
+            lower.set_persistence(None, None)
 
 
 class TestOpstats:

@@ -52,10 +52,25 @@ def test_loadgen_payload_shape_and_acceptance(tmp_path):
     assert set(latency) >= {"p50", "p95", "p99", "mean", "count"}
     assert latency["p50"] <= latency["p95"] <= latency["p99"]
 
-    # The acceptance criterion: warm p50 beats one cold request.
+    # Warm percentiles split by provenance: memo-hit samples must be
+    # summarized apart from first-touch computed ones, and each cell
+    # carries its own per-source split.
+    by_source = payload["latency_by_source"]
+    assert "memo" in by_source
+    assert by_source["memo"]["count"] == warm["sources"]["memo"]
+    for cell_summary in payload["latency_by_cell"].values():
+        for source, summary in cell_summary["by_source"].items():
+            assert source in warm["sources"]
+            assert summary["count"] >= 1
+
+    # The acceptance criterion: warm p50 beats one cold request —
+    # gated on memo-hit samples only.
     acceptance = payload["acceptance"]
+    assert acceptance["gated_on"] == "memo"
+    assert acceptance["gate_count"] == warm["sources"]["memo"]
     assert acceptance["warm_p50_below_cold"] is True
     assert acceptance["warm_p50_s"] < acceptance["cold_wall_s"]
+    assert acceptance["warm_p50_s"] == by_source["memo"]["p50"]
 
     # speedups cells are shaped for the existing bench compare gate.
     [cell] = payload["speedups"]
